@@ -1,0 +1,41 @@
+// The two production-application traces Section IV-C profiles:
+// LAMMPS box 120 with 8 processes / 1 thread, and CosmoFlow mini with
+// batch 4 — exactly the configurations whose NSys captures feed Figures
+// 4-5 and Tables III-IV.
+#pragma once
+
+#include <iostream>
+
+#include "apps/cosmoflow.hpp"
+#include "apps/lammps.hpp"
+#include "core/table.hpp"
+
+namespace rsd::bench {
+
+inline apps::AppRunResult lammps_paper_trace(int steps = 5000) {
+  apps::LammpsConfig cfg;
+  cfg.box = 120;
+  cfg.procs = 8;
+  cfg.threads = 1;
+  cfg.steps = steps;
+  cfg.capture_trace = true;
+  auto result = apps::run_lammps(cfg);
+  std::cout << "[trace] LAMMPS box 120, 8 procs, " << steps << " steps: ran "
+            << rsd::fmt_fixed(result.runtime.seconds(), 1) << " s (paper: 173 s)\n";
+  return result;
+}
+
+inline apps::AppRunResult cosmoflow_paper_trace(int epochs = 5) {
+  apps::CosmoflowConfig cfg;
+  cfg.epochs = epochs;
+  cfg.train_items = 1024;
+  cfg.validation_items = 1024;
+  cfg.batch = 4;
+  cfg.capture_trace = true;
+  auto result = apps::run_cosmoflow(cfg);
+  std::cout << "[trace] CosmoFlow mini, batch 4, " << epochs << " epochs: ran "
+            << rsd::fmt_fixed(result.runtime.seconds(), 1) << " s (paper: 705 s)\n";
+  return result;
+}
+
+}  // namespace rsd::bench

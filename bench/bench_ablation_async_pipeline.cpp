@@ -1,0 +1,65 @@
+// Ablation 5: the paper runs its proxy synchronously "to capture the
+// pessimistic case" (Section III-B). This bench runs the optimistic
+// counterpart — a double-buffered two-stream pipeline with event
+// dependencies — and measures how much slack tolerance asynchrony buys.
+//
+// Expected: the pipelined proxy keeps the device fed while the host sleeps
+// its slack, so its raw wall time barely moves where the synchronous loop
+// already degrades badly.
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "core/csv.hpp"
+#include "core/table.hpp"
+#include "proxy/proxy.hpp"
+
+int main() {
+  using namespace rsd;
+  using namespace rsd::literals;
+  using namespace rsd::proxy;
+
+  bench::print_header("Ablation: synchronous vs pipelined proxy",
+                      "Wall-time slowdown vs zero-slack baseline (1 thread). Sync = the "
+                      "paper's loop; async = double-buffered two-stream pipeline.");
+
+  const ProxyRunner runner;
+  Table table{"Matrix", "Slack", "Sync slowdown", "Async slowdown"};
+  CsvWriter csv;
+  csv.row("matrix_n", "slack_us", "sync_slowdown", "async_slowdown");
+
+  for (const std::int64_t n : {1 << 9, 1 << 11, 1 << 13}) {
+    ProxyConfig sync_base;
+    sync_base.matrix_n = n;
+    sync_base.max_iterations = 100;
+    const ProxyResult sync_baseline = runner.run(sync_base);
+
+    ProxyConfig async_base = sync_base;
+    async_base.async_pipeline = true;
+    const ProxyResult async_baseline = runner.run(async_base);
+
+    for (const SimDuration slack : {100_us, 1_ms, 10_ms}) {
+      ProxyConfig sync_cfg = sync_base;
+      sync_cfg.slack = slack;
+      const double sync_slowdown =
+          runner.run(sync_cfg).loop_runtime / sync_baseline.loop_runtime;
+
+      ProxyConfig async_cfg = async_base;
+      async_cfg.slack = slack;
+      const double async_slowdown =
+          runner.run(async_cfg).loop_runtime / async_baseline.loop_runtime;
+
+      table.add_row(std::to_string(n), format_duration(slack), fmt_fixed(sync_slowdown, 3),
+                    fmt_fixed(async_slowdown, 3));
+      csv.row(n, slack.us(), sync_slowdown, async_slowdown);
+    }
+  }
+
+  table.print(std::cout);
+  std::cout << "\nPipelining hides slack behind queued work where kernels are large\n"
+               "enough, but the pipeline issues more API calls per iteration, so at\n"
+               "extreme slack on tiny kernels the extra per-call delays dominate and\n"
+               "asynchrony stops paying — the paper's synchronous-pessimistic choice\n"
+               "brackets the realistic range from above without this subtlety.\n";
+  bench::save_csv("ablation_async_pipeline", csv);
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Ablation 3 (DESIGN.md): Equation 3's binning granularity. The paper
+// sweeps the proxy at four matrix sizes (2^9..2^15, steps of 2^2); a
+// denser grid (adding 2^10..2^14) tightens the lower/upper penalty gap.
+#include <iostream>
+
+#include "bench/app_traces.hpp"
+#include "bench/bench_util.hpp"
+#include "core/csv.hpp"
+#include "core/table.hpp"
+#include "model/slack_model.hpp"
+#include "proxy/proxy.hpp"
+
+int main() {
+  using namespace rsd;
+  using namespace rsd::literals;
+  using namespace rsd::proxy;
+
+  bench::print_header("Ablation: Eq.3 binning granularity",
+                      "LAMMPS slack-penalty bounds with the paper's 4-size proxy grid vs "
+                      "a 7-size grid.");
+
+  const ProxyRunner runner;
+  const auto lammps = bench::lammps_paper_trace(360);
+
+  Table table{"Grid", "Slack", "SP lower", "SP upper", "Gap"};
+  CsvWriter csv;
+  csv.row("grid", "slack_us", "lower", "upper", "gap");
+
+  struct Grid {
+    const char* name;
+    std::vector<std::int64_t> sizes;
+  };
+  const Grid grids[] = {
+      {"paper (4 sizes)", {1 << 9, 1 << 11, 1 << 13, 1 << 15}},
+      {"dense (7 sizes)",
+       {1 << 9, 1 << 10, 1 << 11, 1 << 12, 1 << 13, 1 << 14, 1 << 15}},
+  };
+
+  // Use the single-thread (serial-submission) surface: its penalties are
+  // strictly positive, so the lower/upper gap cleanly isolates the effect
+  // of grid granularity.
+  for (const auto& grid : grids) {
+    SweepConfig cfg;
+    cfg.matrix_sizes = grid.sizes;
+    cfg.thread_counts = {1};
+    const auto sweep = run_slack_sweep(runner, cfg);
+    const model::SlackModel slack_model{model::ResponseSurface::from_sweep(sweep)};
+    for (const SimDuration slack : {100_us, 1_ms}) {
+      const auto pred = slack_model.predict(lammps.trace, 1, slack);
+      table.add_row(grid.name, format_duration(slack), fmt_pct(pred.total.lower, 3),
+                    fmt_pct(pred.total.upper, 3),
+                    fmt_pct(pred.total.upper - pred.total.lower, 3));
+      csv.row(grid.name, slack.us(), pred.total.lower, pred.total.upper,
+              pred.total.upper - pred.total.lower);
+    }
+  }
+
+  table.print(std::cout);
+  bench::save_csv("ablation_binning", csv);
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Discussion example: 40 GPUs + 20 x 24-core CPU nodes serving LAMMPS and
+// CosmoFlow (both wanting 20 GPUs) under traditional vs CDI scheduling.
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "cluster/composition.hpp"
+#include "core/csv.hpp"
+#include "core/table.hpp"
+
+int main() {
+  using namespace rsd;
+  using namespace rsd::cluster;
+
+  bench::print_header("Discussion: composition example",
+                      "40 GPUs, 20 CPU nodes x 24 cores; LAMMPS and CosmoFlow each want "
+                      "20 GPUs.");
+
+  Table table{"Architecture", "Job", "Cores", "GPUs", "Trapped cores", "Trapped GPUs",
+              "Cores/GPU"};
+  CsvWriter csv;
+  csv.row("architecture", "job", "cores", "gpus", "trapped_cores", "trapped_gpus",
+          "cores_per_gpu");
+
+  auto add = [&](const std::string& arch, const Allocation& a) {
+    table.add_row(arch, a.job, std::to_string(a.cpu_cores), std::to_string(a.gpus),
+                  std::to_string(a.trapped_cores), std::to_string(a.trapped_gpus),
+                  fmt_fixed(a.cores_per_gpu(), 1));
+    csv.row(arch, a.job, a.cpu_cores, a.gpus, a.trapped_cores, a.trapped_gpus,
+            a.cores_per_gpu());
+  };
+
+  // Traditional: both jobs get 10 nodes (for their 20 GPUs), period.
+  TraditionalCluster traditional{20, NodeShape{24, 2}};
+  add("traditional", traditional.allocate({"cosmoflow", 4, 20}));
+  add("traditional", traditional.allocate({"lammps", 240, 20}));
+
+  // CDI: CosmoFlow composes 4 cores + 20 chassis GPUs; LAMMPS gets the
+  // other 16 CPU nodes' cores with its 20 GPUs.
+  CdiCluster cdi{20, 24, 40};
+  add("cdi", cdi.allocate({"cosmoflow", 4, 20}));
+  add("cdi", cdi.allocate({"lammps", 16 * 24, 20}));
+
+  table.print(std::cout);
+  std::cout << "\nTraditional traps " << traditional.total_trapped_cores()
+            << " cores; CDI traps none and leaves " << cdi.free_cores()
+            << " cores free for other work.\n"
+            << "LAMMPS cores-per-GPU: 12.0 traditional vs 19.2 CDI (paper: 1:2 -> 5:4 "
+               "GPU:CPU-chip ratio).\n";
+  bench::save_csv("discussion_composition", csv);
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Extension (Discussion): GPU-to-GPU allreduce cost by placement. A CDI
+// chassis couples many GPUs over an NVLink-class fabric; a traditional
+// layout caps coupled GPUs at 4 per node and scatters the rest across the
+// network. CosmoFlow-style gradient exchanges benefit directly.
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "core/csv.hpp"
+#include "core/table.hpp"
+#include "gpusim/collective.hpp"
+
+int main() {
+  using namespace rsd;
+  using namespace rsd::gpu;
+
+  bench::print_header("Extension: collectives by placement",
+                      "Best-of(ring, tree) allreduce time for N GPUs exchanging a "
+                      "CosmoFlow-scale gradient buffer.");
+
+  const auto chassis = make_nvlink();
+  const auto pcie = make_pcie_p2p();
+  interconnect::CdiNetworkParams row;
+  const auto scattered = make_scattered(row);
+
+  Table table{"GPUs", "Bytes", "CDI chassis (NVLink)", "Single node (PCIe P2P)",
+              "Scattered nodes", "Chassis speedup vs scattered"};
+  CsvWriter csv;
+  csv.row("gpus", "bytes", "chassis_us", "pcie_us", "scattered_us");
+
+  for (const int gpus : {4, 8, 16, 24}) {
+    for (const Bytes bytes : {Bytes{16 * kMiB}, Bytes{256 * kMiB}, Bytes{kGiB}}) {
+      const auto t_chassis = best_allreduce_time(bytes, gpus, chassis);
+      const auto t_pcie = best_allreduce_time(bytes, gpus, pcie);
+      const auto t_scattered = best_allreduce_time(bytes, gpus, scattered);
+      table.add_row(std::to_string(gpus), format_bytes(bytes), format_duration(t_chassis),
+                    gpus <= 4 ? format_duration(t_pcie) : "(exceeds node)",
+                    format_duration(t_scattered),
+                    fmt_fixed(t_scattered / t_chassis, 1) + "x");
+      csv.row(gpus, bytes, t_chassis.us(), t_pcie.us(), t_scattered.us());
+    }
+  }
+
+  table.print(std::cout);
+  std::cout << "\nBeyond 4 GPUs a traditional node cannot keep the group PCIe-local at\n"
+               "all; a CDI chassis keeps up to its slot count NVLink-coupled.\n";
+  bench::save_csv("extension_collectives", csv);
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Extension (Introduction's system-level claims): run a mixed production
+// job queue through the FIFO scheduler on a traditional cluster and a CDI
+// cluster with identical hardware, and compare throughput, waiting time,
+// trapped resources, and GPU energy.
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "cluster/scheduler.hpp"
+#include "core/csv.hpp"
+#include "core/rng.hpp"
+#include "core/table.hpp"
+
+int main() {
+  using namespace rsd;
+  using namespace rsd::cluster;
+
+  bench::print_header("Extension: cluster throughput",
+                      "Mixed job queue on 16 nodes x (48 cores, 4 GPUs), traditional vs "
+                      "CDI composition, FIFO scheduling.");
+
+  // A reproducible mixed workload: CPU-heavy MD, GPU-hungry training,
+  // CPU-only pre/post-processing, and balanced jobs.
+  Rng rng{20240707};
+  std::vector<SimJob> jobs;
+  double arrival = 0.0;
+  for (int i = 0; i < 60; ++i) {
+    arrival += rng.exponential(120.0);  // ~one job every 2 minutes
+    const double duration = rng.uniform(600.0, 3600.0);
+    SimJob job;
+    job.arrival = duration::seconds(arrival);
+    job.duration = duration::seconds(duration);
+    switch (rng.uniform_index(4)) {
+      case 0:  // LAMMPS-like: many cores, few GPUs
+        job.name = "md_" + std::to_string(i);
+        job.cpu_cores = 96 + static_cast<int>(rng.uniform_index(4)) * 48;
+        job.gpus = 2;
+        break;
+      case 1:  // CosmoFlow-like: few cores, many GPUs
+        job.name = "train_" + std::to_string(i);
+        job.cpu_cores = 4;
+        job.gpus = 8 + static_cast<int>(rng.uniform_index(3)) * 4;
+        break;
+      case 2:  // CPU only
+        job.name = "prep_" + std::to_string(i);
+        job.cpu_cores = 48 + static_cast<int>(rng.uniform_index(3)) * 48;
+        job.gpus = 0;
+        break;
+      default:  // balanced
+        job.name = "mixed_" + std::to_string(i);
+        job.cpu_cores = 24;
+        job.gpus = 2;
+        break;
+    }
+    jobs.push_back(std::move(job));
+  }
+
+  const int nodes = 16;
+  const NodeShape shape{48, 4};
+  const auto traditional = schedule_traditional(jobs, nodes, shape);
+  const auto cdi = schedule_cdi(jobs, nodes, shape);
+
+  Table table{"Metric", "Traditional", "CDI", "CDI / Traditional"};
+  auto row = [&](const char* metric, double t, double c, int decimals) {
+    table.add_row(metric, fmt_fixed(t, decimals), fmt_fixed(c, decimals),
+                  fmt_fixed(t > 0 ? c / t : 0.0, 3));
+  };
+  row("Makespan [h]", traditional.makespan.seconds() / 3600.0,
+      cdi.makespan.seconds() / 3600.0, 2);
+  row("Mean wait [min]", traditional.mean_wait_seconds / 60.0, cdi.mean_wait_seconds / 60.0,
+      1);
+  row("Mean turnaround [min]", traditional.mean_turnaround_seconds / 60.0,
+      cdi.mean_turnaround_seconds / 60.0, 1);
+  row("Avg busy GPUs", traditional.avg_busy_gpus, cdi.avg_busy_gpus, 2);
+  row("Avg trapped GPUs", traditional.avg_trapped_gpus, cdi.avg_trapped_gpus, 2);
+  row("GPU energy [kWh]", traditional.gpu_energy_joules / 3.6e6,
+      cdi.gpu_energy_joules / 3.6e6, 2);
+  table.print(std::cout);
+
+  CsvWriter csv;
+  csv.row("arch", "makespan_s", "mean_wait_s", "avg_busy_gpus", "avg_trapped_gpus",
+          "gpu_energy_j");
+  csv.row("traditional", traditional.makespan.seconds(), traditional.mean_wait_seconds,
+          traditional.avg_busy_gpus, traditional.avg_trapped_gpus,
+          traditional.gpu_energy_joules);
+  csv.row("cdi", cdi.makespan.seconds(), cdi.mean_wait_seconds, cdi.avg_busy_gpus,
+          cdi.avg_trapped_gpus, cdi.gpu_energy_joules);
+  bench::save_csv("extension_throughput", csv);
+  return 0;
+}

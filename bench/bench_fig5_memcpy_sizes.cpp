@@ -1,0 +1,50 @@
+// Figure 5: violin plots of memcpy sizes (MiB) for LAMMPS and CosmoFlow.
+#include <iostream>
+
+#include "bench/app_traces.hpp"
+#include "bench/bench_util.hpp"
+#include "core/csv.hpp"
+#include "core/table.hpp"
+#include "trace/analysis.hpp"
+
+namespace {
+
+void print_violins(const std::string& app, const std::vector<rsd::ViolinSummary>& violins,
+                   rsd::CsvWriter& csv) {
+  using rsd::fmt_fixed;
+  rsd::Table table{"Direction", "Count", "Min [MiB]", "P25", "Median", "P75", "Max [MiB]",
+                   "Mean [MiB]"};
+  for (const auto& v : violins) {
+    table.add_row(v.label, std::to_string(v.count), fmt_fixed(v.min, 2), fmt_fixed(v.p25, 2),
+                  fmt_fixed(v.median, 2), fmt_fixed(v.p75, 2), fmt_fixed(v.max, 2),
+                  fmt_fixed(v.mean, 2));
+    csv.row(app, v.label, v.count, v.min, v.p25, v.median, v.p75, v.max, v.mean);
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  using namespace rsd;
+
+  bench::print_header("Figure 5", "Memcpy size distributions (violin summaries, MiB).");
+
+  CsvWriter csv;
+  csv.row("app", "direction", "count", "min_mib", "p25_mib", "median_mib", "p75_mib",
+          "max_mib", "mean_mib");
+
+  {
+    const auto run = bench::lammps_paper_trace();
+    std::cout << "\nLAMMPS (box 120, 8 procs):\n";
+    print_violins("lammps", trace::memcpy_size_violins(run.trace), csv);
+  }
+  {
+    const auto run = bench::cosmoflow_paper_trace();
+    std::cout << "\nCosmoFlow (mini, batch 4):\n";
+    print_violins("cosmoflow", trace::memcpy_size_violins(run.trace), csv);
+  }
+
+  bench::save_csv("fig5_memcpy_sizes", csv);
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Google-benchmark microbenchmarks of the substrates themselves: DES event
+// throughput, synchronisation primitives, statistics kernels, the LJ MD
+// step, and the CNN forward pass. These guard the simulator's own
+// performance (a slow simulator caps experiment scale).
+#include <benchmark/benchmark.h>
+
+#include "core/rng.hpp"
+#include "core/stats.hpp"
+#include "lj/system.hpp"
+#include "nn/network.hpp"
+#include "proxy/proxy.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/sync.hpp"
+
+namespace {
+
+using namespace rsd;
+using namespace rsd::literals;
+
+void BM_SchedulerEventThroughput(benchmark::State& state) {
+  const int events = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    sched.spawn([](int n) -> sim::Task<> {
+      for (int i = 0; i < n; ++i) co_await sim::delay(1_us);
+    }(events));
+    sched.run();
+    benchmark::DoNotOptimize(sched.now());
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_SchedulerEventThroughput)->Arg(1000)->Arg(10000);
+
+void BM_SemaphoreContention(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    sim::Semaphore sem{sched, 1};
+    auto worker = [](sim::Semaphore& s) -> sim::Task<> {
+      for (int i = 0; i < 100; ++i) {
+        co_await s.acquire();
+        co_await sim::delay(1_us);
+        s.release();
+      }
+    };
+    for (int w = 0; w < workers; ++w) sched.spawn(worker(sem));
+    sched.run();
+  }
+  state.SetItemsProcessed(state.iterations() * workers * 100);
+}
+BENCHMARK(BM_SemaphoreContention)->Arg(2)->Arg(16);
+
+void BM_ProxyRun(benchmark::State& state) {
+  const proxy::ProxyRunner runner;
+  proxy::ProxyConfig cfg;
+  cfg.matrix_n = 1 << 11;
+  cfg.threads = static_cast<int>(state.range(0));
+  cfg.slack = 10_us;
+  cfg.max_iterations = 50;
+  for (auto _ : state) {
+    const auto r = runner.run(cfg);
+    benchmark::DoNotOptimize(r.loop_runtime);
+  }
+}
+BENCHMARK(BM_ProxyRun)->Arg(1)->Arg(8);
+
+void BM_StreamingStats(benchmark::State& state) {
+  Rng rng{1};
+  std::vector<double> values(static_cast<std::size_t>(state.range(0)));
+  for (auto& v : values) v = rng.normal();
+  for (auto _ : state) {
+    StreamingStats s;
+    for (const double v : values) s.add(v);
+    benchmark::DoNotOptimize(s.variance());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_StreamingStats)->Arg(100000);
+
+void BM_LjStep(benchmark::State& state) {
+  lj::System system{static_cast<int>(state.range(0))};
+  for (auto _ : state) {
+    const auto work = system.step();
+    benchmark::DoNotOptimize(work.pair_interactions);
+  }
+  state.SetItemsProcessed(state.iterations() * system.atom_count());
+}
+BENCHMARK(BM_LjStep)->Arg(5)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_CnnForward(benchmark::State& state) {
+  Rng rng{1};
+  nn::Network net = nn::make_cosmoflow_net(1, 16, 2, 4, 3, rng);
+  nn::Tensor x{{1, 1, 16, 16, 16}};
+  for (std::int64_t i = 0; i < x.size(); ++i) {
+    x[static_cast<std::size_t>(i)] = rng.uniform(0.0, 1.0);
+  }
+  for (auto _ : state) {
+    const auto y = net.forward(x);
+    benchmark::DoNotOptimize(y.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * net.total_forward_flops());
+}
+BENCHMARK(BM_CnnForward)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// Section IV-D model validation: predict the proxy's own slack penalty
+// from its trace and compare against the measured penalty. The paper found
+// the lower bound within 0.005 of the measured value for single-threaded
+// runs, with the upper bound severely pessimistic (less so as threads
+// increase).
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "core/csv.hpp"
+#include "core/table.hpp"
+#include "model/slack_model.hpp"
+#include "proxy/proxy.hpp"
+
+int main() {
+  using namespace rsd;
+  using namespace rsd::literals;
+  using namespace rsd::proxy;
+
+  bench::print_header("Model validation (Section IV-D)",
+                      "Proxy traces predicting their own measured slack penalty.");
+
+  const ProxyRunner runner;
+  SweepConfig sweep_cfg;
+  const auto sweep = run_slack_sweep(runner, sweep_cfg);
+  const model::SlackModel slack_model{model::ResponseSurface::from_sweep(sweep)};
+
+  Table table{"Matrix", "Threads", "Slack", "Measured SP", "Predicted lower",
+              "Predicted upper", "|lower-measured|"};
+  CsvWriter csv;
+  csv.row("matrix_n", "threads", "slack_us", "measured_sp", "lower", "upper");
+
+  for (const int threads : {1, 2, 4, 8}) {
+    for (const std::int64_t n : {1 << 9, 1 << 11, 1 << 13}) {
+      for (const SimDuration slack : {100_us, 1_ms}) {
+        ProxyConfig cfg;
+        cfg.matrix_n = n;
+        cfg.threads = threads;
+        cfg.capture_trace = true;
+        const ProxyResult baseline = runner.run(cfg);
+        if (!baseline.fits_memory) continue;
+
+        cfg.capture_trace = false;
+        cfg.slack = slack;
+        const ProxyResult slacked = runner.run(cfg);
+        const double measured = slacked.no_slack_time / baseline.no_slack_time - 1.0;
+        const auto pred = slack_model.predict(*baseline.trace, threads, slack);
+
+        table.add_row(std::to_string(n), std::to_string(threads), format_duration(slack),
+                      fmt_fixed(measured, 4), fmt_fixed(pred.total.lower, 4),
+                      fmt_fixed(pred.total.upper, 4),
+                      fmt_fixed(std::abs(pred.total.lower - measured), 4));
+        csv.row(n, threads, slack.us(), measured, pred.total.lower, pred.total.upper);
+      }
+    }
+  }
+
+  table.print(std::cout);
+  std::cout << "\nPaper: single-thread lower bound within 0.005 of measured; upper bound\n"
+               "pessimistic, less so with more threads.\n";
+  bench::save_csv("model_validation", csv);
+  return 0;
+}

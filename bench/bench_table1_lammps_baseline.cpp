@@ -1,0 +1,47 @@
+// Table I: LAMMPS LJ baseline runtimes for box sizes 20..120 with 1 MPI
+// process and 1 thread, 5000 timesteps.
+#include <iostream>
+
+#include "apps/lammps.hpp"
+#include "bench/bench_util.hpp"
+#include "core/csv.hpp"
+#include "core/table.hpp"
+
+int main() {
+  using namespace rsd;
+  using namespace rsd::apps;
+
+  bench::print_header("Table I",
+                      "LAMMPS box sizes with 1 process / 1 thread, 5000 steps.\n"
+                      "Paper runtimes [s]: 5.473 / 66.523 / 160.703 / 312.185 / 541.452");
+
+  struct PaperRow {
+    int box;
+    double paper_seconds;
+  };
+  const PaperRow paper[] = {
+      {20, 5.473}, {60, 66.523}, {80, 160.703}, {100, 312.185}, {120, 541.452}};
+
+  Table table{"Box Size", "Total Atoms", "Paper Runtime [s]", "Measured Runtime [s]",
+              "Ratio"};
+  CsvWriter csv;
+  csv.row("box", "atoms", "paper_s", "measured_s");
+
+  for (const auto& row : paper) {
+    LammpsConfig cfg;
+    cfg.box = row.box;
+    cfg.procs = 1;
+    cfg.threads = 1;
+    cfg.steps = 5000;
+    const AppRunResult r = run_lammps(cfg);
+    const double measured = r.runtime.seconds();
+    table.add_row(std::to_string(row.box), std::to_string(lammps_atoms(row.box)),
+                  fmt_fixed(row.paper_seconds, 3), fmt_fixed(measured, 3),
+                  fmt_fixed(measured / row.paper_seconds, 3));
+    csv.row(row.box, lammps_atoms(row.box), row.paper_seconds, measured);
+  }
+
+  table.print(std::cout);
+  bench::save_csv("table1_lammps_baseline", csv);
+  return 0;
+}

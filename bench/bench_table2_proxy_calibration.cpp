@@ -1,0 +1,41 @@
+// Table II: slack-proxy calibration per matrix size — matrix bytes, single
+// kernel runtime, iteration count N (~30 s of GPU compute clamped to
+// [5, 1000]), and the baseline main-compute-loop runtime.
+#include <cmath>
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "core/csv.hpp"
+#include "core/table.hpp"
+#include "proxy/proxy.hpp"
+
+int main() {
+  using namespace rsd;
+  using namespace rsd::proxy;
+
+  bench::print_header("Table II",
+                      "Proxy calibration: kernel runtime, iteration count, and baseline "
+                      "compute-loop runtime per matrix size (single thread, no slack).");
+
+  const ProxyRunner runner;
+  Table table{"Matrix Size", "Matrix [MiB]", "Kernel Runtime", "Iterations N",
+              "Loop Runtime [s]"};
+  CsvWriter csv;
+  csv.row("matrix_n", "matrix_mib", "kernel_us", "iterations", "loop_runtime_s");
+
+  for (const std::int64_t n : {1 << 9, 1 << 11, 1 << 13, 1 << 15}) {
+    ProxyConfig cfg;
+    cfg.matrix_n = n;
+    const ProxyResult r = runner.run(cfg);
+    table.add_row("2^" + std::to_string(static_cast<int>(std::log2(n))) + " (" +
+                      std::to_string(n) + ")",
+                  fmt_fixed(to_mib(r.matrix_bytes), 1), format_duration(r.kernel_duration),
+                  std::to_string(r.iterations), fmt_fixed(r.loop_runtime.seconds(), 3));
+    csv.row(n, to_mib(r.matrix_bytes), r.kernel_duration.us(), r.iterations,
+            r.loop_runtime.seconds());
+  }
+
+  table.print(std::cout);
+  bench::save_csv("table2_proxy_calibration", csv);
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Table III: binning of data transfer sizes (MiB) at edges 1/16/256/4096.
+// Paper counts — LAMMPS: 2264 / 42016 / 40008 / 0 / 0, mean 16.85 MiB;
+// CosmoFlow: 8186 / 668 / 335 / 640 / 0, mean 34.4 MiB.
+#include <iostream>
+
+#include "bench/app_traces.hpp"
+#include "bench/bench_util.hpp"
+#include "core/csv.hpp"
+#include "core/histogram.hpp"
+#include "core/table.hpp"
+#include "trace/analysis.hpp"
+
+int main() {
+  using namespace rsd;
+
+  bench::print_header("Table III",
+                      "Transfer-size binning (MiB). Paper:\n"
+                      "  LAMMPS    <=1: 2264  <=16: 42016  <=256: 40008  <=4096: 0  >4096: 0"
+                      "  mean 16.85\n"
+                      "  CosmoFlow <=1: 8186  <=16: 668    <=256: 335    <=4096: 640  >4096: 0"
+                      "  mean 34.4");
+
+  const std::vector<double> edges{1.0, 16.0, 256.0, 4096.0};
+  Table table{"App", "<=1", "<=16", "<=256", "<=4096", ">4096", "Mean [MiB]"};
+  CsvWriter csv;
+  csv.row("app", "le_1", "le_16", "le_256", "le_4096", "gt_4096", "mean_mib");
+
+  auto add = [&](const std::string& app, const trace::Trace& t) {
+    const EdgeHistogram hist = trace::bin_transfer_sizes(t, edges);
+    table.add_row(app, std::to_string(hist.count(0)), std::to_string(hist.count(1)),
+                  std::to_string(hist.count(2)), std::to_string(hist.count(3)),
+                  std::to_string(hist.count(4)), fmt_fixed(hist.mean(), 2));
+    csv.row(app, hist.count(0), hist.count(1), hist.count(2), hist.count(3), hist.count(4),
+            hist.mean());
+  };
+
+  const auto lammps = bench::lammps_paper_trace();
+  const auto cosmoflow = bench::cosmoflow_paper_trace();
+  add("LAMMPS", lammps.trace);
+  add("CosmoFlow", cosmoflow.trace);
+
+  table.print(std::cout);
+  bench::save_csv("table3_transfer_binning", csv);
+  return 0;
+}

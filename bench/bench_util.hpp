@@ -1,0 +1,26 @@
+// Shared helpers for the experiment harnesses: uniform headers, and CSV
+// output into ./bench_results/ so every figure's series is machine-readable.
+#pragma once
+
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "core/csv.hpp"
+#include "core/table.hpp"
+
+namespace rsd::bench {
+
+inline void print_header(const std::string& id, const std::string& description) {
+  std::cout << "\n=== " << id << " ===\n" << description << "\n\n";
+}
+
+inline void save_csv(const std::string& name, const CsvWriter& csv) {
+  const std::filesystem::path dir{"bench_results"};
+  std::filesystem::create_directories(dir);
+  const auto path = (dir / (name + ".csv")).string();
+  csv.save(path);
+  std::cout << "[csv] " << path << "\n";
+}
+
+}  // namespace rsd::bench

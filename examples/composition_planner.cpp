@@ -1,0 +1,57 @@
+// Composition what-if planner: given a machine (CPU nodes + GPU pool) and a
+// mixed job queue, compare what a traditional node architecture and a CDI
+// architecture can serve, and what each wastes.
+#include <iostream>
+#include <vector>
+
+#include "cluster/composition.hpp"
+#include "core/table.hpp"
+
+int main() {
+  using namespace rsd;
+  using namespace rsd::cluster;
+
+  const int nodes = 16;
+  const NodeShape shape{48, 4};  // Narval-like: 48 cores + 4 GPUs per node
+  const std::vector<JobRequest> queue{
+      {"md_simulation", 192, 4},    // CPU-heavy, few GPUs
+      {"training_run", 8, 24},      // GPU-hungry
+      {"preprocessing", 96, 0},     // CPU only
+      {"inference_fleet", 12, 12},  // balanced-ish
+  };
+
+  std::cout << "Machine: " << nodes << " nodes x (" << shape.cpu_cores << " cores, "
+            << shape.gpus << " GPUs) = " << nodes * shape.cpu_cores << " cores, "
+            << nodes * shape.gpus << " GPUs\n\n";
+
+  Table table{"Job", "Arch", "Granted cores", "Granted GPUs", "Trapped cores",
+              "Trapped GPUs"};
+
+  TraditionalCluster traditional{nodes, shape};
+  CdiCluster cdi{nodes, shape.cpu_cores, nodes * shape.gpus};
+  bool traditional_full = false;
+
+  for (const auto& job : queue) {
+    try {
+      const Allocation a = traditional.allocate(job);
+      table.add_row(job.name, "traditional", std::to_string(a.cpu_cores),
+                    std::to_string(a.gpus), std::to_string(a.trapped_cores),
+                    std::to_string(a.trapped_gpus));
+    } catch (const Error&) {
+      traditional_full = true;
+      table.add_row(job.name, "traditional", "-", "-", "(out of nodes)", "-");
+    }
+    const Allocation a = cdi.allocate(job);
+    table.add_row(job.name, "cdi", std::to_string(a.cpu_cores), std::to_string(a.gpus), "0",
+                  "0");
+  }
+
+  table.print(std::cout);
+  std::cout << "\nTraditional: " << traditional.total_trapped_cores() << " cores and "
+            << traditional.total_trapped_gpus() << " GPUs trapped"
+            << (traditional_full ? ", queue did NOT fit" : "") << "\n"
+            << "CDI: nothing trapped; " << cdi.free_cores() << " cores and "
+            << cdi.free_gpus() << " GPUs still schedulable (" << cdi.powered_down_gpus()
+            << " GPUs eligible for power-down)\n";
+  return 0;
+}

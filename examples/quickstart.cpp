@@ -1,0 +1,47 @@
+// Quickstart: measure how much slack a GPU workload tolerates.
+//
+// Runs the paper's slack proxy (a square-matmul loop on the simulated
+// A100-class device) at one configuration, with and without 100 us of
+// injected per-call slack — the latency of ~20 km of fibre — and reports
+// the Equation-1-normalized penalty.
+//
+//   $ ./quickstart [matrix_n] [threads] [slack_us]
+#include <cstdlib>
+#include <iostream>
+
+#include "interconnect/link.hpp"
+#include "proxy/proxy.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rsd;
+
+  proxy::ProxyConfig config;
+  config.matrix_n = argc > 1 ? std::atoll(argv[1]) : (1 << 11);
+  config.threads = argc > 2 ? std::atoi(argv[2]) : 1;
+  const double slack_us = argc > 3 ? std::atof(argv[3]) : 100.0;
+
+  const proxy::ProxyRunner runner;  // A100-class device behind PCIe gen4
+
+  const proxy::ProxyResult baseline = runner.run(config);
+  if (!baseline.fits_memory) {
+    std::cerr << "configuration does not fit in the 40 GiB device\n";
+    return 1;
+  }
+
+  config.slack = duration::microseconds(slack_us);
+  const proxy::ProxyResult slacked = runner.run(config);
+
+  const double normalized = slacked.no_slack_time / baseline.no_slack_time;
+  std::cout << "matrix " << config.matrix_n << " x " << config.matrix_n << ", "
+            << config.threads << " thread(s), N = " << baseline.iterations << " iterations\n"
+            << "  kernel time          : " << format_duration(baseline.kernel_duration) << "\n"
+            << "  baseline loop        : " << format_duration(baseline.loop_runtime) << "\n"
+            << "  with " << slack_us << " us slack    : " << format_duration(slacked.loop_runtime)
+            << "\n"
+            << "  Eq.1 no-slack time   : " << format_duration(slacked.no_slack_time) << "\n"
+            << "  normalized runtime   : " << normalized << "\n"
+            << "  starvation penalty   : " << (normalized - 1.0) * 100.0 << "%\n"
+            << "  equivalent distance  : "
+            << interconnect::reach_km_for_slack(config.slack) << " km of fibre\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// CosmoFlow workload generator (the paper's GPU-dominant AI application,
+// Section III-D.2).
+//
+// Replays the TensorFlow/Horovod execution pattern the paper observed in
+// NSys traces: per training step the CPU submits a long *sequence* of
+// varying-sized kernels in quick succession (forward convs, backward
+// convs, dense heads, optimizer, gradient staging), then waits for the
+// sequence while doing background work. Launching takes ~1/7 of the
+// sequence's duration, which the paper treats as an effective kernel
+// parallelism of 4. Data arrives in large prefetch chunks (the paper's
+// "mini" dataset: 1024 train + 1024 validation items, batch 4, 5 epochs).
+//
+// The layer list and their FLOP ratios come from the real CNN in rsd::nn
+// (make_cosmoflow_net) evaluated at CosmoFlow's full 128^3 input scale.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/calibration.hpp"
+#include "apps/lammps.hpp"  // AppRunResult
+#include "core/units.hpp"
+#include "gpusim/collective.hpp"
+#include "gpusim/device.hpp"
+
+namespace rsd::apps {
+
+struct CosmoflowConfig {
+  int epochs = 5;
+  int train_items = 1024;
+  int validation_items = 1024;
+  int batch = 4;
+  int cpu_cores = 2;  ///< Input-pipeline cores; >2 shows no benefit (IV-A).
+  SimDuration slack = SimDuration::zero();
+  bool capture_trace = false;
+};
+
+/// One kernel of the per-step sequence, with its duration model.
+struct CosmoflowKernel {
+  std::string name;
+  SimDuration duration;
+};
+
+/// The per-training-step kernel sequence (forward + backward + optimizer),
+/// derived from the CNN's layer FLOPs at full CosmoFlow scale.
+[[nodiscard]] std::vector<CosmoflowKernel> cosmoflow_step_kernels(
+    const CosmoflowCalibration& cal, int batch);
+
+[[nodiscard]] AppRunResult run_cosmoflow(const CosmoflowConfig& config,
+                                         const CosmoflowCalibration& cal = {},
+                                         const gpu::DeviceParams& device_params = {});
+
+/// Multi-GPU data-parallel training (Horovod-style synchronous SGD): each
+/// GPU in a chassis runs the per-step kernel sequence on its own shard and
+/// the group ring-allreduces the gradients every step over the chassis
+/// fabric. The Discussion's argument for composing many closely-coupled
+/// GPUs, made runnable.
+struct MultiGpuCosmoflowConfig {
+  CosmoflowConfig base;  ///< Global dataset; steps split across GPUs.
+  int gpus = 4;
+  gpu::GpuInterconnect fabric = gpu::make_nvlink();
+  Bytes gradient_bytes = 32 * kMiB;  ///< Exchanged per step per GPU.
+};
+
+[[nodiscard]] AppRunResult run_cosmoflow_multi_gpu(const MultiGpuCosmoflowConfig& config,
+                                                   const CosmoflowCalibration& cal = {});
+
+}  // namespace rsd::apps

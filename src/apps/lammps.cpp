@@ -1,0 +1,160 @@
+#include "apps/lammps.hpp"
+
+#include <cmath>
+#include <memory>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+#include "gpusim/context.hpp"
+#include "interconnect/link.hpp"
+#include "interconnect/slack.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace rsd::apps {
+
+namespace {
+
+using sim::Barrier;
+
+/// Effective parallel speedup of t OpenMP threads at efficiency e:
+/// 1 + e + e^2 + ... (diminishing returns, matching the paper's thread
+/// scaling flattening out).
+double omp_speedup(int threads, double efficiency) {
+  double s = 0.0;
+  double w = 1.0;
+  for (int t = 0; t < threads; ++t) {
+    s += w;
+    w *= efficiency;
+  }
+  return s;
+}
+
+struct StepCosts {
+  SimDuration cpu;
+  SimDuration cpu_reneighbor;
+  SimDuration halo;
+  Bytes h2d_bytes;
+  Bytes d2h_bytes;
+  SimDuration kernel;
+};
+
+StepCosts step_costs(const LammpsConfig& cfg, const LammpsCalibration& cal) {
+  const auto atoms = lammps_atoms(cfg.box);
+  const double owned = static_cast<double>(atoms) / cfg.procs;
+  const double speedup = omp_speedup(cfg.threads, cal.omp_efficiency);
+
+  StepCosts c;
+  c.cpu = cal.fixed_per_step +
+          duration::nanoseconds(
+              static_cast<std::int64_t>(cal.cpu_ns_per_atom * owned / speedup));
+  c.cpu_reneighbor = duration::nanoseconds(
+      static_cast<std::int64_t>(cal.reneighbor_cpu_ns_per_atom * owned / speedup));
+  // Halo: six neighbor faces; surface atoms ~ owned^(2/3).
+  const double surface_atoms = std::cbrt(owned) * std::cbrt(owned);
+  const double halo_bytes = 6.0 * surface_atoms * cal.halo_bytes_per_surface_atom;
+  const double halo_seconds =
+      halo_bytes / (cal.mpi_bandwidth_gib_s * static_cast<double>(kGiB));
+  c.halo = cfg.procs > 1
+               ? cal.halo_latency + duration::seconds(halo_seconds)
+               : SimDuration::zero();
+  c.h2d_bytes = static_cast<Bytes>(cal.h2d_bytes_per_atom * owned);
+  c.d2h_bytes = static_cast<Bytes>(cal.d2h_bytes_per_atom * owned);
+  c.kernel =
+      duration::nanoseconds(static_cast<std::int64_t>(cal.kernel_ns_per_atom * owned));
+  return c;
+}
+
+sim::Task<> lammps_rank(gpu::Device& device, interconnect::SlackInjector& slack, Barrier& barrier,
+                        const LammpsConfig& cfg, const LammpsCalibration& cal, int rank,
+                        sim::WaitGroup& wg) {
+  gpu::Context ctx{device, rank, &slack, /*process_id=*/rank};
+  const StepCosts costs = step_costs(cfg, cal);
+  Rng rng = Rng{cal.seed}.split(static_cast<std::uint64_t>(rank));
+  // Mean-preserving lognormal jitter: E[exp(N(-s^2/2, s))] = 1.
+  const double sigma = cal.duration_jitter_sigma;
+  auto jitter = [&rng, sigma] { return rng.lognormal(-0.5 * sigma * sigma, sigma); };
+
+  gpu::DeviceBuffer positions = co_await ctx.dmalloc(std::max<Bytes>(costs.h2d_bytes, 1));
+  gpu::DeviceBuffer forces = co_await ctx.dmalloc(std::max<Bytes>(costs.d2h_bytes, 1));
+  gpu::DeviceBuffer neighbor_meta = co_await ctx.dmalloc(cal.reneighbor_bytes);
+
+  const auto neighbor_kernel = duration::nanoseconds(static_cast<std::int64_t>(
+      cal.neighbor_kernel_ns_per_atom * static_cast<double>(lammps_atoms(cfg.box)) /
+      cfg.procs));
+
+  for (int step = 0; step < cfg.steps; ++step) {
+    const bool reneighbor = (step % cal.reneighbor_every) == 0;
+
+    // CPU phase: integration, neighbor maintenance (OpenMP-parallel).
+    co_await sim::delay(
+        (costs.cpu + (reneighbor ? costs.cpu_reneighbor : SimDuration::zero())) * jitter());
+
+    // Halo exchange with rank neighbors, then the step barrier every rank
+    // hits before touching the device (MPI collectives synchronise ranks).
+    if (cfg.procs > 1) {
+      co_await sim::delay(costs.halo);
+      co_await barrier.arrive_and_wait();
+    }
+
+    if (reneighbor) {
+      co_await ctx.memcpy_h2d(neighbor_meta, "h2d_neighbor_meta");
+      co_await ctx.launch("neighbor_build", neighbor_kernel * jitter());
+    }
+    co_await ctx.memcpy_h2d(positions, "h2d_positions");
+    co_await ctx.launch("pack_atoms", cal.pack_kernel * jitter());
+    co_await ctx.launch_sync("lj_force", costs.kernel * jitter());
+    co_await ctx.launch("unpack_forces", cal.unpack_kernel * jitter());
+    co_await ctx.memcpy_d2h(forces, "d2h_forces");
+    co_await ctx.synchronize();
+  }
+
+  co_await ctx.dfree(positions);
+  co_await ctx.dfree(forces);
+  co_await ctx.dfree(neighbor_meta);
+  wg.done();
+}
+
+}  // namespace
+
+AppRunResult run_lammps(const LammpsConfig& config, const LammpsCalibration& cal,
+                        const gpu::DeviceParams& device_params) {
+  RSD_ASSERT(config.box > 0 && config.procs > 0 && config.threads > 0 && config.steps > 0);
+
+  sim::Scheduler sched;
+  gpu::Device device{sched, device_params, interconnect::make_pcie_gen4_x16()};
+  trace::TraceRecorder recorder;
+  if (config.capture_trace) device.set_record_sink(&recorder);
+
+  interconnect::SlackInjector slack{config.slack};
+  Barrier barrier{sched, config.procs};
+  sim::WaitGroup wg{sched};
+  wg.add(config.procs);
+
+  for (int rank = 0; rank < config.procs; ++rank) {
+    sched.spawn(lammps_rank(device, slack, barrier, config, cal, rank, wg));
+  }
+
+  SimTime end{};
+  sched.spawn([](sim::Scheduler& s, sim::WaitGroup& group, SimTime& t) -> sim::Task<> {
+    co_await group.wait();
+    t = s.now();
+  }(sched, wg, end));
+
+  sched.run();
+  RSD_ASSERT(sched.unfinished_count() == 0);
+
+  AppRunResult result;
+  result.runtime = end - SimTime::zero();
+  result.steps = config.steps;
+  result.cuda_calls = slack.calls_delayed();
+  // Equation 1 removes the per-rank injected slack from the critical path.
+  const std::int64_t calls_per_rank = slack.calls_delayed() / config.procs;
+  result.no_slack_runtime =
+      interconnect::equation1_no_slack_time(result.runtime, calls_per_rank, config.slack);
+  if (config.capture_trace) result.trace = std::move(recorder.trace());
+  return result;
+}
+
+}  // namespace rsd::apps

@@ -1,0 +1,56 @@
+// LAMMPS LJ-benchmark workload generator (the paper's CPU-heavy
+// heterogeneous application, Section III-D.1).
+//
+// Replays the GPU-package execution pattern through the simulator: P MPI
+// ranks, each per timestep doing
+//
+//   CPU phase (neighbor maintenance, integration; OpenMP-threaded)
+//   -> halo exchange with rank neighbors (MPI barrier semantics)
+//   -> H2D positions -> force kernel -> D2H forces (+ per-step sync)
+//
+// with a neighbor rebuild every `reneighbor_every` steps that costs extra
+// CPU time and ships list metadata to the device. Ranks are separate OS
+// processes, so their kernels pay the device's process-switch cost — the
+// mechanism behind Figure 2's small-box degradation.
+//
+// The physics itself lives in rsd::lj; this module reproduces the paper's
+// *performance* study, so quantities of work (atoms, transfer bytes) are
+// taken from the same box-size convention (4 * box^3 atoms).
+#pragma once
+
+#include <cstdint>
+
+#include "apps/calibration.hpp"
+#include "core/units.hpp"
+#include "gpusim/device.hpp"
+#include "trace/trace.hpp"
+
+namespace rsd::apps {
+
+struct LammpsConfig {
+  int box = 20;      ///< Lattice cells per dimension; atoms = 4 * box^3.
+  int procs = 1;     ///< MPI ranks (sharing one GPU, as in the paper).
+  int threads = 1;   ///< OpenMP threads per rank.
+  int steps = 100;   ///< Timesteps (the paper runs 5000).
+  SimDuration slack = SimDuration::zero();  ///< Injected per CUDA call.
+  bool capture_trace = false;
+};
+
+struct AppRunResult {
+  SimDuration runtime;
+  std::int64_t steps = 0;
+  trace::Trace trace;              ///< Populated when capture_trace was set.
+  std::int64_t cuda_calls = 0;     ///< Slack-delayed API calls (all ranks).
+  SimDuration no_slack_runtime;    ///< Equation 1 applied (per-rank calls).
+};
+
+[[nodiscard]] constexpr std::int64_t lammps_atoms(int box) {
+  return std::int64_t{4} * box * box * box;
+}
+
+/// Run the workload on a fresh simulated node (one GPU, PCIe link).
+[[nodiscard]] AppRunResult run_lammps(const LammpsConfig& config,
+                                      const LammpsCalibration& cal = {},
+                                      const gpu::DeviceParams& device_params = {});
+
+}  // namespace rsd::apps

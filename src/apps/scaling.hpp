@@ -1,0 +1,62 @@
+// CPU-to-GPU ratio scaling experiments (Section IV-A): strong scaling of
+// LAMMPS over MPI ranks and OpenMP threads, and CosmoFlow's core needs.
+#pragma once
+
+#include <vector>
+
+#include "apps/cosmoflow.hpp"
+#include "apps/lammps.hpp"
+
+namespace rsd::apps {
+
+struct ScalingPoint {
+  int procs = 1;
+  int threads = 1;
+  SimDuration runtime;
+  double normalized = 0.0;  ///< Runtime / the 1-proc-1-thread baseline.
+};
+
+/// Figure 2: fixed box size, varying MPI ranks (1 thread each).
+[[nodiscard]] std::vector<ScalingPoint> lammps_proc_scaling(
+    int box, const std::vector<int>& proc_counts, int steps,
+    const LammpsCalibration& cal = {});
+
+/// Section IV-A thread sweep: fixed ranks, varying OpenMP threads; the
+/// `normalized` field is relative to the 1-thread point of the same sweep.
+[[nodiscard]] std::vector<ScalingPoint> lammps_thread_scaling(
+    int box, int procs, const std::vector<int>& thread_counts, int steps,
+    const LammpsCalibration& cal = {});
+
+/// CosmoFlow core sweep: runtime as a function of available CPU cores.
+struct CoreScalingPoint {
+  int cores = 1;
+  SimDuration runtime;
+  double normalized = 0.0;  ///< Relative to the largest core count.
+};
+
+[[nodiscard]] std::vector<CoreScalingPoint> cosmoflow_core_scaling(
+    const std::vector<int>& core_counts, const CosmoflowConfig& base,
+    const CosmoflowCalibration& cal = {});
+
+/// Weak scaling (Section III-B's framing): replicate a fixed per-unit
+/// problem (one GPU + its composed CPU share) across N units, with an
+/// inter-node exchange per step whose cost grows logarithmically in N
+/// (allreduce) plus a fixed halo term.
+struct InternodeParams {
+  SimDuration collective_latency = duration::microseconds(15.0);  ///< Per log2(N) stage.
+  Bytes halo_bytes = 8 * kMiB;
+  double network_gib_s = 24.0;
+};
+
+struct WeakScalingPoint {
+  int units = 1;
+  SimDuration runtime;
+  /// runtime(1) / runtime(N): 1.0 = perfect weak scaling.
+  double efficiency = 0.0;
+};
+
+[[nodiscard]] std::vector<WeakScalingPoint> lammps_weak_scaling(
+    const LammpsConfig& per_unit, const std::vector<int>& unit_counts,
+    const InternodeParams& net = {}, const LammpsCalibration& cal = {});
+
+}  // namespace rsd::apps

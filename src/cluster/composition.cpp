@@ -1,0 +1,101 @@
+#include "cluster/composition.hpp"
+
+#include <algorithm>
+
+namespace rsd::cluster {
+
+namespace {
+
+[[nodiscard]] int ceil_div(int a, int b) { return (a + b - 1) / b; }
+
+}  // namespace
+
+Allocation TraditionalCluster::allocate(const JobRequest& request) {
+  RSD_ASSERT(request.cpu_cores >= 0 && request.gpus >= 0);
+  if (request.gpus > 0 && shape_.gpus == 0) {
+    throw Error{ErrorCode::kInvalidArgument, "cluster nodes have no GPUs"};
+  }
+
+  const int nodes_for_cores = ceil_div(request.cpu_cores, shape_.cpu_cores);
+  const int nodes_for_gpus = shape_.gpus > 0 ? ceil_div(request.gpus, shape_.gpus) : 0;
+  const int nodes = std::max({nodes_for_cores, nodes_for_gpus, 1});
+  if (nodes > free_nodes()) {
+    throw Error{ErrorCode::kInvalidState,
+                "traditional cluster out of nodes for job " + request.name};
+  }
+
+  Allocation a;
+  a.job = request.name;
+  a.nodes = nodes;
+  a.cpu_cores = nodes * shape_.cpu_cores;
+  a.gpus = nodes * shape_.gpus;
+  a.trapped_cores = a.cpu_cores - request.cpu_cores;
+  a.trapped_gpus = a.gpus - request.gpus;
+
+  used_nodes_ += nodes;
+  used_cores_ += request.cpu_cores;
+  used_gpus_ += request.gpus;
+  trapped_cores_ += a.trapped_cores;
+  trapped_gpus_ += a.trapped_gpus;
+  return a;
+}
+
+bool TraditionalCluster::fits(const JobRequest& request) const {
+  if (request.gpus > 0 && shape_.gpus == 0) return false;
+  const int nodes_for_cores = ceil_div(request.cpu_cores, shape_.cpu_cores);
+  const int nodes_for_gpus = shape_.gpus > 0 ? ceil_div(request.gpus, shape_.gpus) : 0;
+  return std::max({nodes_for_cores, nodes_for_gpus, 1}) <= free_nodes();
+}
+
+void TraditionalCluster::release(const Allocation& allocation) {
+  RSD_ASSERT(allocation.nodes <= used_nodes_);
+  used_nodes_ -= allocation.nodes;
+  used_cores_ -= allocation.cpu_cores - allocation.trapped_cores;
+  used_gpus_ -= allocation.gpus - allocation.trapped_gpus;
+  trapped_cores_ -= allocation.trapped_cores;
+  trapped_gpus_ -= allocation.trapped_gpus;
+}
+
+double TraditionalCluster::core_utilization() const {
+  const int allocated = used_nodes_ * shape_.cpu_cores;
+  return allocated > 0 ? static_cast<double>(used_cores_) / allocated : 0.0;
+}
+
+double TraditionalCluster::gpu_utilization() const {
+  const int allocated = used_nodes_ * shape_.gpus;
+  return allocated > 0 ? static_cast<double>(used_gpus_) / allocated : 0.0;
+}
+
+Allocation CdiCluster::allocate(const JobRequest& request) {
+  RSD_ASSERT(request.cpu_cores >= 0 && request.gpus >= 0);
+  if (request.cpu_cores > free_cores_ || request.gpus > free_gpus_) {
+    throw Error{ErrorCode::kInvalidState, "CDI pools exhausted for job " + request.name};
+  }
+  free_cores_ -= request.cpu_cores;
+  free_gpus_ -= request.gpus;
+
+  Allocation a;
+  a.job = request.name;
+  a.nodes = 0;
+  a.cpu_cores = request.cpu_cores;
+  a.gpus = request.gpus;
+  return a;
+}
+
+ComparisonResult compare_architectures(const std::vector<JobRequest>& jobs, int nodes,
+                                       NodeShape shape) {
+  ComparisonResult result;
+  TraditionalCluster traditional{nodes, shape};
+  CdiCluster cdi{nodes, shape.cpu_cores, nodes * shape.gpus};
+
+  for (const auto& job : jobs) {
+    result.traditional.push_back(traditional.allocate(job));
+    result.cdi.push_back(cdi.allocate(job));
+  }
+  result.traditional_trapped_cores = traditional.total_trapped_cores();
+  result.traditional_trapped_gpus = traditional.total_trapped_gpus();
+  result.cdi_idle_gpus = cdi.powered_down_gpus();
+  return result;
+}
+
+}  // namespace rsd::cluster

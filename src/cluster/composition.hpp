@@ -1,0 +1,137 @@
+// Cluster composition model (Sections I, IV-A and the Discussion).
+//
+// Compares how a traditional node architecture and a composable (CDI)
+// architecture serve jobs that each want their own CPU-to-GPU ratio:
+//
+//   * Traditional: resources come in fixed nodes (e.g. Narval's 48 cores +
+//     4 GPUs). A job takes whole nodes; whatever it cannot use is trapped —
+//     idle devices that can be neither powered down nor scheduled.
+//   * CDI: CPU nodes and a GPU chassis are separate pools composed to the
+//     job's exact request; idle GPUs stay in the pool (and can be powered
+//     down).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace rsd::cluster {
+
+struct NodeShape {
+  int cpu_cores = 48;
+  int gpus = 4;
+};
+
+struct JobRequest {
+  std::string name;
+  int cpu_cores = 0;
+  int gpus = 0;
+};
+
+struct Allocation {
+  std::string job;
+  int nodes = 0;          ///< Whole nodes consumed (traditional only).
+  int cpu_cores = 0;      ///< Cores handed to the job.
+  int gpus = 0;           ///< GPUs handed to the job.
+  int trapped_cores = 0;  ///< Allocated but unused by the job.
+  int trapped_gpus = 0;
+
+  /// Cores available to the job per GPU it got.
+  [[nodiscard]] double cores_per_gpu() const {
+    return gpus > 0 ? static_cast<double>(cpu_cores - trapped_cores) / gpus
+                    : static_cast<double>(cpu_cores - trapped_cores);
+  }
+};
+
+/// Fixed-shape nodes; jobs consume whole nodes.
+class TraditionalCluster {
+ public:
+  TraditionalCluster(int nodes, NodeShape shape) : total_nodes_(nodes), shape_(shape) {
+    RSD_ASSERT(nodes >= 0);
+    RSD_ASSERT(shape.cpu_cores > 0 && shape.gpus >= 0);
+  }
+
+  /// Allocate enough whole nodes to cover both the core and GPU request.
+  /// Throws rsd::Error{kInvalidState} when nodes run out.
+  Allocation allocate(const JobRequest& request);
+
+  /// Whether `request` would currently fit (without allocating).
+  [[nodiscard]] bool fits(const JobRequest& request) const;
+
+  /// Return a previous allocation's resources to the cluster.
+  void release(const Allocation& allocation);
+
+  [[nodiscard]] int free_nodes() const { return total_nodes_ - used_nodes_; }
+  [[nodiscard]] int used_gpus() const { return used_gpus_; }
+  [[nodiscard]] const NodeShape& shape() const { return shape_; }
+  [[nodiscard]] int total_nodes() const { return total_nodes_; }
+  [[nodiscard]] int total_trapped_cores() const { return trapped_cores_; }
+  [[nodiscard]] int total_trapped_gpus() const { return trapped_gpus_; }
+
+  /// Fraction of allocated resources actually used by jobs.
+  [[nodiscard]] double core_utilization() const;
+  [[nodiscard]] double gpu_utilization() const;
+
+ private:
+  int total_nodes_;
+  NodeShape shape_;
+  int used_nodes_ = 0;
+  int used_cores_ = 0;
+  int used_gpus_ = 0;
+  int trapped_cores_ = 0;
+  int trapped_gpus_ = 0;
+};
+
+/// Separate CPU-node and GPU-chassis pools composed to exact requests.
+class CdiCluster {
+ public:
+  CdiCluster(int cpu_nodes, int cores_per_node, int pooled_gpus)
+      : free_cores_(cpu_nodes * cores_per_node),
+        cores_per_node_(cores_per_node),
+        free_gpus_(pooled_gpus) {
+    RSD_ASSERT(cpu_nodes >= 0 && cores_per_node > 0 && pooled_gpus >= 0);
+  }
+
+  /// Compose exactly the requested resources. Throws when the pools are
+  /// exhausted. Nothing is ever trapped.
+  Allocation allocate(const JobRequest& request);
+
+  [[nodiscard]] bool fits(const JobRequest& request) const {
+    return request.cpu_cores <= free_cores_ && request.gpus <= free_gpus_;
+  }
+
+  void release(const Allocation& allocation) {
+    free_cores_ += allocation.cpu_cores;
+    free_gpus_ += allocation.gpus;
+  }
+
+  [[nodiscard]] int free_cores() const { return free_cores_; }
+  [[nodiscard]] int free_gpus() const { return free_gpus_; }
+
+  /// GPUs that no job holds — candidates for power-down (one of CDI's
+  /// headline efficiency wins).
+  [[nodiscard]] int powered_down_gpus() const { return free_gpus_; }
+
+ private:
+  int free_cores_;
+  int cores_per_node_;
+  int free_gpus_;
+};
+
+/// Outcome of scheduling the same job set both ways (Discussion example).
+struct ComparisonResult {
+  std::vector<Allocation> traditional;
+  std::vector<Allocation> cdi;
+  int traditional_trapped_cores = 0;
+  int traditional_trapped_gpus = 0;
+  int cdi_idle_gpus = 0;  ///< Pool GPUs left over (power-down candidates).
+};
+
+/// Schedule `jobs` on a traditional cluster (`nodes` x `shape`) and on a
+/// CDI cluster with the same total hardware, and report both outcomes.
+[[nodiscard]] ComparisonResult compare_architectures(const std::vector<JobRequest>& jobs,
+                                                     int nodes, NodeShape shape);
+
+}  // namespace rsd::cluster

@@ -1,0 +1,134 @@
+#include "cluster/scheduler.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+
+namespace rsd::cluster {
+
+namespace {
+
+/// Generic FIFO scheduling loop over any allocator with
+/// fits/allocate/release and a GPU-state probe.
+template <typename Cluster, typename GpuStateFn>
+ScheduleMetrics run_fifo(std::vector<SimJob> jobs, Cluster& cluster, int total_gpus,
+                         const GpuPowerModel& power, GpuStateFn gpu_state) {
+  std::stable_sort(jobs.begin(), jobs.end(),
+                   [](const SimJob& a, const SimJob& b) { return a.arrival < b.arrival; });
+
+  struct Running {
+    SimTime finish;
+    Allocation allocation;
+    std::size_t outcome_index;
+  };
+
+  ScheduleMetrics metrics;
+  metrics.outcomes.reserve(jobs.size());
+
+  std::deque<std::size_t> pending;           // indices into jobs, FIFO
+  std::vector<Running> running;
+  std::size_t next_arrival = 0;
+  SimTime now = SimTime::zero();
+  SimTime prev_event = SimTime::zero();
+  double busy_gpu_time = 0.0;     // gpu-seconds
+  double trapped_gpu_time = 0.0;
+  double energy = 0.0;
+
+  for (const auto& j : jobs) {
+    metrics.outcomes.push_back(
+        JobOutcome{j.name, SimTime::zero() + j.arrival, SimTime::zero(), SimTime::zero()});
+  }
+
+  auto integrate = [&](SimTime to) {
+    const double dt = (to - prev_event).seconds();
+    if (dt <= 0.0) return;
+    const auto [busy, trapped] = gpu_state();
+    const int free = total_gpus - busy - trapped;
+    busy_gpu_time += busy * dt;
+    trapped_gpu_time += trapped * dt;
+    energy += dt * (busy * power.busy_watts + trapped * power.idle_watts +
+                    free * power.powered_down_watts);
+    prev_event = to;
+  };
+
+  auto start_eligible = [&] {
+    while (!pending.empty()) {
+      const std::size_t idx = pending.front();
+      const JobRequest request{jobs[idx].name, jobs[idx].cpu_cores, jobs[idx].gpus};
+      if (!cluster.fits(request)) break;  // strict FIFO: head blocks the queue
+      pending.pop_front();
+      Running r;
+      r.allocation = cluster.allocate(request);
+      r.finish = now + jobs[idx].duration;
+      r.outcome_index = idx;
+      metrics.outcomes[idx].started = now;
+      running.push_back(std::move(r));
+    }
+  };
+
+  while (next_arrival < jobs.size() || !running.empty()) {
+    // Next event: earliest of next arrival / earliest completion.
+    SimTime next = SimTime::max();
+    if (next_arrival < jobs.size()) {
+      next = SimTime::zero() + jobs[next_arrival].arrival;
+    }
+    for (const auto& r : running) next = std::min(next, r.finish);
+
+    integrate(next);
+    now = next;
+
+    // Completions first (frees resources for same-instant arrivals).
+    for (auto it = running.begin(); it != running.end();) {
+      if (it->finish == now) {
+        metrics.outcomes[it->outcome_index].finished = now;
+        cluster.release(it->allocation);
+        it = running.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    while (next_arrival < jobs.size() &&
+           SimTime::zero() + jobs[next_arrival].arrival == now) {
+      pending.push_back(next_arrival++);
+    }
+    start_eligible();
+  }
+
+  metrics.makespan = now;
+  const double span = now.seconds();
+  double wait_sum = 0.0;
+  double turnaround_sum = 0.0;
+  for (const auto& o : metrics.outcomes) {
+    wait_sum += o.wait().seconds();
+    turnaround_sum += o.turnaround().seconds();
+  }
+  const auto n = static_cast<double>(jobs.size());
+  metrics.mean_wait_seconds = n > 0 ? wait_sum / n : 0.0;
+  metrics.mean_turnaround_seconds = n > 0 ? turnaround_sum / n : 0.0;
+  metrics.avg_busy_gpus = span > 0 ? busy_gpu_time / span : 0.0;
+  metrics.avg_trapped_gpus = span > 0 ? trapped_gpu_time / span : 0.0;
+  metrics.gpu_energy_joules = energy;
+  return metrics;
+}
+
+}  // namespace
+
+ScheduleMetrics schedule_traditional(std::vector<SimJob> jobs, int nodes, NodeShape shape,
+                                     const GpuPowerModel& power) {
+  TraditionalCluster cluster{nodes, shape};
+  const int total_gpus = nodes * shape.gpus;
+  return run_fifo(std::move(jobs), cluster, total_gpus, power, [&cluster] {
+    return std::pair<int, int>{cluster.used_gpus(), cluster.total_trapped_gpus()};
+  });
+}
+
+ScheduleMetrics schedule_cdi(std::vector<SimJob> jobs, int nodes, NodeShape shape,
+                             const GpuPowerModel& power) {
+  CdiCluster cluster{nodes, shape.cpu_cores, nodes * shape.gpus};
+  const int total_gpus = nodes * shape.gpus;
+  return run_fifo(std::move(jobs), cluster, total_gpus, power, [&cluster, total_gpus] {
+    return std::pair<int, int>{total_gpus - cluster.free_gpus(), 0};
+  });
+}
+
+}  // namespace rsd::cluster

@@ -1,0 +1,77 @@
+#include "core/ascii_plot.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace rsd {
+
+namespace {
+
+std::string format_value(double v) {
+  std::array<char, 32> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.3g", v);
+  return std::string{buf.data()};
+}
+
+}  // namespace
+
+std::string ascii_distribution(std::span<const double> values,
+                               const AsciiPlotOptions& options) {
+  if (values.empty()) return "";
+
+  double lo = *std::min_element(values.begin(), values.end());
+  double hi = *std::max_element(values.begin(), values.end());
+  const bool log_scale = options.log_scale && lo > 0.0;
+  if (hi <= lo) hi = lo + std::max(std::abs(lo), 1.0) * 1e-6;
+
+  std::vector<std::size_t> counts(options.bins, 0);
+  std::vector<double> edges(options.bins + 1);
+  if (log_scale) {
+    const double llo = std::log(lo);
+    const double lhi = std::log(hi);
+    for (std::size_t i = 0; i <= options.bins; ++i) {
+      edges[i] = std::exp(llo + (lhi - llo) * static_cast<double>(i) /
+                                    static_cast<double>(options.bins));
+    }
+    for (const double v : values) {
+      const double f = (std::log(std::max(v, lo)) - llo) / (lhi - llo);
+      auto idx = static_cast<std::size_t>(f * static_cast<double>(options.bins));
+      if (idx >= options.bins) idx = options.bins - 1;
+      ++counts[idx];
+    }
+  } else {
+    for (std::size_t i = 0; i <= options.bins; ++i) {
+      edges[i] = lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(options.bins);
+    }
+    for (const double v : values) {
+      const double f = (v - lo) / (hi - lo);
+      auto idx = static_cast<std::size_t>(f * static_cast<double>(options.bins));
+      if (idx >= options.bins) idx = options.bins - 1;
+      ++counts[idx];
+    }
+  }
+
+  const std::size_t max_count = *std::max_element(counts.begin(), counts.end());
+  std::ostringstream out;
+  std::size_t label_width = 0;
+  std::vector<std::string> labels(options.bins);
+  for (std::size_t i = 0; i < options.bins; ++i) {
+    labels[i] = format_value(edges[i]) + " - " + format_value(edges[i + 1]) +
+                (options.unit[0] != '\0' ? std::string{" "} + options.unit : std::string{});
+    label_width = std::max(label_width, labels[i].size());
+  }
+  for (std::size_t i = 0; i < options.bins; ++i) {
+    out << "  " << labels[i] << std::string(label_width - labels[i].size(), ' ') << " |";
+    const std::size_t bar =
+        max_count > 0 ? counts[i] * options.bar_width / max_count : 0;
+    out << std::string(bar, '#');
+    if (counts[i] > 0) out << ' ' << counts[i];
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace rsd

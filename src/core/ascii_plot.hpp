@@ -1,0 +1,24 @@
+// Text rendering of distributions — the terminal stand-in for the paper's
+// violin plots (Figures 4 and 5).
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "core/histogram.hpp"
+
+namespace rsd {
+
+struct AsciiPlotOptions {
+  std::size_t bins = 12;
+  std::size_t bar_width = 40;   ///< Width of the longest bar.
+  bool log_scale = true;        ///< Log-spaced bins (durations/sizes span decades).
+  const char* unit = "";        ///< Appended to bin labels.
+};
+
+/// Render a horizontal-bar histogram of `values`. Returns "" for empty
+/// input. Non-positive values fall into the first bin under log scaling.
+[[nodiscard]] std::string ascii_distribution(std::span<const double> values,
+                                             const AsciiPlotOptions& options = {});
+
+}  // namespace rsd

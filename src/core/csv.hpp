@@ -1,0 +1,75 @@
+// Minimal CSV writer so every bench can also emit machine-readable series
+// (one file per figure) next to its ASCII table.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace rsd {
+
+/// Streaming CSV writer with RFC-4180-style quoting for cells that need it.
+class CsvWriter {
+ public:
+  /// Writes to an in-memory buffer; call `str()` to retrieve.
+  CsvWriter() = default;
+
+  template <typename... Cells>
+  void row(Cells&&... cells) {
+    std::vector<std::string> v;
+    (v.push_back(to_cell(std::forward<Cells>(cells))), ...);
+    row_vec(v);
+  }
+
+  void row_vec(const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i > 0) buf_ << ',';
+      buf_ << escape(cells[i]);
+    }
+    buf_ << '\n';
+  }
+
+  [[nodiscard]] std::string str() const { return buf_.str(); }
+
+  /// Write accumulated contents to a file; throws on I/O failure.
+  void save(const std::string& path) const {
+    std::ofstream out{path};
+    if (!out) throw std::runtime_error{"CsvWriter: cannot open " + path};
+    out << buf_.str();
+    if (!out) throw std::runtime_error{"CsvWriter: write failed for " + path};
+  }
+
+ private:
+  static std::string to_cell(const std::string& s) { return s; }
+  static std::string to_cell(const char* s) { return s; }
+  static std::string to_cell(double v) {
+    std::ostringstream oss;
+    oss.precision(12);
+    oss << v;
+    return oss.str();
+  }
+  template <typename T>
+    requires std::is_integral_v<T>
+  static std::string to_cell(T v) {
+    return std::to_string(v);
+  }
+
+  static std::string escape(const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (const char c : s) {
+      if (c == '"') out += "\"\"";
+      else out += c;
+    }
+    out += '"';
+    return out;
+  }
+
+  std::ostringstream buf_;
+};
+
+}  // namespace rsd

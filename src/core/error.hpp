@@ -1,0 +1,51 @@
+// Error handling: the library throws `rsd::Error` (with a category) for
+// user-facing failures; internal invariants use RSD_ASSERT which aborts with
+// a message — invariant violations are bugs, not recoverable conditions.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace rsd {
+
+enum class ErrorCode {
+  kInvalidArgument,
+  kOutOfMemory,     ///< Simulated device memory exhausted.
+  kInvalidState,
+  kNotFound,
+};
+
+[[nodiscard]] constexpr const char* to_string(ErrorCode c) {
+  switch (c) {
+    case ErrorCode::kInvalidArgument: return "invalid_argument";
+    case ErrorCode::kOutOfMemory: return "out_of_memory";
+    case ErrorCode::kInvalidState: return "invalid_state";
+    case ErrorCode::kNotFound: return "not_found";
+  }
+  return "unknown";
+}
+
+class Error : public std::runtime_error {
+ public:
+  Error(ErrorCode code, const std::string& message)
+      : std::runtime_error(std::string{to_string(code)} + ": " + message), code_(code) {}
+
+  [[nodiscard]] ErrorCode code() const { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "RSD_ASSERT failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+}  // namespace detail
+
+}  // namespace rsd
+
+#define RSD_ASSERT(expr) \
+  ((expr) ? static_cast<void>(0) : ::rsd::detail::assert_fail(#expr, __FILE__, __LINE__))

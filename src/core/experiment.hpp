@@ -1,0 +1,40 @@
+// Repeated-run statistics — the paper averages every experiment across 5
+// runs to absorb system noise. `repeat_runs` executes a seeded measurement
+// n times and reports mean / stddev / extrema.
+#pragma once
+
+#include <cstdint>
+
+#include "core/error.hpp"
+#include "core/stats.hpp"
+
+namespace rsd {
+
+struct RepeatedStat {
+  std::size_t runs = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Run `measure(seed)` for seeds base_seed .. base_seed + runs - 1 and
+/// summarise. `measure` must return a double.
+template <typename MeasureFn>
+[[nodiscard]] RepeatedStat repeat_runs(int runs, MeasureFn&& measure,
+                                       std::uint64_t base_seed = 1) {
+  RSD_ASSERT(runs >= 1);
+  StreamingStats stats;
+  for (int i = 0; i < runs; ++i) {
+    stats.add(measure(base_seed + static_cast<std::uint64_t>(i)));
+  }
+  RepeatedStat r;
+  r.runs = stats.count();
+  r.mean = stats.mean();
+  r.stddev = stats.stddev();
+  r.min = stats.min();
+  r.max = stats.max();
+  return r;
+}
+
+}  // namespace rsd

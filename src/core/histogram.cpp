@@ -1,0 +1,18 @@
+#include "core/histogram.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace rsd {
+
+std::string EdgeHistogram::bin_label(std::size_t bin) const {
+  std::array<char, 48> buf{};
+  if (bin < edges_.size()) {
+    std::snprintf(buf.data(), buf.size(), "<=%g", edges_[bin]);
+  } else {
+    std::snprintf(buf.data(), buf.size(), ">%g", edges_.back());
+  }
+  return std::string{buf.data()};
+}
+
+}  // namespace rsd

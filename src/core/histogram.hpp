@@ -1,0 +1,142 @@
+// Histograms: linear and logarithmic binning, plus the explicit-edge binning
+// used by the paper's Table III (transfer sizes binned at 1/16/256/4096 MiB).
+#pragma once
+
+#include <cstddef>
+#include <cmath>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace rsd {
+
+/// Histogram over explicit upper-edge bins: bin i holds values
+/// <= edges[i] (and > edges[i-1]); one overflow bin holds values > edges.back().
+///
+/// This mirrors the paper's Table III layout where the columns are labelled
+/// "<=1, <=16, <=256, <=4096, >4096" MiB.
+class EdgeHistogram {
+ public:
+  explicit EdgeHistogram(std::vector<double> upper_edges)
+      : edges_(std::move(upper_edges)), counts_(edges_.size() + 1, 0) {
+    if (edges_.empty()) throw std::invalid_argument{"EdgeHistogram: no edges"};
+    for (std::size_t i = 1; i < edges_.size(); ++i) {
+      if (edges_[i] <= edges_[i - 1]) {
+        throw std::invalid_argument{"EdgeHistogram: edges must be increasing"};
+      }
+    }
+  }
+
+  void add(double x, std::size_t weight = 1) {
+    counts_[bin_index(x)] += weight;
+    sum_ += x * static_cast<double>(weight);
+    total_ += weight;
+  }
+
+  [[nodiscard]] std::size_t bin_index(double x) const {
+    for (std::size_t i = 0; i < edges_.size(); ++i) {
+      if (x <= edges_[i]) return i;
+    }
+    return edges_.size();  // overflow bin
+  }
+
+  /// Number of bins, including the overflow bin.
+  [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  [[nodiscard]] std::span<const double> edges() const { return edges_; }
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] double mean() const {
+    return total_ > 0 ? sum_ / static_cast<double>(total_) : 0.0;
+  }
+
+  /// Label for bin i: "<=edge" for interior bins, ">edge" for overflow.
+  [[nodiscard]] std::string bin_label(std::size_t bin) const;
+
+ private:
+  std::vector<double> edges_;
+  std::vector<std::size_t> counts_;
+  double sum_ = 0.0;
+  std::size_t total_ = 0;
+};
+
+/// Fixed-width linear histogram over [lo, hi); under/overflow clamp to the
+/// first/last bin.
+class LinearHistogram {
+ public:
+  LinearHistogram(double lo, double hi, std::size_t bins)
+      : lo_(lo), hi_(hi), counts_(bins, 0) {
+    if (bins == 0 || !(hi > lo)) throw std::invalid_argument{"LinearHistogram: bad range"};
+  }
+
+  void add(double x) {
+    ++counts_[index_of(x)];
+    ++total_;
+  }
+
+  [[nodiscard]] std::size_t index_of(double x) const {
+    if (x <= lo_) return 0;
+    if (x >= hi_) return counts_.size() - 1;
+    const double frac = (x - lo_) / (hi_ - lo_);
+    auto i = static_cast<std::size_t>(frac * static_cast<double>(counts_.size()));
+    return i < counts_.size() ? i : counts_.size() - 1;
+  }
+
+  [[nodiscard]] double bin_lo(std::size_t i) const {
+    return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(counts_.size());
+  }
+  [[nodiscard]] double bin_hi(std::size_t i) const { return bin_lo(i + 1); }
+  [[nodiscard]] std::size_t count(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] std::size_t total() const { return total_; }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Logarithmic histogram: bins of equal ratio between lo and hi.
+/// Used for kernel-duration distributions spanning several decades.
+class LogHistogram {
+ public:
+  LogHistogram(double lo, double hi, std::size_t bins)
+      : log_lo_(std::log(lo)), log_hi_(std::log(hi)), counts_(bins, 0) {
+    if (bins == 0 || !(hi > lo) || !(lo > 0)) {
+      throw std::invalid_argument{"LogHistogram: bad range"};
+    }
+  }
+
+  void add(double x) {
+    ++counts_[index_of(x)];
+    ++total_;
+  }
+
+  [[nodiscard]] std::size_t index_of(double x) const {
+    if (x <= 0) return 0;
+    const double lx = std::log(x);
+    if (lx <= log_lo_) return 0;
+    if (lx >= log_hi_) return counts_.size() - 1;
+    const double frac = (lx - log_lo_) / (log_hi_ - log_lo_);
+    auto i = static_cast<std::size_t>(frac * static_cast<double>(counts_.size()));
+    return i < counts_.size() ? i : counts_.size() - 1;
+  }
+
+  [[nodiscard]] double bin_lo(std::size_t i) const {
+    return std::exp(log_lo_ + (log_hi_ - log_lo_) *
+                                  static_cast<double>(i) / static_cast<double>(counts_.size()));
+  }
+  [[nodiscard]] double bin_hi(std::size_t i) const { return bin_lo(i + 1); }
+  [[nodiscard]] std::size_t count(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] std::size_t total() const { return total_; }
+
+ private:
+  double log_lo_;
+  double log_hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace rsd

@@ -1,0 +1,55 @@
+// Leveled logging. Experiments run quiet by default; RSD_LOG_LEVEL=debug in
+// the environment (or set_level) turns on narration of simulator events.
+#pragma once
+
+#include <iosfwd>
+#include <sstream>
+#include <string>
+
+namespace rsd {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  /// Process-wide logger. Reads RSD_LOG_LEVEL on first use.
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+
+  void write(LogLevel level, const std::string& message);
+
+ private:
+  Logger();
+  LogLevel level_ = LogLevel::kWarn;
+};
+
+namespace detail {
+struct LogLine {
+  LogLevel level;
+  std::ostringstream stream;
+
+  LogLine(LogLevel lv) : level(lv) {}
+  ~LogLine() { Logger::instance().write(level, stream.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream << v;
+    return *this;
+  }
+};
+}  // namespace detail
+
+}  // namespace rsd
+
+#define RSD_LOG(level)                                       \
+  if (!::rsd::Logger::instance().enabled(level)) {           \
+  } else                                                     \
+    ::rsd::detail::LogLine { level }
+
+#define RSD_DEBUG RSD_LOG(::rsd::LogLevel::kDebug)
+#define RSD_INFO RSD_LOG(::rsd::LogLevel::kInfo)
+#define RSD_WARN RSD_LOG(::rsd::LogLevel::kWarn)
+#define RSD_ERROR RSD_LOG(::rsd::LogLevel::kError)

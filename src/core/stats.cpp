@@ -1,0 +1,132 @@
+#include "core/stats.hpp"
+
+#include <numeric>
+
+#include "core/error.hpp"
+
+namespace rsd {
+
+double quantile_sorted(std::span<const double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted[0];
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double quantile(std::span<const double> values, double q) {
+  std::vector<double> copy{values.begin(), values.end()};
+  std::sort(copy.begin(), copy.end());
+  return quantile_sorted(copy, q);
+}
+
+ViolinSummary summarize_violin(std::string label, std::span<const double> values) {
+  ViolinSummary s;
+  s.label = std::move(label);
+  s.count = values.size();
+  if (values.empty()) return s;
+  std::vector<double> sorted{values.begin(), values.end()};
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.p25 = quantile_sorted(sorted, 0.25);
+  s.median = quantile_sorted(sorted, 0.50);
+  s.p75 = quantile_sorted(sorted, 0.75);
+  s.total = std::accumulate(sorted.begin(), sorted.end(), 0.0);
+  s.mean = s.total / static_cast<double>(sorted.size());
+  return s;
+}
+
+P2Quantile::P2Quantile(double q) : q_(q) {
+  RSD_ASSERT(q > 0.0 && q < 1.0);
+  desired_[0] = 1.0;
+  desired_[1] = 1.0 + 2.0 * q;
+  desired_[2] = 1.0 + 4.0 * q;
+  desired_[3] = 3.0 + 2.0 * q;
+  desired_[4] = 5.0;
+  increments_[0] = 0.0;
+  increments_[1] = q / 2.0;
+  increments_[2] = q;
+  increments_[3] = (1.0 + q) / 2.0;
+  increments_[4] = 1.0;
+  for (int i = 0; i < 5; ++i) positions_[i] = i + 1;
+}
+
+double P2Quantile::parabolic(int i, double d) const {
+  const double p = positions_[i];
+  const double pm = positions_[i - 1];
+  const double pp = positions_[i + 1];
+  const double h = heights_[i];
+  const double hm = heights_[i - 1];
+  const double hp = heights_[i + 1];
+  return h + d / (pp - pm) *
+                 ((p - pm + d) * (hp - h) / (pp - p) + (pp - p - d) * (h - hm) / (p - pm));
+}
+
+double P2Quantile::linear(int i, double d) const {
+  const int j = i + static_cast<int>(d);
+  return heights_[i] + d * (heights_[j] - heights_[i]) / (positions_[j] - positions_[i]);
+}
+
+void P2Quantile::add(double x) {
+  if (count_ < 5) {
+    heights_[count_++] = x;
+    if (count_ == 5) std::sort(heights_, heights_ + 5);
+    return;
+  }
+
+  int k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= heights_[k + 1]) ++k;
+  }
+
+  for (int i = k + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (int i = 0; i < 5; ++i) desired_[i] += increments_[i];
+
+  for (int i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    if ((d >= 1.0 && positions_[i + 1] - positions_[i] > 1.0) ||
+        (d <= -1.0 && positions_[i - 1] - positions_[i] < -1.0)) {
+      const double step = d >= 0 ? 1.0 : -1.0;
+      double candidate = parabolic(i, step);
+      if (heights_[i - 1] < candidate && candidate < heights_[i + 1]) {
+        heights_[i] = candidate;
+      } else {
+        heights_[i] = linear(i, step);
+      }
+      positions_[i] += step;
+    }
+  }
+  ++count_;
+}
+
+double P2Quantile::estimate() const {
+  if (count_ == 0) return 0.0;
+  if (count_ < 5) {
+    std::vector<double> sorted{heights_, heights_ + count_};
+    std::sort(sorted.begin(), sorted.end());
+    return quantile_sorted(sorted, q_);
+  }
+  return heights_[2];
+}
+
+double SampleSet::mean() const {
+  if (values_.empty()) return 0.0;
+  return sum() / static_cast<double>(values_.size());
+}
+
+double SampleSet::sum() const {
+  return std::accumulate(values_.begin(), values_.end(), 0.0);
+}
+
+}  // namespace rsd

@@ -1,0 +1,148 @@
+// Statistics primitives: streaming moments, exact quantiles over retained
+// samples, and the five-number "violin" summaries used for Figures 4 and 5.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace rsd {
+
+/// Streaming count/mean/variance/min/max (Welford). O(1) memory.
+class StreamingStats {
+ public:
+  void add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  void merge(const StreamingStats& other) {
+    if (other.count_ == 0) return;
+    if (count_ == 0) { *this = other; return; }
+    const auto na = static_cast<double>(count_);
+    const auto nb = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double n = na + nb;
+    mean_ += delta * nb / n;
+    m2_ += other.m2_ + delta * delta * na * nb / n;
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    sum_ += other.sum_;
+  }
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double min() const { return count_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ > 0 ? max_ : 0.0; }
+
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  [[nodiscard]] double variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Linear-interpolated quantile of a sorted span, q in [0, 1].
+[[nodiscard]] double quantile_sorted(std::span<const double> sorted, double q);
+
+/// Convenience: copies, sorts, and evaluates a quantile. O(n log n).
+[[nodiscard]] double quantile(std::span<const double> values, double q);
+
+/// The summary a violin plot visualises: five-number summary + mean + count.
+struct ViolinSummary {
+  std::string label;
+  std::size_t count = 0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double total = 0.0;  ///< Sum of samples (e.g. total kernel time).
+};
+
+/// Build a violin summary from raw samples.
+[[nodiscard]] ViolinSummary summarize_violin(std::string label,
+                                             std::span<const double> values);
+
+/// Streaming quantile estimator (Jain & Chlamtac's P-square algorithm):
+/// O(1) memory, suitable for traces too large to retain. Estimates a single
+/// quantile q in (0, 1); accuracy improves with stream length.
+class P2Quantile {
+ public:
+  explicit P2Quantile(double q);
+
+  void add(double x);
+
+  /// Current estimate; exact while fewer than 5 samples were seen.
+  [[nodiscard]] double estimate() const;
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double quantile() const { return q_; }
+
+ private:
+  [[nodiscard]] double parabolic(int i, double d) const;
+  [[nodiscard]] double linear(int i, double d) const;
+
+  double q_;
+  std::size_t count_ = 0;
+  double heights_[5]{};
+  double positions_[5]{};
+  double desired_[5]{};
+  double increments_[5]{};
+};
+
+/// Sample accumulator that keeps every observation (exact quantiles).
+class SampleSet {
+ public:
+  void add(double x) { values_.push_back(x); sorted_ = false; }
+  void reserve(std::size_t n) { values_.reserve(n); }
+
+  [[nodiscard]] std::size_t size() const { return values_.size(); }
+  [[nodiscard]] bool empty() const { return values_.empty(); }
+  [[nodiscard]] std::span<const double> values() const { return values_; }
+
+  [[nodiscard]] double quantile(double q) const {
+    ensure_sorted();
+    return quantile_sorted(values_, q);
+  }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double sum() const;
+  [[nodiscard]] double min() const { ensure_sorted(); return values_.empty() ? 0.0 : values_.front(); }
+  [[nodiscard]] double max() const { ensure_sorted(); return values_.empty() ? 0.0 : values_.back(); }
+
+  [[nodiscard]] ViolinSummary violin(std::string label) const {
+    return summarize_violin(std::move(label), values_);
+  }
+
+ private:
+  void ensure_sorted() const {
+    if (!sorted_) {
+      std::sort(values_.begin(), values_.end());
+      sorted_ = true;
+    }
+  }
+
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace rsd

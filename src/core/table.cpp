@@ -1,0 +1,87 @@
+#include "core/table.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace rsd {
+
+namespace {
+
+std::vector<std::size_t> column_widths(const std::vector<std::string>& header,
+                                       const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> widths(header.size(), 0);
+  for (std::size_t c = 0; c < header.size(); ++c) widths[c] = header[c].size();
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  return widths;
+}
+
+void print_separator(std::ostream& os, const std::vector<std::size_t>& widths) {
+  os << '+';
+  for (const auto w : widths) {
+    for (std::size_t i = 0; i < w + 2; ++i) os << '-';
+    os << '+';
+  }
+  os << '\n';
+}
+
+void print_row(std::ostream& os, const std::vector<std::string>& cells,
+               const std::vector<std::size_t>& widths) {
+  os << '|';
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+    os << ' ' << cell;
+    for (std::size_t i = cell.size(); i < widths[c] + 1; ++i) os << ' ';
+    os << '|';
+  }
+  os << '\n';
+}
+
+}  // namespace
+
+void Table::print(std::ostream& os) const {
+  const auto widths = column_widths(header_, rows_);
+  print_separator(os, widths);
+  print_row(os, header_, widths);
+  print_separator(os, widths);
+  for (const auto& row : rows_) print_row(os, row, widths);
+  print_separator(os, widths);
+}
+
+std::string Table::to_string() const {
+  std::ostringstream oss;
+  print(oss);
+  return oss.str();
+}
+
+std::string fmt(const char* format, double value) {
+  std::array<char, 64> buf{};
+  std::snprintf(buf.data(), buf.size(), format, value);
+  return std::string{buf.data()};
+}
+
+std::string fmt_fixed(double value, int decimals) {
+  std::array<char, 32> f{};
+  std::snprintf(f.data(), f.size(), "%%.%df", decimals);
+  return fmt(f.data(), value);
+}
+
+std::string fmt_sci(double value, int decimals) {
+  std::array<char, 32> f{};
+  std::snprintf(f.data(), f.size(), "%%.%de", decimals);
+  return fmt(f.data(), value);
+}
+
+std::string fmt_pct(double fraction, int decimals) {
+  std::array<char, 32> f{};
+  std::snprintf(f.data(), f.size(), "%%.%df%%%%", decimals);
+  return fmt(f.data(), fraction * 100.0);
+}
+
+}  // namespace rsd

@@ -1,0 +1,52 @@
+// ASCII table rendering for the experiment harnesses. Every bench binary
+// prints its table/figure data through this so the output layout is uniform
+// and diffable against EXPERIMENTS.md.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rsd {
+
+/// A simple column-aligned text table.
+///
+///   Table t{"Box Size", "Total Atoms", "Runtime [s]"};
+///   t.add_row("20", "32k", "5.473");
+///   t.print(std::cout);
+class Table {
+ public:
+  template <typename... Cols>
+  explicit Table(Cols&&... headers) : header_{std::string(std::forward<Cols>(headers))...} {}
+
+  explicit Table(std::vector<std::string> headers) : header_(std::move(headers)) {}
+
+  template <typename... Cells>
+  void add_row(Cells&&... cells) {
+    rows_.push_back({std::string(std::forward<Cells>(cells))...});
+  }
+
+  void add_row_vec(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& header() const { return header_; }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+  void print(std::ostream& os) const;
+
+  /// Render to a string (used in tests).
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style float formatting helpers for table cells.
+[[nodiscard]] std::string fmt(const char* format, double value);
+[[nodiscard]] std::string fmt_fixed(double value, int decimals);
+[[nodiscard]] std::string fmt_sci(double value, int decimals = 2);
+[[nodiscard]] std::string fmt_pct(double fraction, int decimals = 2);
+
+}  // namespace rsd

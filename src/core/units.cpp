@@ -1,0 +1,36 @@
+#include "core/units.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace rsd {
+
+namespace {
+
+std::string format_scaled(double value, const char* unit) {
+  std::array<char, 64> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.3g %s", value, unit);
+  return std::string{buf.data()};
+}
+
+}  // namespace
+
+std::string format_bytes(Bytes b) {
+  const auto v = static_cast<double>(b);
+  if (b >= kGiB) return format_scaled(v / static_cast<double>(kGiB), "GiB");
+  if (b >= kMiB) return format_scaled(v / static_cast<double>(kMiB), "MiB");
+  if (b >= kKiB) return format_scaled(v / static_cast<double>(kKiB), "KiB");
+  return format_scaled(v, "B");
+}
+
+std::string format_duration(SimDuration d) {
+  const double ns = static_cast<double>(d.ns());
+  const double mag = std::fabs(ns);
+  if (mag >= 1e9) return format_scaled(ns * 1e-9, "s");
+  if (mag >= 1e6) return format_scaled(ns * 1e-6, "ms");
+  if (mag >= 1e3) return format_scaled(ns * 1e-3, "us");
+  return format_scaled(ns, "ns");
+}
+
+}  // namespace rsd

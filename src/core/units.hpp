@@ -1,0 +1,126 @@
+// Time and byte-size units used throughout the rowscale-cdi library.
+//
+// Simulated time is a strong type (`SimTime`) counting integer nanoseconds;
+// durations are `SimDuration`. Integer arithmetic keeps discrete-event
+// scheduling exactly reproducible across platforms. Byte quantities use
+// `Bytes` (unsigned 64-bit) with MiB/GiB helpers matching the paper's units.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace rsd {
+
+/// A span of simulated time in integer nanoseconds.
+class SimDuration {
+ public:
+  constexpr SimDuration() = default;
+  constexpr explicit SimDuration(std::int64_t ns) : ns_(ns) {}
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double us() const { return static_cast<double>(ns_) * 1e-3; }
+  [[nodiscard]] constexpr double ms() const { return static_cast<double>(ns_) * 1e-6; }
+  [[nodiscard]] constexpr double seconds() const { return static_cast<double>(ns_) * 1e-9; }
+
+  constexpr auto operator<=>(const SimDuration&) const = default;
+
+  constexpr SimDuration& operator+=(SimDuration d) { ns_ += d.ns_; return *this; }
+  constexpr SimDuration& operator-=(SimDuration d) { ns_ -= d.ns_; return *this; }
+
+  friend constexpr SimDuration operator+(SimDuration a, SimDuration b) { return SimDuration{a.ns_ + b.ns_}; }
+  friend constexpr SimDuration operator-(SimDuration a, SimDuration b) { return SimDuration{a.ns_ - b.ns_}; }
+  friend constexpr SimDuration operator*(SimDuration a, std::int64_t k) { return SimDuration{a.ns_ * k}; }
+  friend constexpr SimDuration operator*(std::int64_t k, SimDuration a) { return SimDuration{a.ns_ * k}; }
+  friend constexpr SimDuration operator*(SimDuration a, double k) {
+    return SimDuration{static_cast<std::int64_t>(static_cast<double>(a.ns_) * k)};
+  }
+  friend constexpr SimDuration operator*(double k, SimDuration a) { return a * k; }
+  friend constexpr SimDuration operator/(SimDuration a, std::int64_t k) { return SimDuration{a.ns_ / k}; }
+  friend constexpr double operator/(SimDuration a, SimDuration b) {
+    return static_cast<double>(a.ns_) / static_cast<double>(b.ns_);
+  }
+
+  [[nodiscard]] static constexpr SimDuration zero() { return SimDuration{0}; }
+  [[nodiscard]] static constexpr SimDuration max() {
+    return SimDuration{std::numeric_limits<std::int64_t>::max()};
+  }
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+/// An absolute point on the simulated clock (ns since simulation start).
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(std::int64_t ns) : ns_(ns) {}
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double us() const { return static_cast<double>(ns_) * 1e-3; }
+  [[nodiscard]] constexpr double ms() const { return static_cast<double>(ns_) * 1e-6; }
+  [[nodiscard]] constexpr double seconds() const { return static_cast<double>(ns_) * 1e-9; }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  friend constexpr SimTime operator+(SimTime t, SimDuration d) { return SimTime{t.ns_ + d.ns()}; }
+  friend constexpr SimTime operator+(SimDuration d, SimTime t) { return t + d; }
+  friend constexpr SimTime operator-(SimTime t, SimDuration d) { return SimTime{t.ns_ - d.ns()}; }
+  friend constexpr SimDuration operator-(SimTime a, SimTime b) { return SimDuration{a.ns_ - b.ns_}; }
+
+  [[nodiscard]] static constexpr SimTime zero() { return SimTime{0}; }
+  [[nodiscard]] static constexpr SimTime max() {
+    return SimTime{std::numeric_limits<std::int64_t>::max()};
+  }
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+namespace duration {
+[[nodiscard]] constexpr SimDuration nanoseconds(std::int64_t v) { return SimDuration{v}; }
+[[nodiscard]] constexpr SimDuration microseconds(double v) {
+  return SimDuration{static_cast<std::int64_t>(v * 1e3)};
+}
+[[nodiscard]] constexpr SimDuration milliseconds(double v) {
+  return SimDuration{static_cast<std::int64_t>(v * 1e6)};
+}
+[[nodiscard]] constexpr SimDuration seconds(double v) {
+  return SimDuration{static_cast<std::int64_t>(v * 1e9)};
+}
+}  // namespace duration
+
+namespace literals {
+[[nodiscard]] constexpr SimDuration operator""_ns(unsigned long long v) {
+  return SimDuration{static_cast<std::int64_t>(v)};
+}
+[[nodiscard]] constexpr SimDuration operator""_us(unsigned long long v) {
+  return SimDuration{static_cast<std::int64_t>(v) * 1000};
+}
+[[nodiscard]] constexpr SimDuration operator""_ms(unsigned long long v) {
+  return SimDuration{static_cast<std::int64_t>(v) * 1'000'000};
+}
+[[nodiscard]] constexpr SimDuration operator""_s(unsigned long long v) {
+  return SimDuration{static_cast<std::int64_t>(v) * 1'000'000'000};
+}
+}  // namespace literals
+
+/// Byte quantities. Binary prefixes follow the paper (MiB, GiB).
+using Bytes = std::uint64_t;
+
+inline constexpr Bytes kKiB = 1024;
+inline constexpr Bytes kMiB = 1024 * kKiB;
+inline constexpr Bytes kGiB = 1024 * kMiB;
+
+[[nodiscard]] constexpr double to_mib(Bytes b) { return static_cast<double>(b) / static_cast<double>(kMiB); }
+[[nodiscard]] constexpr double to_gib(Bytes b) { return static_cast<double>(b) / static_cast<double>(kGiB); }
+
+/// Human-readable rendering, e.g. "12.5 MiB", "3.2 GiB".
+[[nodiscard]] std::string format_bytes(Bytes b);
+
+/// Human-readable rendering of a duration with an auto-selected unit,
+/// e.g. "18.4 us", "73.2 ms", "4.71 s".
+[[nodiscard]] std::string format_duration(SimDuration d);
+
+}  // namespace rsd

@@ -1,0 +1,85 @@
+#include "gpusim/chassis.hpp"
+
+#include "sim/sync.hpp"
+
+namespace rsd::gpu {
+
+namespace {
+
+/// One directed chunk transfer: occupies the sender's D2H engine and the
+/// receiver's H2D engine for the duration (both ends of a fabric DMA).
+sim::Task<> fabric_transfer(Device& src, Device& dst, Bytes bytes, SimDuration duration,
+                            const std::string& name, int phase, sim::WaitGroup& wg) {
+  OpRecord send;
+  send.kind = OpKind::kMemcpyD2H;
+  send.name = name + "_send_p" + std::to_string(phase);
+  send.bytes = bytes;
+  OpRecord recv;
+  recv.kind = OpKind::kMemcpyH2D;
+  recv.name = name + "_recv_p" + std::to_string(phase);
+  recv.bytes = bytes;
+
+  sim::WaitGroup pair{src.scheduler()};
+  pair.add(2);
+  src.scheduler().spawn([](Device& d, OpRecord rec, SimDuration dur,
+                           sim::WaitGroup& group) -> sim::Task<> {
+    co_await d.d2h_engine().execute(rec, dur);
+    if (auto* sink = d.record_sink(); sink != nullptr) sink->on_op(rec);
+    group.done();
+  }(src, std::move(send), duration, pair));
+  src.scheduler().spawn([](Device& d, OpRecord rec, SimDuration dur,
+                           sim::WaitGroup& group) -> sim::Task<> {
+    co_await d.h2d_engine().execute(rec, dur);
+    if (auto* sink = d.record_sink(); sink != nullptr) sink->on_op(rec);
+    group.done();
+  }(dst, std::move(recv), duration, pair));
+  co_await pair.wait();
+  wg.done();
+}
+
+}  // namespace
+
+Chassis::Chassis(sim::Scheduler& sched, ChassisParams params)
+    : sched_(sched), params_(std::move(params)) {
+  RSD_ASSERT(params_.gpus >= 1);
+  devices_.reserve(static_cast<std::size_t>(params_.gpus));
+  for (int i = 0; i < params_.gpus; ++i) {
+    // Each device keeps a PCIe host link; the chassis fabric is used for
+    // GPU<->GPU traffic only.
+    devices_.push_back(std::make_unique<Device>(sched_, params_.device_params,
+                                                interconnect::make_pcie_gen4_x16()));
+  }
+}
+
+void Chassis::set_record_sink(RecordSink* sink) {
+  for (auto& d : devices_) d->set_record_sink(sink);
+}
+
+sim::Task<> Chassis::ring_allreduce(Bytes bytes_per_gpu, int participants, std::string name) {
+  RSD_ASSERT(participants >= 1);
+  RSD_ASSERT(participants <= size());
+  if (participants == 1) co_return;
+
+  const Bytes chunk = bytes_per_gpu / static_cast<Bytes>(participants);
+  const SimDuration per_transfer =
+      params_.fabric.latency +
+      duration::seconds(static_cast<double>(chunk) /
+                        (params_.fabric.bandwidth_gib_s * static_cast<double>(kGiB)));
+
+  // 2(k-1) phases: reduce-scatter then allgather. Phases are bulk
+  // synchronous: every pairwise transfer of a phase completes before the
+  // next phase starts (ring neighbors exchange in lockstep).
+  const int phases = 2 * (participants - 1);
+  for (int phase = 0; phase < phases; ++phase) {
+    sim::WaitGroup wg{sched_};
+    wg.add(participants);
+    for (int i = 0; i < participants; ++i) {
+      Device& src = device(i);
+      Device& dst = device((i + 1) % participants);
+      sched_.spawn(fabric_transfer(src, dst, chunk, per_transfer, name, phase, wg));
+    }
+    co_await wg.wait();
+  }
+}
+
+}  // namespace rsd::gpu

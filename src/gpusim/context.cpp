@@ -1,0 +1,160 @@
+#include "gpusim/context.hpp"
+
+namespace rsd::gpu {
+
+sim::Task<DeviceBuffer> Context::dmalloc(Bytes bytes) {
+  co_await sim::delay(kApiSubmitCost);
+  const auto handle = device_.memory().allocate(bytes);
+  co_return DeviceBuffer{handle, bytes};
+}
+
+sim::Task<> Context::dfree(DeviceBuffer& buffer) {
+  co_await sim::delay(kApiSubmitCost);
+  if (buffer.handle != 0) {
+    device_.memory().free(buffer.handle);
+    buffer = DeviceBuffer{};
+  }
+}
+
+std::shared_ptr<sim::Event> Context::submit_op(OpKind kind, std::string name, Bytes bytes,
+                                               SimDuration service) {
+  auto rec = std::make_shared<OpRecord>();
+  rec->kind = kind;
+  rec->name = std::move(name);
+  rec->context_id = id_;
+  rec->process_id = process_id_;
+  rec->bytes = bytes;
+  rec->submit = sched_.now();
+
+  auto done = std::make_shared<sim::Event>(sched_);
+  sched_.spawn(run_op(device_, tail_, std::move(pending_dep_), done, std::move(rec), service,
+                      path_.submit_latency));
+  tail_ = done;
+  return done;
+}
+
+sim::Task<> Context::run_op(Device& device, std::shared_ptr<sim::Event> prev,
+                            std::shared_ptr<sim::Event> dep, std::shared_ptr<sim::Event> done,
+                            std::shared_ptr<OpRecord> rec, SimDuration service,
+                            SimDuration command_travel) {
+  // Command flight overlaps with earlier ops' execution (in-order arrival
+  // is preserved because every command of this stream has equal travel).
+  if (command_travel > SimDuration::zero()) co_await sim::delay(command_travel);
+  if (prev) co_await prev->wait();
+  if (dep) co_await dep->wait();
+  co_await device.engine_for(rec->kind).execute(*rec, service);
+  if (auto* sink = device.record_sink(); sink != nullptr) sink->on_op(*rec);
+  done->trigger();
+}
+
+sim::Task<> Context::begin_api() {
+  if (slack_ != nullptr && slack_position_ == SlackPosition::kBeforeCall) {
+    const SimDuration slack = slack_->on_api_call();
+    if (slack > SimDuration::zero()) co_await sim::delay(slack);
+  }
+}
+
+sim::Task<> Context::finish_api(const char* name, SimTime start) {
+  ApiRecord api;
+  api.name = name;
+  api.context_id = id_;
+  api.start = start;
+  api.end = sched_.now();
+  ++api_calls_;
+  SimDuration slack = SimDuration::zero();
+  if (slack_ != nullptr && slack_position_ == SlackPosition::kAfterCall) {
+    slack = slack_->on_api_call();
+  }
+  api.slack_after = slack;
+  if (auto* sink = device_.record_sink(); sink != nullptr) sink->on_api(api);
+  if (slack > SimDuration::zero()) co_await sim::delay(slack);
+}
+
+sim::Task<> Context::memcpy_h2d(const DeviceBuffer& dst, std::string name) {
+  co_await begin_api();
+  const SimTime start = sched_.now();
+  co_await sim::delay(kApiSubmitCost);
+  const SimDuration service = device_.link().transfer_time(dst.bytes);
+  const auto done = submit_op(OpKind::kMemcpyH2D, std::move(name), dst.bytes, service);
+  co_await done->wait();
+  if (path_.completion_latency > SimDuration::zero()) {
+    co_await sim::delay(path_.completion_latency);
+  }
+  co_await finish_api("cudaMemcpyH2D", start);
+}
+
+sim::Task<> Context::memcpy_d2h(const DeviceBuffer& src, std::string name) {
+  co_await begin_api();
+  const SimTime start = sched_.now();
+  co_await sim::delay(kApiSubmitCost);
+  const SimDuration service = device_.link().transfer_time(src.bytes);
+  const auto done = submit_op(OpKind::kMemcpyD2H, std::move(name), src.bytes, service);
+  co_await done->wait();
+  if (path_.completion_latency > SimDuration::zero()) {
+    co_await sim::delay(path_.completion_latency);
+  }
+  co_await finish_api("cudaMemcpyD2H", start);
+}
+
+sim::Task<> Context::launch(std::string name, SimDuration kernel_duration) {
+  co_await begin_api();
+  const SimTime start = sched_.now();
+  co_await sim::delay(kApiSubmitCost);
+  submit_op(OpKind::kKernel, std::move(name), 0, kernel_duration);
+  co_await finish_api("cudaLaunchKernel", start);
+}
+
+sim::Task<std::shared_ptr<sim::Event>> Context::memcpy_h2d_async(const DeviceBuffer& dst,
+                                                                 std::string name) {
+  co_await begin_api();
+  const SimTime start = sched_.now();
+  co_await sim::delay(kApiSubmitCost);
+  const SimDuration service = device_.link().transfer_time(dst.bytes);
+  auto done = submit_op(OpKind::kMemcpyH2D, std::move(name), dst.bytes, service);
+  co_await finish_api("cudaMemcpyAsyncH2D", start);
+  co_return done;
+}
+
+sim::Task<std::shared_ptr<sim::Event>> Context::memcpy_d2h_async(const DeviceBuffer& src,
+                                                                 std::string name) {
+  co_await begin_api();
+  const SimTime start = sched_.now();
+  co_await sim::delay(kApiSubmitCost);
+  const SimDuration service = device_.link().transfer_time(src.bytes);
+  auto done = submit_op(OpKind::kMemcpyD2H, std::move(name), src.bytes, service);
+  co_await finish_api("cudaMemcpyAsyncD2H", start);
+  co_return done;
+}
+
+sim::Task<> Context::stream_wait(std::shared_ptr<sim::Event> event) {
+  co_await begin_api();
+  const SimTime start = sched_.now();
+  co_await sim::delay(kApiSubmitCost);
+  pending_dep_ = std::move(event);
+  co_await finish_api("cudaStreamWaitEvent", start);
+}
+
+sim::Task<> Context::launch_sync(std::string name, SimDuration kernel_duration) {
+  co_await begin_api();
+  const SimTime start = sched_.now();
+  co_await sim::delay(kApiSubmitCost);
+  const auto done = submit_op(OpKind::kKernel, std::move(name), 0, kernel_duration);
+  co_await done->wait();
+  if (path_.completion_latency > SimDuration::zero()) {
+    co_await sim::delay(path_.completion_latency);
+  }
+  co_await finish_api("cudaLaunchKernelSync", start);
+}
+
+sim::Task<> Context::synchronize() {
+  co_await begin_api();
+  const SimTime start = sched_.now();
+  co_await sim::delay(kApiSubmitCost);
+  if (tail_) co_await tail_->wait();
+  if (path_.completion_latency > SimDuration::zero()) {
+    co_await sim::delay(path_.completion_latency);
+  }
+  co_await finish_api("cudaDeviceSynchronize", start);
+}
+
+}  // namespace rsd::gpu

@@ -1,0 +1,127 @@
+#include "gpusim/device.hpp"
+
+#include <algorithm>
+
+namespace rsd::gpu {
+
+MemoryPool::Handle MemoryPool::allocate(Bytes bytes) {
+  if (bytes == 0) throw Error{ErrorCode::kInvalidArgument, "zero-byte device allocation"};
+  if (used_ + bytes > capacity_) {
+    throw Error{ErrorCode::kOutOfMemory,
+                "device OOM: requested " + format_bytes(bytes) + ", used " + format_bytes(used_) +
+                    " of " + format_bytes(capacity_)};
+  }
+  used_ += bytes;
+  peak_ = std::max(peak_, used_);
+  const Handle h = next_++;
+  allocations_.emplace(h, bytes);
+  return h;
+}
+
+void MemoryPool::free(Handle handle) {
+  const auto it = allocations_.find(handle);
+  if (it == allocations_.end()) {
+    throw Error{ErrorCode::kNotFound, "free of unknown device allocation"};
+  }
+  used_ -= it->second;
+  allocations_.erase(it);
+}
+
+sim::Task<> Engine::execute(OpRecord& rec, SimDuration service) {
+  // Pipelining: the setup overhead is exposed only when the engine had no
+  // work at arrival (nothing to hide it behind).
+  const bool exposed = (queued_ == 0);
+  ++queued_;
+  co_await server_.acquire();
+  sim::SemaphoreGuard guard{server_};
+
+  const SimDuration wake = device_.begin_op();
+  SimDuration switch_cost = SimDuration::zero();
+  if (charges_switch_ && last_process_ >= 0 && last_process_ != rec.process_id) {
+    switch_cost = device_.params().process_switch;
+  }
+  last_process_ = rec.process_id;
+  const SimDuration pre = (exposed ? setup_ : SimDuration::zero()) + wake + switch_cost;
+  rec.exposed_overhead = exposed ? setup_ : SimDuration::zero();
+  rec.wake_penalty = wake;
+  rec.switch_penalty = switch_cost;
+  // `start`/`end` bracket the op's *execution*, as a profiler reports it;
+  // setup, wake, and context-switch costs show up as queue delay instead.
+  co_await sim::delay(pre);
+  rec.start = sched_.now();
+  co_await sim::delay(service);
+  rec.end = sched_.now();
+  busy_time_ += rec.end - rec.start;
+
+  device_.end_op();
+  --queued_;
+}
+
+Device::Device(sim::Scheduler& sched, DeviceParams params, interconnect::Link link)
+    : sched_(sched),
+      params_(std::move(params)),
+      link_(std::move(link)),
+      memory_(params_.memory_capacity),
+      compute_(sched, *this, "compute", params_.kernel_setup, /*charges_process_switch=*/true),
+      h2d_(sched, *this, "copy-h2d", params_.copy_setup),
+      d2h_(sched, *this, "copy-d2h", params_.copy_setup) {}
+
+Engine& Device::engine_for(OpKind kind) {
+  switch (kind) {
+    case OpKind::kMemcpyH2D: return h2d_;
+    case OpKind::kMemcpyD2H: return d2h_;
+    case OpKind::kKernel: return compute_;
+  }
+  RSD_ASSERT(false && "unreachable");
+}
+
+SimDuration Device::matmul_kernel_duration(std::int64_t n) const {
+  const double flops = 2.0 * static_cast<double>(n) * static_cast<double>(n) *
+                       static_cast<double>(n);
+  const double seconds = flops / (params_.matmul_tflops * 1e12);
+  return params_.kernel_base + duration::seconds(seconds);
+}
+
+SimDuration Device::wake_penalty(SimDuration gap) const {
+  if (gap <= params_.wake_t0) return SimDuration::zero();
+  const SimDuration scaled = (gap - params_.wake_t0) * params_.wake_alpha;
+  return std::min(scaled, params_.wake_max);
+}
+
+SimDuration Device::begin_op() {
+  SimDuration wake = SimDuration::zero();
+  if (busy_ops_ == 0 && warmed_up_) {
+    const SimDuration gap = sched_.now() - idle_since_;
+    wake = wake_penalty(gap);
+    if (wake > SimDuration::zero()) {
+      ++wake_count_;
+      total_wake_ += wake;
+    }
+  }
+  warmed_up_ = true;
+  if (busy_ops_ == 0) busy_since_ = sched_.now();
+  ++busy_ops_;
+  return wake;
+}
+
+void Device::end_op() {
+  RSD_ASSERT(busy_ops_ > 0);
+  if (--busy_ops_ == 0) {
+    idle_since_ = sched_.now();
+    total_busy_ += sched_.now() - busy_since_;
+  }
+}
+
+SimDuration Device::device_busy_time(SimTime now) const {
+  SimDuration busy = total_busy_;
+  if (busy_ops_ > 0) busy += now - busy_since_;
+  return busy;
+}
+
+double Device::energy_joules(SimTime now) const {
+  const SimDuration busy = device_busy_time(now);
+  const SimDuration idle = (now - SimTime::zero()) - busy;
+  return busy.seconds() * params_.busy_watts + idle.seconds() * params_.idle_watts;
+}
+
+}  // namespace rsd::gpu

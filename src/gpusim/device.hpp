@@ -1,0 +1,196 @@
+// The simulated GPU device (the paper's A100-class accelerator).
+//
+// Mechanics — chosen to reproduce the two starvation effects the paper's
+// slack proxy exposes (Section IV-B, Figure 3):
+//
+//  1. Launch pipelining. Every operation carries a setup overhead
+//     (command processing, DMA/kernel setup). When the target engine
+//     already has work in flight the overhead is hidden behind execution;
+//     when the engine is idle the overhead is exposed, extending the op.
+//     This is why tiny kernels notice even 1 us of slack.
+//
+//  2. Power-state wake penalty. When the whole device has been idle for a
+//     gap g, the first op after the gap pays W(g) = min(Wmax, alpha *
+//     max(0, g - t0)) — an abstraction of clock/power ramping, which grows
+//     with how deeply the device slept and saturates. The cap is what lets
+//     multi-second kernels tolerate even 1 s of slack, and the growth is
+//     what produces the sharp drop-off at ms-scale slack.
+//
+// Engines: one compute engine plus one copy engine per direction, matching
+// the paper's observation that H2D/D2H DMAs and kernels proceed in
+// parallel. Streams are in-order; different streams interleave freely.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/error.hpp"
+#include "core/units.hpp"
+#include "gpusim/records.hpp"
+#include "interconnect/link.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace rsd::gpu {
+
+/// Calibration constants for the device model. Defaults approximate an
+/// A100-SXM4-40GB running single-precision GEMM (see DESIGN.md).
+struct DeviceParams {
+  std::string name = "sim-a100";
+  /// Effective matmul throughput (TFLOP/s). A100 TF32 tensor-core GEMM
+  /// sustains on the order of 1e14 FLOP/s.
+  double matmul_tflops = 100.0;
+  /// Fixed kernel execution floor (scheduling, launch tail).
+  SimDuration kernel_base = duration::microseconds(4.0);
+  /// Setup overhead per op, hidden when the engine is already busy.
+  SimDuration kernel_setup = duration::microseconds(8.0);
+  SimDuration copy_setup = duration::microseconds(4.0);
+  /// Power-state wake penalty W(g) = min(wake_max, wake_alpha*(g - wake_t0)).
+  SimDuration wake_t0 = duration::microseconds(0.5);
+  double wake_alpha = 0.10;
+  SimDuration wake_max = duration::milliseconds(1.5);
+  /// Cost of switching the device between OS processes (CUDA contexts):
+  /// charged by the compute engine when consecutive kernels come from
+  /// different processes. Threads within one process share a context and
+  /// never pay it. This is what makes many MPI ranks sharing one GPU
+  /// expensive (the Figure 2 small-box degradation).
+  SimDuration process_switch = duration::microseconds(370.0);
+  /// Device memory capacity (A100 40 GiB).
+  Bytes memory_capacity = 40ULL * kGiB;
+  /// Power model (A100-SXM4-40GB-class): draw while executing, while idle
+  /// but composed/attached, and while powered down in a CDI pool — the
+  /// efficiency lever the paper's introduction cites.
+  double busy_watts = 400.0;
+  double idle_watts = 55.0;
+  double powered_down_watts = 8.0;
+};
+
+/// Device memory accounting: byte-granular with capacity enforcement.
+/// (Fragmentation is not modelled; the paper's exclusions are pure-capacity:
+/// 3 x 4 GiB matrices x 4 threads > 40 GiB.)
+class MemoryPool {
+ public:
+  explicit MemoryPool(Bytes capacity) : capacity_(capacity) {}
+
+  using Handle = std::uint64_t;
+
+  /// Throws rsd::Error{kOutOfMemory} when the allocation does not fit.
+  [[nodiscard]] Handle allocate(Bytes bytes);
+  void free(Handle handle);
+
+  [[nodiscard]] Bytes capacity() const { return capacity_; }
+  [[nodiscard]] Bytes used() const { return used_; }
+  [[nodiscard]] Bytes peak() const { return peak_; }
+  [[nodiscard]] std::size_t allocation_count() const { return allocations_.size(); }
+
+ private:
+  Bytes capacity_;
+  Bytes used_ = 0;
+  Bytes peak_ = 0;
+  Handle next_ = 1;
+  std::map<Handle, Bytes> allocations_;
+};
+
+class Device;
+
+/// One hardware execution engine (compute, H2D copy, or D2H copy): a FIFO
+/// server with launch-pipelining semantics.
+class Engine {
+ public:
+  Engine(sim::Scheduler& sched, Device& device, std::string name, SimDuration setup_overhead,
+         bool charges_process_switch = false)
+      : sched_(sched), device_(device), name_(std::move(name)), setup_(setup_overhead),
+        charges_switch_(charges_process_switch), server_(sched, 1) {}
+
+  /// Execute one op of the given service duration. Fills the record's
+  /// start/end/exposed/wake fields. Resumes when the op completes.
+  sim::Task<> execute(OpRecord& rec, SimDuration service);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::int64_t queue_length() const { return queued_; }
+  [[nodiscard]] SimDuration busy_time() const { return busy_time_; }
+
+ private:
+  sim::Scheduler& sched_;
+  Device& device_;
+  std::string name_;
+  SimDuration setup_;
+  bool charges_switch_;
+  sim::Semaphore server_;
+  std::int64_t queued_ = 0;
+  int last_process_ = -1;
+  SimDuration busy_time_ = SimDuration::zero();
+};
+
+/// The simulated GPU.
+class Device {
+ public:
+  Device(sim::Scheduler& sched, DeviceParams params, interconnect::Link link);
+
+  [[nodiscard]] const DeviceParams& params() const { return params_; }
+  [[nodiscard]] const interconnect::Link& link() const { return link_; }
+  [[nodiscard]] MemoryPool& memory() { return memory_; }
+  [[nodiscard]] const MemoryPool& memory() const { return memory_; }
+  [[nodiscard]] sim::Scheduler& scheduler() { return sched_; }
+
+  [[nodiscard]] Engine& compute_engine() { return compute_; }
+  [[nodiscard]] Engine& h2d_engine() { return h2d_; }
+  [[nodiscard]] Engine& d2h_engine() { return d2h_; }
+  [[nodiscard]] Engine& engine_for(OpKind kind);
+
+  void set_record_sink(RecordSink* sink) { sink_ = sink; }
+  [[nodiscard]] RecordSink* record_sink() const { return sink_; }
+
+  /// Duration of an n x n x n single-precision matmul kernel on this device.
+  [[nodiscard]] SimDuration matmul_kernel_duration(std::int64_t n) const;
+
+  /// Power-state wake penalty for an idle gap of length `gap`.
+  [[nodiscard]] SimDuration wake_penalty(SimDuration gap) const;
+
+  /// Total time the compute engine was busy (for utilisation metrics).
+  [[nodiscard]] SimDuration kernel_busy_time() const { return compute_.busy_time(); }
+  [[nodiscard]] SimDuration copy_busy_time() const {
+    return h2d_.busy_time() + d2h_.busy_time();
+  }
+
+  /// Count of wake penalties paid (diagnostics / ablation).
+  [[nodiscard]] std::int64_t wake_count() const { return wake_count_; }
+  [[nodiscard]] SimDuration total_wake_penalty() const { return total_wake_; }
+
+  /// Time the device had at least one op in flight, up to `now`.
+  [[nodiscard]] SimDuration device_busy_time(SimTime now) const;
+
+  /// Energy consumed up to `now`: busy time at busy_watts, the rest at
+  /// idle_watts (the device is composed for the whole simulation).
+  [[nodiscard]] double energy_joules(SimTime now) const;
+
+ private:
+  friend class Engine;
+
+  /// Called by an engine at service start; returns the wake penalty the op
+  /// must pay and marks the device busy.
+  [[nodiscard]] SimDuration begin_op();
+  void end_op();
+
+  sim::Scheduler& sched_;
+  DeviceParams params_;
+  interconnect::Link link_;
+  MemoryPool memory_;
+  Engine compute_;
+  Engine h2d_;
+  Engine d2h_;
+  RecordSink* sink_ = nullptr;
+
+  int busy_ops_ = 0;
+  bool warmed_up_ = false;  ///< First-ever op pays no wake (device starts warm).
+  SimTime idle_since_ = SimTime::zero();
+  SimTime busy_since_ = SimTime::zero();
+  SimDuration total_busy_ = SimDuration::zero();
+  std::int64_t wake_count_ = 0;
+  SimDuration total_wake_ = SimDuration::zero();
+};
+
+}  // namespace rsd::gpu

@@ -1,0 +1,66 @@
+// Execution records emitted by the simulated GPU — the equivalent of an
+// NSight Systems trace. `rsd::trace` aggregates these into the kernel and
+// memcpy distributions of Figures 4 and 5.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/units.hpp"
+
+namespace rsd::gpu {
+
+enum class OpKind : std::uint8_t {
+  kMemcpyH2D,
+  kMemcpyD2H,
+  kKernel,
+};
+
+[[nodiscard]] constexpr const char* to_string(OpKind k) {
+  switch (k) {
+    case OpKind::kMemcpyH2D: return "memcpy_h2d";
+    case OpKind::kMemcpyD2H: return "memcpy_d2h";
+    case OpKind::kKernel: return "kernel";
+  }
+  return "?";
+}
+
+/// One device-side operation (kernel execution or DMA transfer).
+struct OpRecord {
+  OpKind kind = OpKind::kKernel;
+  std::string name;
+  int context_id = 0;             ///< Which host thread / stream submitted it.
+  int process_id = 0;             ///< Owning OS process (MPI rank). Threads of
+                                  ///< one process share a CUDA context; ranks
+                                  ///< do not, and switching contexts costs.
+  SimTime submit;                 ///< Host submission time.
+  SimTime start;                  ///< Device execution start.
+  SimTime end;                    ///< Device execution end.
+  Bytes bytes = 0;                ///< Payload for copies; 0 for kernels.
+  SimDuration exposed_overhead;   ///< Launch/setup latency left uncovered.
+  SimDuration wake_penalty;       ///< Power-state wake cost paid by this op.
+  SimDuration switch_penalty;     ///< Inter-process context-switch cost paid.
+
+  [[nodiscard]] SimDuration duration() const { return end - start; }
+  [[nodiscard]] SimDuration queue_delay() const { return start - submit; }
+};
+
+/// One host-side API call (the unit slack is injected after).
+struct ApiRecord {
+  std::string name;
+  int context_id = 0;
+  SimTime start;
+  SimTime end;                    ///< Includes blocking wait, excludes slack.
+  SimDuration slack_after;        ///< Injected slack following the call.
+};
+
+/// Sink for simulator records. The trace module provides the standard
+/// implementation; a null sink (nullptr) disables tracing.
+class RecordSink {
+ public:
+  virtual ~RecordSink() = default;
+  virtual void on_op(const OpRecord& op) = 0;
+  virtual void on_api(const ApiRecord& api) = 0;
+};
+
+}  // namespace rsd::gpu

@@ -1,0 +1,21 @@
+#include "interconnect/link.hpp"
+
+namespace rsd::interconnect {
+
+Link make_pcie_gen4_x16() {
+  return Link{LinkParams{
+      .name = "pcie-gen4-x16",
+      .latency = duration::microseconds(8.0),
+      .bandwidth_gib_s = 24.0,
+  }};
+}
+
+Link make_cdi_link(const CdiNetworkParams& params) {
+  return Link{LinkParams{
+      .name = "cdi-network",
+      .latency = params.pcie_stub_latency + params.slack(),
+      .bandwidth_gib_s = params.bandwidth_gib_s,
+  }};
+}
+
+}  // namespace rsd::interconnect

@@ -1,0 +1,72 @@
+// Slack injection (Section III-B of the paper).
+//
+// The paper emulates row-scale CDI on a traditional node by sleeping for a
+// fixed "slack" after every CUDA API call. `SlackInjector` reproduces that:
+// the GPU front-end (`gpu::Context`) consults it after each API call and
+// delays the calling (simulated) host thread. The injector also counts the
+// calls it delayed, which is exactly the `num_CUDA_calls` term of
+// Equation 1.
+#pragma once
+
+#include <cstdint>
+
+#include "core/rng.hpp"
+#include "core/units.hpp"
+
+namespace rsd::interconnect {
+
+class SlackInjector {
+ public:
+  SlackInjector() = default;
+  explicit SlackInjector(SimDuration per_call) : per_call_(per_call) {}
+
+  /// With `noise_sigma` > 0, each injected sleep is per_call *
+  /// exp(N(0, sigma)) — the right-skewed overshoot a real usleep() shows.
+  /// Equation 1 still subtracts the *nominal* slack, as the paper's
+  /// analysis does (it cannot know the overshoot).
+  SlackInjector(SimDuration per_call, double noise_sigma, std::uint64_t seed)
+      : per_call_(per_call), noise_sigma_(noise_sigma), rng_(seed) {}
+
+  void set_slack(SimDuration per_call) { per_call_ = per_call; }
+  [[nodiscard]] SimDuration slack_per_call() const { return per_call_; }
+  [[nodiscard]] double noise_sigma() const { return noise_sigma_; }
+
+  /// Called by the GPU front-end after each API call completes. Returns the
+  /// delay the host thread must sleep, and accounts for it.
+  [[nodiscard]] SimDuration on_api_call() {
+    ++calls_delayed_;
+    SimDuration actual = per_call_;
+    if (noise_sigma_ > 0.0 && per_call_ > SimDuration::zero()) {
+      actual = per_call_ * rng_.lognormal(0.0, noise_sigma_);
+    }
+    total_injected_ += actual;
+    return actual;
+  }
+
+  [[nodiscard]] std::int64_t calls_delayed() const { return calls_delayed_; }
+  [[nodiscard]] SimDuration total_injected() const { return total_injected_; }
+
+  void reset_counters() {
+    calls_delayed_ = 0;
+    total_injected_ = SimDuration::zero();
+  }
+
+ private:
+  SimDuration per_call_ = SimDuration::zero();
+  double noise_sigma_ = 0.0;
+  Rng rng_{0x51ACCULL};
+  std::int64_t calls_delayed_ = 0;
+  SimDuration total_injected_ = SimDuration::zero();
+};
+
+/// Equation 1: remove the directly-injected delay from a measured runtime,
+/// leaving only the secondary (GPU-starvation) effects.
+///
+///   Time_NoSlack = Time - num_CUDA_calls * Slack_per_call
+[[nodiscard]] constexpr SimDuration equation1_no_slack_time(SimDuration measured,
+                                                            std::int64_t num_cuda_calls,
+                                                            SimDuration slack_per_call) {
+  return measured - slack_per_call * num_cuda_calls;
+}
+
+}  // namespace rsd::interconnect

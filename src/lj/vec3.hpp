@@ -1,0 +1,42 @@
+// Minimal 3-vector for the molecular dynamics engine.
+#pragma once
+
+#include <cmath>
+
+namespace rsd::lj {
+
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  constexpr Vec3& operator-=(const Vec3& o) {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  constexpr Vec3& operator*=(double s) {
+    x *= s;
+    y *= s;
+    z *= s;
+    return *this;
+  }
+
+  friend constexpr Vec3 operator+(Vec3 a, const Vec3& b) { return a += b; }
+  friend constexpr Vec3 operator-(Vec3 a, const Vec3& b) { return a -= b; }
+  friend constexpr Vec3 operator*(Vec3 a, double s) { return a *= s; }
+  friend constexpr Vec3 operator*(double s, Vec3 a) { return a *= s; }
+
+  [[nodiscard]] constexpr double dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  [[nodiscard]] constexpr double norm2() const { return dot(*this); }
+  [[nodiscard]] double norm() const { return std::sqrt(norm2()); }
+};
+
+}  // namespace rsd::lj

@@ -1,0 +1,83 @@
+#include "model/response_surface.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace rsd::model {
+
+ResponseSurface ResponseSurface::from_sweep(const std::vector<proxy::SweepPoint>& sweep) {
+  ResponseSurface surface;
+  std::map<std::int64_t, ProxyPoint> points;
+  for (const auto& p : sweep) {
+    surface.cells_[CellKey{p.matrix_n, p.threads}][p.slack.ns()] =
+        p.normalized_runtime - 1.0;
+    ProxyPoint& pt = points[p.matrix_n];
+    pt.matrix_n = p.matrix_n;
+    pt.kernel_us = p.result.kernel_duration.us();
+    pt.transfer_mib = to_mib(p.result.matrix_bytes);
+  }
+  surface.points_.reserve(points.size());
+  for (const auto& [n, pt] : points) surface.points_.push_back(pt);
+  return surface;
+}
+
+std::vector<std::int64_t> ResponseSurface::matrix_sizes() const {
+  std::vector<std::int64_t> sizes;
+  sizes.reserve(points_.size());
+  for (const auto& pt : points_) sizes.push_back(pt.matrix_n);
+  return sizes;
+}
+
+std::vector<int> ResponseSurface::thread_counts(std::int64_t matrix_n) const {
+  std::vector<int> threads;
+  for (const auto& [key, curve] : cells_) {
+    if (key.matrix_n == matrix_n) threads.push_back(key.threads);
+  }
+  return threads;
+}
+
+double ResponseSurface::penalty(std::int64_t matrix_n, int threads, SimDuration slack) const {
+  if (cells_.empty()) throw Error{ErrorCode::kInvalidState, "empty response surface"};
+
+  // Resolve the cell: exact, else nearest thread count for this size.
+  auto it = cells_.find(CellKey{matrix_n, threads});
+  if (it == cells_.end()) {
+    const auto available = thread_counts(matrix_n);
+    if (available.empty()) {
+      throw Error{ErrorCode::kNotFound,
+                  "matrix size " + std::to_string(matrix_n) + " not in surface"};
+    }
+    const int nearest = *std::min_element(
+        available.begin(), available.end(),
+        [threads](int a, int b) { return std::abs(a - threads) < std::abs(b - threads); });
+    it = cells_.find(CellKey{matrix_n, nearest});
+  }
+  const auto& curve = it->second;
+  RSD_ASSERT(!curve.empty());
+
+  const std::int64_t s = slack.ns();
+  auto hi = curve.lower_bound(s);
+  if (hi == curve.end()) return std::prev(curve.end())->second;  // clamp high
+  if (hi->first == s) return hi->second;                         // exact
+  if (hi == curve.begin()) return hi->second;                    // clamp low
+  const auto lo = std::prev(hi);
+
+  // Log-linear interpolation in slack (curves live on a log-slack axis);
+  // fall back to linear when the low sample is the zero-slack point.
+  const double y0 = lo->second;
+  const double y1 = hi->second;
+  if (lo->first <= 0) {
+    const double t = static_cast<double>(s - lo->first) /
+                     static_cast<double>(hi->first - lo->first);
+    return y0 + t * (y1 - y0);
+  }
+  const double lx0 = std::log(static_cast<double>(lo->first));
+  const double lx1 = std::log(static_cast<double>(hi->first));
+  const double lx = std::log(static_cast<double>(s));
+  const double t = (lx - lx0) / (lx1 - lx0);
+  return y0 + t * (y1 - y0);
+}
+
+}  // namespace rsd::model

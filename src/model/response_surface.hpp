@@ -1,0 +1,60 @@
+// The proxy response surface: slack penalty as a function of
+// (matrix size, parallelism, slack), built from a Figure-3 sweep.
+//
+// This is the lookup table the paper's prediction method interrogates: an
+// application's kernel durations and transfer sizes are mapped onto proxy
+// matrix sizes, and each matrix size contributes its measured penalty.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/units.hpp"
+#include "proxy/proxy.hpp"
+
+namespace rsd::model {
+
+/// Per-matrix-size characteristics (the Table II columns the mapping uses).
+struct ProxyPoint {
+  std::int64_t matrix_n = 0;
+  double kernel_us = 0.0;     ///< Single-kernel duration.
+  double transfer_mib = 0.0;  ///< One matrix's transfer size.
+};
+
+class ResponseSurface {
+ public:
+  /// Build from sweep points (zero-slack points define the baselines and
+  /// are not stored as penalties).
+  [[nodiscard]] static ResponseSurface from_sweep(const std::vector<proxy::SweepPoint>& sweep);
+
+  /// Slack penalty SP = normalized_runtime - 1 for the given cell.
+  /// Slack values between sampled points are log-linearly interpolated;
+  /// values outside the sampled range clamp to the nearest sample.
+  /// `threads` must be a sampled thread count for the given size; if the
+  /// exact (size, threads) cell is missing (e.g. 2^15 at 4+ threads was
+  /// excluded for memory), the nearest available thread count is used.
+  [[nodiscard]] double penalty(std::int64_t matrix_n, int threads, SimDuration slack) const;
+
+  /// Matrix sizes in ascending order.
+  [[nodiscard]] std::vector<std::int64_t> matrix_sizes() const;
+  [[nodiscard]] std::vector<int> thread_counts(std::int64_t matrix_n) const;
+
+  /// Proxy characteristics in ascending matrix-size order.
+  [[nodiscard]] const std::vector<ProxyPoint>& points() const { return points_; }
+
+  [[nodiscard]] bool empty() const { return cells_.empty(); }
+
+ private:
+  struct CellKey {
+    std::int64_t matrix_n;
+    int threads;
+    auto operator<=>(const CellKey&) const = default;
+  };
+
+  /// slack (ns) -> penalty, per cell.
+  std::map<CellKey, std::map<std::int64_t, double>> cells_;
+  std::vector<ProxyPoint> points_;
+};
+
+}  // namespace rsd::model

@@ -1,0 +1,113 @@
+#include "nn/network.hpp"
+
+#include "core/error.hpp"
+
+namespace rsd::nn {
+
+Scalar MseLoss::value(const Tensor& pred, const Tensor& target) {
+  RSD_ASSERT(pred.size() == target.size());
+  Scalar sum = 0;
+  const auto p = pred.data();
+  const auto t = target.data();
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const Scalar d = p[i] - t[i];
+    sum += d * d;
+  }
+  return sum / static_cast<Scalar>(pred.size());
+}
+
+Tensor MseLoss::gradient(const Tensor& pred, const Tensor& target) {
+  RSD_ASSERT(pred.size() == target.size());
+  Tensor grad = pred;
+  const auto t = target.data();
+  auto g = grad.data();
+  const Scalar scale = Scalar{2} / static_cast<Scalar>(pred.size());
+  for (std::size_t i = 0; i < g.size(); ++i) g[i] = scale * (g[i] - t[i]);
+  return grad;
+}
+
+Tensor Network::forward(const Tensor& input) {
+  Tensor x = input;
+  for (auto& layer : layers_) x = layer->forward(x);
+  return x;
+}
+
+void Network::backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) g = (*it)->backward(g);
+}
+
+void Network::zero_grads() {
+  for (auto& layer : layers_) {
+    for (auto view : layer->params()) {
+      std::fill(view.grads.begin(), view.grads.end(), Scalar{0});
+    }
+  }
+}
+
+void Network::sgd_step(double lr) {
+  for (auto& layer : layers_) {
+    for (auto view : layer->params()) {
+      for (std::size_t i = 0; i < view.values.size(); ++i) {
+        view.values[i] -= lr * view.grads[i];
+      }
+    }
+  }
+}
+
+Scalar Network::train_step(const Tensor& input, const Tensor& target, double lr) {
+  zero_grads();
+  const Tensor pred = forward(input);
+  const Scalar loss = MseLoss::value(pred, target);
+  backward(MseLoss::gradient(pred, target));
+  sgd_step(lr);
+  return loss;
+}
+
+std::int64_t Network::parameter_count() {
+  std::int64_t n = 0;
+  for (auto& layer : layers_) {
+    for (auto view : layer->params()) n += static_cast<std::int64_t>(view.values.size());
+  }
+  return n;
+}
+
+std::vector<std::pair<std::string, std::int64_t>> Network::forward_flops_by_layer() const {
+  std::vector<std::pair<std::string, std::int64_t>> out;
+  out.reserve(layers_.size());
+  for (const auto& layer : layers_) out.emplace_back(layer->name(), layer->forward_flops());
+  return out;
+}
+
+std::int64_t Network::total_forward_flops() const {
+  std::int64_t total = 0;
+  for (const auto& layer : layers_) total += layer->forward_flops();
+  return total;
+}
+
+Network make_cosmoflow_net(std::int64_t in_channels, std::int64_t volume, int conv_stages,
+                           std::int64_t base_filters, std::int64_t outputs, Rng& rng) {
+  RSD_ASSERT(conv_stages >= 1);
+  RSD_ASSERT(volume % (std::int64_t{1} << conv_stages) == 0);
+
+  Network net;
+  std::int64_t channels = in_channels;
+  std::int64_t filters = base_filters;
+  std::int64_t spatial = volume;
+  for (int s = 0; s < conv_stages; ++s) {
+    net.add(std::make_unique<Conv3d>(channels, filters, 3, 1, rng));
+    net.add(std::make_unique<Relu>());
+    net.add(std::make_unique<MaxPool3d>());
+    channels = filters;
+    filters *= 2;
+    spatial /= 2;
+  }
+  net.add(std::make_unique<Flatten>());
+  const std::int64_t flat = channels * spatial * spatial * spatial;
+  net.add(std::make_unique<Dense>(flat, 16, rng));
+  net.add(std::make_unique<Relu>());
+  net.add(std::make_unique<Dense>(16, outputs, rng));
+  return net;
+}
+
+}  // namespace rsd::nn

@@ -1,0 +1,64 @@
+// Sequential network, MSE loss, SGD — enough to really train the
+// CosmoFlow-style regression CNN (the application predicts cosmological
+// parameters from 3-D density volumes).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "nn/layers.hpp"
+#include "nn/tensor.hpp"
+
+namespace rsd::nn {
+
+/// Mean-squared-error loss over all elements; also produces dLoss/dPred.
+struct MseLoss {
+  [[nodiscard]] static Scalar value(const Tensor& pred, const Tensor& target);
+  [[nodiscard]] static Tensor gradient(const Tensor& pred, const Tensor& target);
+};
+
+class Network {
+ public:
+  Network() = default;
+
+  Network& add(std::unique_ptr<Layer> layer) {
+    layers_.push_back(std::move(layer));
+    return *this;
+  }
+
+  [[nodiscard]] std::size_t layer_count() const { return layers_.size(); }
+  [[nodiscard]] Layer& layer(std::size_t i) { return *layers_.at(i); }
+
+  [[nodiscard]] Tensor forward(const Tensor& input);
+
+  /// Backward from dLoss/dOutput through every layer.
+  void backward(const Tensor& grad_output);
+
+  void zero_grads();
+
+  /// SGD step: p -= lr * g for every parameter block.
+  void sgd_step(double lr);
+
+  /// One full training step; returns the loss before the update.
+  Scalar train_step(const Tensor& input, const Tensor& target, double lr);
+
+  [[nodiscard]] std::int64_t parameter_count();
+
+  /// FLOPs of the most recent forward pass, per layer and total.
+  [[nodiscard]] std::vector<std::pair<std::string, std::int64_t>> forward_flops_by_layer() const;
+  [[nodiscard]] std::int64_t total_forward_flops() const;
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+/// A scaled-down CosmoFlow: conv3d/pool stages over a cubic volume followed
+/// by dense regression heads (Mathuriya et al. 2018's architecture shape).
+/// `volume` must be divisible by 2^stages.
+[[nodiscard]] Network make_cosmoflow_net(std::int64_t in_channels, std::int64_t volume,
+                                         int conv_stages, std::int64_t base_filters,
+                                         std::int64_t outputs, Rng& rng);
+
+}  // namespace rsd::nn

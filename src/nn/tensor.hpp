@@ -1,0 +1,86 @@
+// Dense N-dimensional tensor for the CosmoFlow-style CNN.
+//
+// Double precision is used so the test suite can verify layer gradients
+// against central finite differences to tight tolerances; the workload
+// generator separately accounts transfer sizes in float32, as the real
+// application ships.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace rsd::nn {
+
+using Scalar = double;
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  explicit Tensor(std::vector<std::int64_t> shape) : shape_(std::move(shape)) {
+    std::int64_t n = 1;
+    for (const auto d : shape_) {
+      RSD_ASSERT(d > 0);
+      n *= d;
+    }
+    data_.assign(static_cast<std::size_t>(n), Scalar{0});
+  }
+
+  [[nodiscard]] const std::vector<std::int64_t>& shape() const { return shape_; }
+  [[nodiscard]] std::int64_t dim(std::size_t i) const { return shape_.at(i); }
+  [[nodiscard]] std::size_t rank() const { return shape_.size(); }
+  [[nodiscard]] std::int64_t size() const { return static_cast<std::int64_t>(data_.size()); }
+
+  [[nodiscard]] std::span<Scalar> data() { return data_; }
+  [[nodiscard]] std::span<const Scalar> data() const { return data_; }
+
+  [[nodiscard]] Scalar& operator[](std::size_t i) { return data_[i]; }
+  [[nodiscard]] Scalar operator[](std::size_t i) const { return data_[i]; }
+
+  /// 5-D accessor (N, C, D, H, W) — the CNN's canonical layout.
+  [[nodiscard]] Scalar& at5(std::int64_t n, std::int64_t c, std::int64_t d, std::int64_t h,
+                            std::int64_t w) {
+    return data_[index5(n, c, d, h, w)];
+  }
+  [[nodiscard]] Scalar at5(std::int64_t n, std::int64_t c, std::int64_t d, std::int64_t h,
+                           std::int64_t w) const {
+    return data_[index5(n, c, d, h, w)];
+  }
+
+  /// 2-D accessor (N, F) for dense layers.
+  [[nodiscard]] Scalar& at2(std::int64_t n, std::int64_t f) {
+    RSD_ASSERT(rank() == 2);
+    return data_[static_cast<std::size_t>(n * shape_[1] + f)];
+  }
+  [[nodiscard]] Scalar at2(std::int64_t n, std::int64_t f) const {
+    RSD_ASSERT(rank() == 2);
+    return data_[static_cast<std::size_t>(n * shape_[1] + f)];
+  }
+
+  void fill(Scalar v) { std::fill(data_.begin(), data_.end(), v); }
+
+  /// Reshape without copying; total size must match.
+  void reshape(std::vector<std::int64_t> shape) {
+    std::int64_t n = 1;
+    for (const auto d : shape) n *= d;
+    RSD_ASSERT(n == size());
+    shape_ = std::move(shape);
+  }
+
+ private:
+  [[nodiscard]] std::size_t index5(std::int64_t n, std::int64_t c, std::int64_t d,
+                                   std::int64_t h, std::int64_t w) const {
+    RSD_ASSERT(rank() == 5);
+    return static_cast<std::size_t>(
+        (((n * shape_[1] + c) * shape_[2] + d) * shape_[3] + h) * shape_[4] + w);
+  }
+
+  std::vector<std::int64_t> shape_;
+  std::vector<Scalar> data_;
+};
+
+}  // namespace rsd::nn

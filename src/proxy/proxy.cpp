@@ -1,0 +1,230 @@
+#include "proxy/proxy.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "core/error.hpp"
+#include "gpusim/context.hpp"
+#include "interconnect/slack.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace rsd::proxy {
+
+namespace {
+
+using gpu::Context;
+using gpu::DeviceBuffer;
+
+/// One proxy host thread: allocate A/B/C, then run the main compute loop.
+/// Matrices are allocated up front (outside the timed loop, as in the
+/// paper's proxy) — an OOM here propagates out of the simulation.
+sim::Task<> proxy_thread(gpu::Device& device, interconnect::SlackInjector& slack, int id,
+                         std::int64_t n, std::int64_t iterations, SimDuration kernel_time,
+                         gpu::CommandPath path, gpu::SlackPosition slack_position,
+                         sim::WaitGroup& wg, sim::WaitGroup& ready, sim::Event& start_gate) {
+  Context ctx{device, id, &slack, /*process_id=*/0, path, slack_position};
+  const Bytes matrix_bytes = static_cast<Bytes>(n) * static_cast<Bytes>(n) * sizeof(float);
+
+  DeviceBuffer a = co_await ctx.dmalloc(matrix_bytes);
+  DeviceBuffer b = co_await ctx.dmalloc(matrix_bytes);
+  DeviceBuffer c = co_await ctx.dmalloc(matrix_bytes);
+
+  // All threads begin the timed loop together (the paper found launch
+  // offsets between threads showed no correlation with the penalty).
+  ready.done();
+  co_await start_gate.wait();
+
+  for (std::int64_t i = 0; i < iterations; ++i) {
+    co_await ctx.memcpy_h2d(a, "memcpy_A");
+    co_await ctx.memcpy_h2d(b, "memcpy_B");
+    co_await ctx.launch_sync("sgemm_" + std::to_string(n), kernel_time);
+    co_await ctx.memcpy_d2h(c, "memcpy_C");
+    co_await ctx.synchronize();
+  }
+
+  co_await ctx.dfree(a);
+  co_await ctx.dfree(b);
+  co_await ctx.dfree(c);
+  wg.done();
+}
+
+/// Allocation gate: checks up-front whether T threads' matrices fit, so a
+/// non-fitting configuration is reported rather than half-simulated.
+/// The async pipeline double-buffers, doubling the footprint.
+bool config_fits(const gpu::DeviceParams& params, std::int64_t n, int threads,
+                 bool async_pipeline) {
+  const Bytes matrix_bytes = static_cast<Bytes>(n) * static_cast<Bytes>(n) * sizeof(float);
+  const Bytes per_thread = 3 * matrix_bytes * (async_pipeline ? 2 : 1);
+  return per_thread * static_cast<Bytes>(threads) <= params.memory_capacity;
+}
+
+/// The optimistic variant: a copy stream and a compute stream per thread,
+/// double-buffered, synchronised with events — the GPU is kept fed while
+/// the host sleeps its injected slack.
+sim::Task<> async_proxy_thread(gpu::Device& device, interconnect::SlackInjector& slack, int id,
+                               std::int64_t n, std::int64_t iterations, SimDuration kernel_time,
+                               gpu::CommandPath path, gpu::SlackPosition slack_position,
+                               sim::WaitGroup& wg, sim::WaitGroup& ready,
+                               sim::Event& start_gate) {
+  Context copy_ctx{device, 2 * id, &slack, /*process_id=*/0, path, slack_position};
+  Context compute_ctx{device, 2 * id + 1, &slack, /*process_id=*/0, path, slack_position};
+  const Bytes matrix_bytes = static_cast<Bytes>(n) * static_cast<Bytes>(n) * sizeof(float);
+
+  DeviceBuffer a[2];
+  DeviceBuffer b[2];
+  DeviceBuffer c[2];
+  for (int s = 0; s < 2; ++s) {
+    a[s] = co_await copy_ctx.dmalloc(matrix_bytes);
+    b[s] = co_await copy_ctx.dmalloc(matrix_bytes);
+    c[s] = co_await copy_ctx.dmalloc(matrix_bytes);
+  }
+
+  ready.done();
+  co_await start_gate.wait();
+
+  std::shared_ptr<sim::Event> prev_result;
+  for (std::int64_t i = 0; i < iterations; ++i) {
+    const int s = static_cast<int>(i % 2);
+    co_await copy_ctx.memcpy_h2d_async(a[s], "memcpy_A");
+    const auto inputs_ready = co_await copy_ctx.memcpy_h2d_async(b[s], "memcpy_B");
+    co_await compute_ctx.stream_wait(inputs_ready);
+    co_await compute_ctx.launch("sgemm_" + std::to_string(n), kernel_time);
+    co_await copy_ctx.stream_wait(compute_ctx.record_event());
+    const auto result_ready = co_await copy_ctx.memcpy_d2h_async(c[s], "memcpy_C");
+    // Flow control: before reusing a buffer pair, the iteration that last
+    // used it must have drained (pipeline depth 2).
+    if (prev_result) co_await prev_result->wait();
+    prev_result = result_ready;
+  }
+  if (prev_result) co_await prev_result->wait();
+
+  for (int s = 0; s < 2; ++s) {
+    co_await copy_ctx.dfree(a[s]);
+    co_await copy_ctx.dfree(b[s]);
+    co_await copy_ctx.dfree(c[s]);
+  }
+  wg.done();
+}
+
+}  // namespace
+
+std::int64_t calibrate_iterations(SimDuration kernel_time, SimDuration target,
+                                  std::int64_t min_iters, std::int64_t max_iters) {
+  RSD_ASSERT(kernel_time > SimDuration::zero());
+  const auto raw = static_cast<std::int64_t>(target / kernel_time);
+  return std::clamp(raw, min_iters, max_iters);
+}
+
+ProxyRunner::ProxyRunner(gpu::DeviceParams device_params, interconnect::LinkParams link_params)
+    : device_params_(std::move(device_params)), link_params_(std::move(link_params)) {}
+
+ProxyRunner::ProxyRunner() : ProxyRunner(gpu::DeviceParams{}, interconnect::LinkParams{}) {
+  const interconnect::Link pcie = interconnect::make_pcie_gen4_x16();
+  link_params_ = interconnect::LinkParams{.name = pcie.name(),
+                                          .latency = pcie.latency(),
+                                          .bandwidth_gib_s = pcie.bandwidth_gib_s()};
+}
+
+ProxyResult ProxyRunner::run(const ProxyConfig& config) const {
+  RSD_ASSERT(config.matrix_n > 0);
+  RSD_ASSERT(config.threads > 0);
+
+  ProxyResult result;
+  result.matrix_n = config.matrix_n;
+  result.threads = config.threads;
+  result.slack = config.slack;
+  result.matrix_bytes =
+      static_cast<Bytes>(config.matrix_n) * static_cast<Bytes>(config.matrix_n) * sizeof(float);
+
+  if (!config_fits(device_params_, config.matrix_n, config.threads, config.async_pipeline)) {
+    result.fits_memory = false;
+    return result;
+  }
+
+  sim::Scheduler sched;
+  gpu::Device device{sched, device_params_, interconnect::Link{link_params_}};
+  trace::TraceRecorder recorder;
+  if (config.capture_trace) device.set_record_sink(&recorder);
+
+  // Preliminary kernel timing (the proxy's calibration step).
+  result.kernel_duration = device.matmul_kernel_duration(config.matrix_n);
+  result.iterations = calibrate_iterations(result.kernel_duration, config.target_compute,
+                                           config.min_iterations, config.max_iterations);
+  result.cuda_calls_per_thread = kCudaCallsPerIteration * result.iterations;
+
+  interconnect::SlackInjector slack{config.slack, config.host_noise_sigma, config.seed};
+  sim::WaitGroup wg{sched};
+  sim::WaitGroup ready{sched};
+  sim::Event start_gate{sched};
+  wg.add(config.threads);
+  ready.add(config.threads);
+
+  for (int t = 0; t < config.threads; ++t) {
+    if (config.async_pipeline) {
+      sched.spawn(async_proxy_thread(device, slack, t, config.matrix_n, result.iterations,
+                                     result.kernel_duration, config.command_path,
+                                     config.slack_position, wg, ready, start_gate));
+    } else {
+      sched.spawn(proxy_thread(device, slack, t, config.matrix_n, result.iterations,
+                               result.kernel_duration, config.command_path,
+                               config.slack_position, wg, ready, start_gate));
+    }
+  }
+
+  SimTime loop_start{};
+  SimTime loop_end{};
+  sched.spawn([](sim::Scheduler& s, sim::WaitGroup& group, sim::WaitGroup& rdy,
+                 sim::Event& gate, SimTime& t0, SimTime& t1) -> sim::Task<> {
+    co_await rdy.wait();  // all threads allocated
+    t0 = s.now();
+    gate.trigger();
+    co_await group.wait();
+    t1 = s.now();
+  }(sched, wg, ready, start_gate, loop_start, loop_end));
+
+  sched.run();
+  RSD_ASSERT(sched.unfinished_count() == 0);
+
+  // Measured per-thread call count (the async pipeline issues a different
+  // number of calls per iteration than the synchronous loop's 5).
+  result.cuda_calls_per_thread = slack.calls_delayed() / config.threads;
+  result.loop_runtime = loop_end - loop_start;
+  result.no_slack_time = interconnect::equation1_no_slack_time(
+      result.loop_runtime, result.cuda_calls_per_thread, config.slack);
+  if (config.capture_trace) result.trace = std::move(recorder.trace());
+  return result;
+}
+
+std::vector<SweepPoint> run_slack_sweep(const ProxyRunner& runner, const SweepConfig& config) {
+  std::vector<SweepPoint> points;
+  for (const std::int64_t n : config.matrix_sizes) {
+    for (const int threads : config.thread_counts) {
+      // Zero-slack baseline for this (size, threads) cell.
+      ProxyConfig base_cfg;
+      base_cfg.matrix_n = n;
+      base_cfg.threads = threads;
+      base_cfg.slack = SimDuration::zero();
+      base_cfg.target_compute = config.target_compute;
+      const ProxyResult baseline = runner.run(base_cfg);
+      if (!baseline.fits_memory) continue;  // excluded, like 2^15 at >=4 threads
+
+      for (const SimDuration slack : config.slacks) {
+        ProxyConfig cfg = base_cfg;
+        cfg.slack = slack;
+        SweepPoint point;
+        point.matrix_n = n;
+        point.threads = threads;
+        point.slack = slack;
+        point.result = slack == SimDuration::zero() ? baseline : runner.run(cfg);
+        point.normalized_runtime =
+            point.result.no_slack_time / baseline.no_slack_time;
+        points.push_back(std::move(point));
+      }
+    }
+  }
+  return points;
+}
+
+}  // namespace rsd::proxy

@@ -1,0 +1,51 @@
+// Umbrella header: the full public API of the rowscale-cdi library.
+//
+//   #include "rowscale.hpp"
+//
+// Everything lives under namespace rsd:: (sub-namespaces sim, gpu,
+// interconnect, trace, proxy, model, lj, nn, apps, cluster).
+#pragma once
+
+#include "core/ascii_plot.hpp"
+#include "core/csv.hpp"
+#include "core/error.hpp"
+#include "core/experiment.hpp"
+#include "core/histogram.hpp"
+#include "core/log.hpp"
+#include "core/rng.hpp"
+#include "core/stats.hpp"
+#include "core/table.hpp"
+#include "core/units.hpp"
+
+#include "sim/scheduler.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+#include "interconnect/link.hpp"
+#include "interconnect/slack.hpp"
+
+#include "gpusim/chassis.hpp"
+#include "gpusim/collective.hpp"
+#include "gpusim/context.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/records.hpp"
+
+#include "trace/analysis.hpp"
+#include "trace/import.hpp"
+#include "trace/trace.hpp"
+
+#include "proxy/proxy.hpp"
+
+#include "model/response_surface.hpp"
+#include "model/slack_model.hpp"
+
+#include "lj/system.hpp"
+#include "nn/network.hpp"
+
+#include "apps/calibration.hpp"
+#include "apps/cosmoflow.hpp"
+#include "apps/lammps.hpp"
+#include "apps/scaling.hpp"
+
+#include "cluster/composition.hpp"
+#include "cluster/scheduler.hpp"

@@ -1,0 +1,176 @@
+// The discrete-event scheduler: a time-ordered run queue of suspended
+// coroutines. Single-threaded and fully deterministic — ties in time are
+// broken by insertion order, so a given seed always replays the same
+// schedule.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <queue>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/units.hpp"
+#include "sim/task.hpp"
+
+namespace rsd::sim {
+
+class Scheduler {
+ public:
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Launch a root process at the current simulated time. The scheduler
+  /// owns the task until `run()` finishes.
+  void spawn(Task<> task) {
+    RSD_ASSERT(task.valid());
+    task.handle_.promise().sched = this;
+    schedule_at(task.handle_, now_);
+    roots_.push_back(std::move(task));
+    if (roots_.size() >= kRootSweepThreshold) sweep_finished_roots();
+  }
+
+  /// Enqueue a coroutine to resume after `delay` of simulated time.
+  void schedule(std::coroutine_handle<> h, SimDuration delay) {
+    schedule_at(h, now_ + delay);
+  }
+
+  /// Enqueue a coroutine to resume at absolute time `t` (>= now).
+  void schedule_at(std::coroutine_handle<> h, SimTime t) {
+    RSD_ASSERT(t >= now_);
+    queue_.push(QueueItem{t, seq_++, h});
+  }
+
+  /// Run one event: advance the clock and resume one coroutine.
+  /// Returns false when the event queue is empty.
+  bool step() {
+    if (queue_.empty()) return false;
+    const QueueItem item = queue_.top();
+    queue_.pop();
+    now_ = item.at;
+    item.handle.resume();
+    return true;
+  }
+
+  /// Run until no events remain, then rethrow the first root-task failure.
+  void run() {
+    while (step()) {
+    }
+    finish_roots();
+  }
+
+  /// Run until the clock would pass `deadline`; events at exactly `deadline`
+  /// are executed. Root failures are rethrown if all events drained.
+  void run_until(SimTime deadline) {
+    while (!queue_.empty() && queue_.top().at <= deadline) {
+      step();
+    }
+    if (queue_.empty()) {
+      finish_roots();
+    } else {
+      now_ = deadline;
+    }
+  }
+
+  /// Number of spawned root processes that have not yet completed.
+  /// Non-zero after run() indicates a deadlock in the simulated program.
+  [[nodiscard]] std::size_t unfinished_count() const {
+    std::size_t n = 0;
+    for (const auto& t : roots_) {
+      if (t.valid() && !t.done()) ++n;
+    }
+    return n;
+  }
+
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  struct QueueItem {
+    SimTime at;
+    std::uint64_t seq;
+    std::coroutine_handle<> handle;
+
+    [[nodiscard]] bool operator>(const QueueItem& other) const {
+      if (at != other.at) return at > other.at;
+      return seq > other.seq;
+    }
+  };
+
+  void finish_roots() {
+    if (!pending_exceptions_.empty()) {
+      std::rethrow_exception(pending_exceptions_.front());
+    }
+    for (auto& t : roots_) t.rethrow_if_failed();
+    // Keep finished frames until destruction is safe: all are done here
+    // (or deadlocked, in which case the caller inspects unfinished_count()).
+  }
+
+  /// Reclaim completed root frames so long simulations (hundreds of
+  /// thousands of spawned ops) stay bounded in memory. Stored exceptions
+  /// are preserved for finish_roots().
+  void sweep_finished_roots() {
+    std::vector<Task<>> live;
+    live.reserve(roots_.size() / 2);
+    for (auto& t : roots_) {
+      if (!t.done()) {
+        live.push_back(std::move(t));
+        continue;
+      }
+      try {
+        t.rethrow_if_failed();
+      } catch (...) {
+        pending_exceptions_.push_back(std::current_exception());
+      }
+    }
+    roots_.swap(live);
+  }
+
+  static constexpr std::size_t kRootSweepThreshold = 4096;
+
+  std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>> queue_;
+  std::vector<Task<>> roots_;
+  std::vector<std::exception_ptr> pending_exceptions_;
+  SimTime now_ = SimTime::zero();
+  std::uint64_t seq_ = 0;
+};
+
+/// Awaitable that suspends the current process for `d` of simulated time.
+/// `co_await delay(10_us);`
+struct Delay {
+  SimDuration d;
+
+  [[nodiscard]] bool await_ready() const noexcept { return false; }
+  template <typename P>
+  void await_suspend(std::coroutine_handle<P> h) const {
+    h.promise().sched->schedule(h, d.ns() > 0 ? d : SimDuration::zero());
+  }
+  void await_resume() const noexcept {}
+};
+
+[[nodiscard]] inline Delay delay(SimDuration d) { return Delay{d}; }
+
+/// Awaitable that yields the scheduler without advancing time (runs after
+/// other events already queued for the current instant).
+[[nodiscard]] inline Delay yield() { return Delay{SimDuration::zero()}; }
+
+/// Awaitable that produces the current scheduler pointer, letting library
+/// code reach the clock without threading a Scheduler& everywhere.
+struct CurrentScheduler {
+  Scheduler* sched = nullptr;
+
+  [[nodiscard]] bool await_ready() const noexcept { return false; }
+  template <typename P>
+  bool await_suspend(std::coroutine_handle<P> h) noexcept {
+    sched = h.promise().sched;
+    return false;  // resume immediately, no reschedule
+  }
+  [[nodiscard]] Scheduler* await_resume() const noexcept { return sched; }
+};
+
+[[nodiscard]] inline CurrentScheduler current_scheduler() { return {}; }
+
+}  // namespace rsd::sim

@@ -1,0 +1,253 @@
+// Synchronisation primitives for simulated processes: one-shot events,
+// FIFO counting semaphores, wait groups, and unbounded channels.
+//
+// All primitives resume waiters *through the scheduler* (at the current
+// simulated instant) rather than inline, which keeps resumption order
+// deterministic and prevents unbounded recursion through chains of wakeups.
+//
+// Permits and items are handed to waiters directly (transfer semantics):
+// a release() or put() that finds a waiter assigns the permit/item to that
+// waiter before scheduling it, so a process that arrives in between cannot
+// steal it. This guarantees strict FIFO service order — the property that
+// makes the simulated GPU's FIFO engine queues exact.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "sim/task.hpp"
+
+#include "core/error.hpp"
+#include "sim/scheduler.hpp"
+
+namespace rsd::sim {
+
+/// One-shot broadcast event. After trigger(), all current and future waiters
+/// proceed immediately.
+class Event {
+ public:
+  explicit Event(Scheduler& sched) : sched_(sched) {}
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  [[nodiscard]] bool triggered() const { return triggered_; }
+
+  void trigger() {
+    if (triggered_) return;
+    triggered_ = true;
+    for (const auto h : waiters_) sched_.schedule(h, SimDuration::zero());
+    waiters_.clear();
+  }
+
+  [[nodiscard]] auto wait() {
+    struct Awaiter {
+      Event& ev;
+      [[nodiscard]] bool await_ready() const noexcept { return ev.triggered_; }
+      void await_suspend(std::coroutine_handle<> h) { ev.waiters_.push_back(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  Scheduler& sched_;
+  bool triggered_ = false;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// FIFO counting semaphore with permit-transfer wakeups.
+class Semaphore {
+ public:
+  Semaphore(Scheduler& sched, std::int64_t initial)
+      : sched_(sched), count_(initial) {
+    RSD_ASSERT(initial >= 0);
+  }
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  [[nodiscard]] std::int64_t available() const { return count_; }
+  [[nodiscard]] std::size_t waiting() const { return waiters_.size(); }
+
+  struct [[nodiscard]] AcquireAwaiter {
+    Semaphore& sem;
+    std::coroutine_handle<> handle;
+
+    [[nodiscard]] bool await_ready() const noexcept { return false; }
+    bool await_suspend(std::coroutine_handle<> h) {
+      if (sem.waiters_.empty() && sem.count_ > 0) {
+        --sem.count_;
+        return false;  // permit taken, continue without suspending
+      }
+      handle = h;
+      sem.waiters_.push_back(this);
+      return true;
+    }
+    void await_resume() const noexcept {}
+  };
+
+  [[nodiscard]] AcquireAwaiter acquire() { return AcquireAwaiter{*this, {}}; }
+
+  void release() {
+    if (!waiters_.empty()) {
+      AcquireAwaiter* w = waiters_.front();
+      waiters_.pop_front();
+      sched_.schedule(w->handle, SimDuration::zero());  // permit transferred
+    } else {
+      ++count_;
+    }
+  }
+
+ private:
+  Scheduler& sched_;
+  std::int64_t count_;
+  std::deque<AcquireAwaiter*> waiters_;
+};
+
+/// RAII permit for Semaphore; released on destruction.
+class [[nodiscard]] SemaphoreGuard {
+ public:
+  explicit SemaphoreGuard(Semaphore& sem) : sem_(&sem) {}
+  SemaphoreGuard(SemaphoreGuard&& other) noexcept : sem_(std::exchange(other.sem_, nullptr)) {}
+  SemaphoreGuard& operator=(SemaphoreGuard&& other) noexcept {
+    if (this != &other) {
+      reset();
+      sem_ = std::exchange(other.sem_, nullptr);
+    }
+    return *this;
+  }
+  SemaphoreGuard(const SemaphoreGuard&) = delete;
+  SemaphoreGuard& operator=(const SemaphoreGuard&) = delete;
+  ~SemaphoreGuard() { reset(); }
+
+  void reset() {
+    if (sem_ != nullptr) {
+      sem_->release();
+      sem_ = nullptr;
+    }
+  }
+
+ private:
+  Semaphore* sem_;
+};
+
+/// Counts outstanding work items; `wait()` resumes when the count reaches 0.
+/// One-shot: once the count has dropped to zero the group is finished.
+class WaitGroup {
+ public:
+  explicit WaitGroup(Scheduler& sched) : done_event_(sched) {}
+
+  void add(std::int64_t n = 1) {
+    RSD_ASSERT(!done_event_.triggered());
+    count_ += n;
+  }
+
+  void done() {
+    RSD_ASSERT(count_ > 0);
+    if (--count_ == 0) done_event_.trigger();
+  }
+
+  [[nodiscard]] auto wait() { return done_event_.wait(); }
+  [[nodiscard]] std::int64_t count() const { return count_; }
+
+ private:
+  std::int64_t count_ = 0;
+  Event done_event_;
+};
+
+/// Reusable MPI-style barrier: all `parties` must arrive before any leaves;
+/// immediately reusable for the next generation (bulk-synchronous loops).
+class Barrier {
+ public:
+  Barrier(Scheduler& sched, int parties) : sched_(sched), parties_(parties) {
+    RSD_ASSERT(parties >= 1);
+  }
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  Task<> arrive_and_wait() {
+    const std::int64_t my_generation = generation_;
+    if (++arrived_ == parties_) {
+      arrived_ = 0;
+      ++generation_;
+      gate_->trigger();
+      auto fresh = std::make_shared<Event>(sched_);
+      gate_.swap(fresh);
+      co_return;
+    }
+    // Hold a reference to this generation's gate; the last arriver swaps
+    // in a fresh one before triggering ours.
+    auto gate = gate_;
+    while (generation_ == my_generation) {
+      co_await gate->wait();
+    }
+  }
+
+  [[nodiscard]] int parties() const { return parties_; }
+  [[nodiscard]] std::int64_t generation() const { return generation_; }
+
+ private:
+  Scheduler& sched_;
+  int parties_;
+  int arrived_ = 0;
+  std::int64_t generation_ = 0;
+  std::shared_ptr<Event> gate_ = std::make_shared<Event>(sched_);
+};
+
+/// Unbounded FIFO channel. put() never blocks; get() suspends while empty.
+/// Items are handed to waiting getters in FIFO order.
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(Scheduler& sched) : sched_(sched) {}
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  struct [[nodiscard]] GetAwaiter {
+    Channel& ch;
+    std::coroutine_handle<> handle;
+    std::optional<T> slot;
+
+    [[nodiscard]] bool await_ready() const noexcept { return false; }
+    bool await_suspend(std::coroutine_handle<> h) {
+      if (ch.waiters_.empty() && !ch.items_.empty()) {
+        slot = std::move(ch.items_.front());
+        ch.items_.pop_front();
+        return false;
+      }
+      handle = h;
+      ch.waiters_.push_back(this);
+      return true;
+    }
+    [[nodiscard]] T await_resume() {
+      RSD_ASSERT(slot.has_value());
+      return std::move(*slot);
+    }
+  };
+
+  void put(T value) {
+    if (!waiters_.empty()) {
+      GetAwaiter* w = waiters_.front();
+      waiters_.pop_front();
+      w->slot = std::move(value);
+      sched_.schedule(w->handle, SimDuration::zero());
+    } else {
+      items_.push_back(std::move(value));
+    }
+  }
+
+  [[nodiscard]] GetAwaiter get() { return GetAwaiter{*this, {}, std::nullopt}; }
+
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+
+ private:
+  Scheduler& sched_;
+  std::deque<T> items_;
+  std::deque<GetAwaiter*> waiters_;
+};
+
+}  // namespace rsd::sim

@@ -1,0 +1,119 @@
+#include "trace/analysis.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace rsd::trace {
+
+namespace {
+
+/// Per-kernel-name duration samples plus total time, ordered by total time.
+std::vector<std::pair<std::string, SampleSet>> kernel_groups_by_total_time(const Trace& trace) {
+  std::map<std::string, SampleSet> groups;
+  for (const auto& op : trace.ops()) {
+    if (op.kind != gpu::OpKind::kKernel) continue;
+    groups[op.name].add(op.duration().us());
+  }
+  std::vector<std::pair<std::string, SampleSet>> ordered;
+  ordered.reserve(groups.size());
+  for (auto& [name, samples] : groups) ordered.emplace_back(name, std::move(samples));
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& a, const auto& b) { return a.second.sum() > b.second.sum(); });
+  return ordered;
+}
+
+}  // namespace
+
+std::vector<ViolinSummary> kernel_duration_violins(const Trace& trace, std::size_t top_n) {
+  const auto ordered = kernel_groups_by_total_time(trace);
+
+  std::vector<ViolinSummary> result;
+  SampleSet all;
+  for (const auto& [name, samples] : ordered) {
+    for (const double v : samples.values()) all.add(v);
+  }
+  for (std::size_t i = 0; i < ordered.size() && i < top_n; ++i) {
+    result.push_back(ordered[i].second.violin(ordered[i].first));
+  }
+  result.push_back(all.violin("Total"));
+  return result;
+}
+
+double top_kernel_time_fraction(const Trace& trace, std::size_t top_n) {
+  const auto ordered = kernel_groups_by_total_time(trace);
+  double top = 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < ordered.size(); ++i) {
+    total += ordered[i].second.sum();
+    if (i < top_n) top += ordered[i].second.sum();
+  }
+  return total > 0.0 ? top / total : 0.0;
+}
+
+std::vector<ViolinSummary> memcpy_size_violins(const Trace& trace) {
+  SampleSet h2d;
+  SampleSet d2h;
+  SampleSet all;
+  for (const auto& op : trace.ops()) {
+    if (op.kind == gpu::OpKind::kKernel) continue;
+    const double mib = to_mib(op.bytes);
+    all.add(mib);
+    (op.kind == gpu::OpKind::kMemcpyH2D ? h2d : d2h).add(mib);
+  }
+  return {h2d.violin("H2D"), d2h.violin("D2H"), all.violin("Total")};
+}
+
+EdgeHistogram bin_transfer_sizes(const Trace& trace, const std::vector<double>& edges_mib) {
+  EdgeHistogram hist{edges_mib};
+  for (const auto& op : trace.ops()) {
+    if (op.kind == gpu::OpKind::kKernel) continue;
+    hist.add(to_mib(op.bytes));
+  }
+  return hist;
+}
+
+EdgeHistogram bin_kernel_durations(const Trace& trace, const std::vector<double>& edges_us) {
+  EdgeHistogram hist{edges_us};
+  for (const auto& op : trace.ops()) {
+    if (op.kind != gpu::OpKind::kKernel) continue;
+    hist.add(op.duration().us());
+  }
+  return hist;
+}
+
+SimDuration interval_union(std::vector<std::pair<SimTime, SimTime>> intervals) {
+  if (intervals.empty()) return SimDuration::zero();
+  std::sort(intervals.begin(), intervals.end());
+  SimDuration total = SimDuration::zero();
+  SimTime cur_lo = intervals.front().first;
+  SimTime cur_hi = intervals.front().second;
+  for (const auto& [lo, hi] : intervals) {
+    if (lo > cur_hi) {
+      total += cur_hi - cur_lo;
+      cur_lo = lo;
+      cur_hi = hi;
+    } else {
+      cur_hi = std::max(cur_hi, hi);
+    }
+  }
+  total += cur_hi - cur_lo;
+  return total;
+}
+
+RuntimeFractions runtime_fractions(const Trace& trace) {
+  std::vector<std::pair<SimTime, SimTime>> kernel_iv;
+  std::vector<std::pair<SimTime, SimTime>> memory_iv;
+  for (const auto& op : trace.ops()) {
+    auto& target = op.kind == gpu::OpKind::kKernel ? kernel_iv : memory_iv;
+    target.emplace_back(op.start, op.end);
+  }
+  const SimDuration span = trace.span();
+  RuntimeFractions f;
+  if (span <= SimDuration::zero()) return f;
+  f.kernel = interval_union(std::move(kernel_iv)) / span;
+  f.memory = interval_union(std::move(memory_iv)) / span;
+  return f;
+}
+
+}  // namespace rsd::trace

@@ -1,0 +1,54 @@
+// Trace analysis: everything the paper extracts from NSys captures.
+//
+//  * Kernel-duration distributions per kernel name + "Total"   (Figure 4)
+//  * Memcpy-size distributions per direction + "Total"         (Figure 5)
+//  * Transfer-size binning at the proxy's matrix-size points   (Table III)
+//  * Kernel-duration binning (the Eq. 3 kernel-side analogue)
+//  * %Runtime_Kernel and %Runtime_Memory                       (Equation 2)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/histogram.hpp"
+#include "core/stats.hpp"
+#include "core/units.hpp"
+#include "trace/trace.hpp"
+
+namespace rsd::trace {
+
+/// Violin summaries of kernel durations (in microseconds) for the `top_n`
+/// kernels by total time, plus a "Total" row aggregating every kernel —
+/// exactly Figure 4's layout (CosmoFlow shows its top five).
+[[nodiscard]] std::vector<ViolinSummary> kernel_duration_violins(const Trace& trace,
+                                                                 std::size_t top_n);
+
+/// Fraction of total kernel time covered by the top_n kernels (the paper
+/// reports CosmoFlow's top five cover 49.9%).
+[[nodiscard]] double top_kernel_time_fraction(const Trace& trace, std::size_t top_n);
+
+/// Violin summaries of memcpy sizes (in MiB): one per direction plus Total
+/// — Figure 5's layout.
+[[nodiscard]] std::vector<ViolinSummary> memcpy_size_violins(const Trace& trace);
+
+/// Table III: bin every transfer's size (MiB) into <=edge bins.
+[[nodiscard]] EdgeHistogram bin_transfer_sizes(const Trace& trace,
+                                               const std::vector<double>& edges_mib);
+
+/// Eq. 3 kernel-side analogue: bin kernel durations (us) into <=edge bins.
+[[nodiscard]] EdgeHistogram bin_kernel_durations(const Trace& trace,
+                                                 const std::vector<double>& edges_us);
+
+struct RuntimeFractions {
+  double kernel = 0.0;  ///< Fraction of the traced span with a kernel running.
+  double memory = 0.0;  ///< Fraction with at least one DMA in flight.
+};
+
+/// %Runtime terms of Equation 2, computed as interval unions over the
+/// traced span (overlapping H2D/D2H transfers are not double-counted).
+[[nodiscard]] RuntimeFractions runtime_fractions(const Trace& trace);
+
+/// Union length of a set of [start, end] intervals (exposed for testing).
+[[nodiscard]] SimDuration interval_union(std::vector<std::pair<SimTime, SimTime>> intervals);
+
+}  // namespace rsd::trace

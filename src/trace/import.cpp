@@ -1,0 +1,121 @@
+#include "trace/import.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace rsd::trace {
+
+namespace {
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cell += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      cells.push_back(std::move(cell));
+      cell.clear();
+    } else {
+      cell += c;
+    }
+  }
+  cells.push_back(std::move(cell));
+  return cells;
+}
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& message) {
+  throw Error{ErrorCode::kInvalidArgument,
+              "trace CSV line " + std::to_string(line_no) + ": " + message};
+}
+
+gpu::OpKind parse_kind(const std::string& s, std::size_t line_no) {
+  if (s == "kernel") return gpu::OpKind::kKernel;
+  if (s == "memcpy_h2d") return gpu::OpKind::kMemcpyH2D;
+  if (s == "memcpy_d2h") return gpu::OpKind::kMemcpyD2H;
+  fail(line_no, "unknown op kind '" + s + "'");
+}
+
+double parse_double(const std::string& s, std::size_t line_no, const char* field) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(s, &pos);
+    if (pos != s.size()) throw std::invalid_argument{s};
+    return v;
+  } catch (const std::exception&) {
+    fail(line_no, std::string{"bad numeric value '"} + s + "' for " + field);
+  }
+}
+
+}  // namespace
+
+Trace parse_ops_csv(std::istream& input) {
+  std::string line;
+  if (!std::getline(input, line)) {
+    throw Error{ErrorCode::kInvalidArgument, "trace CSV: empty input"};
+  }
+
+  // Map required column names to indices (tolerating extra columns).
+  const auto header = split_csv_line(line);
+  std::map<std::string, std::size_t> columns;
+  for (std::size_t i = 0; i < header.size(); ++i) columns[header[i]] = i;
+  for (const char* required :
+       {"kind", "name", "context", "submit_us", "start_us", "end_us", "bytes"}) {
+    if (columns.find(required) == columns.end()) {
+      throw Error{ErrorCode::kInvalidArgument,
+                  std::string{"trace CSV: missing column '"} + required + "'"};
+    }
+  }
+
+  Trace trace;
+  std::size_t line_no = 1;
+  while (std::getline(input, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const auto cells = split_csv_line(line);
+    if (cells.size() < header.size()) fail(line_no, "too few columns");
+
+    gpu::OpRecord op;
+    op.kind = parse_kind(cells[columns["kind"]], line_no);
+    op.name = cells[columns["name"]];
+    op.context_id =
+        static_cast<int>(parse_double(cells[columns["context"]], line_no, "context"));
+    op.submit = SimTime{static_cast<std::int64_t>(
+        parse_double(cells[columns["submit_us"]], line_no, "submit_us") * 1e3)};
+    op.start = SimTime{static_cast<std::int64_t>(
+        parse_double(cells[columns["start_us"]], line_no, "start_us") * 1e3)};
+    op.end = SimTime{static_cast<std::int64_t>(
+        parse_double(cells[columns["end_us"]], line_no, "end_us") * 1e3)};
+    op.bytes = static_cast<Bytes>(parse_double(cells[columns["bytes"]], line_no, "bytes"));
+    if (op.end < op.start) fail(line_no, "end before start");
+    trace.add_op(std::move(op));
+  }
+  return trace;
+}
+
+Trace load_ops_csv(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) throw Error{ErrorCode::kNotFound, "cannot open trace CSV: " + path};
+  return parse_ops_csv(in);
+}
+
+}  // namespace rsd::trace

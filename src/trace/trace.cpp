@@ -1,0 +1,45 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+
+#include "core/csv.hpp"
+
+namespace rsd::trace {
+
+std::size_t Trace::kernel_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(ops_.begin(), ops_.end(),
+                    [](const gpu::OpRecord& op) { return op.kind == gpu::OpKind::kKernel; }));
+}
+
+std::size_t Trace::memcpy_count() const {
+  return ops_.size() - kernel_count();
+}
+
+SimTime Trace::begin() const {
+  SimTime t = SimTime::max();
+  for (const auto& op : ops_) t = std::min(t, op.submit);
+  for (const auto& api : apis_) t = std::min(t, api.start);
+  return t == SimTime::max() ? SimTime::zero() : t;
+}
+
+SimTime Trace::end() const {
+  SimTime t = SimTime::zero();
+  for (const auto& op : ops_) t = std::max(t, op.end);
+  for (const auto& api : apis_) t = std::max(t, api.end + api.slack_after);
+  return t;
+}
+
+std::string Trace::ops_to_csv() const {
+  CsvWriter csv;
+  csv.row("kind", "name", "context", "submit_us", "start_us", "end_us", "duration_us",
+          "bytes", "exposed_us", "wake_us");
+  for (const auto& op : ops_) {
+    csv.row(std::string{gpu::to_string(op.kind)}, op.name, op.context_id, op.submit.us(),
+            op.start.us(), op.end.us(), op.duration().us(), op.bytes,
+            op.exposed_overhead.us(), op.wake_penalty.us());
+  }
+  return csv.str();
+}
+
+}  // namespace rsd::trace

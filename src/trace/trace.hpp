@@ -1,0 +1,59 @@
+// Trace container + recorder: the simulator's equivalent of an NSight
+// Systems capture (Section III-B). A `TraceRecorder` is attached to a
+// device as its record sink; the resulting `Trace` is what the paper's
+// profiling method consumes — kernel durations, memcpy sizes, and the
+// API-call timeline, with no access to application source.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/units.hpp"
+#include "gpusim/records.hpp"
+
+namespace rsd::trace {
+
+class Trace {
+ public:
+  void add_op(gpu::OpRecord op) { ops_.push_back(std::move(op)); }
+  void add_api(gpu::ApiRecord api) { apis_.push_back(std::move(api)); }
+
+  [[nodiscard]] const std::vector<gpu::OpRecord>& ops() const { return ops_; }
+  [[nodiscard]] const std::vector<gpu::ApiRecord>& apis() const { return apis_; }
+
+  [[nodiscard]] bool empty() const { return ops_.empty() && apis_.empty(); }
+  [[nodiscard]] std::size_t kernel_count() const;
+  [[nodiscard]] std::size_t memcpy_count() const;
+
+  /// Earliest submit / latest end over all records (the traced span).
+  [[nodiscard]] SimTime begin() const;
+  [[nodiscard]] SimTime end() const;
+  [[nodiscard]] SimDuration span() const { return end() - begin(); }
+
+  /// Serialise device ops to CSV (one row per op).
+  [[nodiscard]] std::string ops_to_csv() const;
+
+  void clear() {
+    ops_.clear();
+    apis_.clear();
+  }
+
+ private:
+  std::vector<gpu::OpRecord> ops_;
+  std::vector<gpu::ApiRecord> apis_;
+};
+
+/// RecordSink implementation that accumulates a Trace.
+class TraceRecorder final : public gpu::RecordSink {
+ public:
+  void on_op(const gpu::OpRecord& op) override { trace_.add_op(op); }
+  void on_api(const gpu::ApiRecord& api) override { trace_.add_api(api); }
+
+  [[nodiscard]] Trace& trace() { return trace_; }
+  [[nodiscard]] const Trace& trace() const { return trace_; }
+
+ private:
+  Trace trace_;
+};
+
+}  // namespace rsd::trace

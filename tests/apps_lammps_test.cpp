@@ -1,0 +1,201 @@
+#include "apps/lammps.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/scaling.hpp"
+#include "trace/analysis.hpp"
+
+namespace rsd::apps {
+namespace {
+
+using namespace rsd::literals;
+
+TEST(Lammps, AtomCountConvention) {
+  // Paper: box 20 = 32,000 atoms; box 120 = 6,912,000.
+  EXPECT_EQ(lammps_atoms(20), 32'000);
+  EXPECT_EQ(lammps_atoms(80), 2'048'000);
+  EXPECT_EQ(lammps_atoms(100), 4'000'000);
+  EXPECT_EQ(lammps_atoms(120), 6'912'000);
+}
+
+TEST(Lammps, TableOneBaselinePerStepTimes) {
+  // Paper Table I (5000 steps, 1 proc, 1 thread):
+  // box 20: 5.473 s -> 1.09 ms/step ... box 120: 541.45 s -> 108.3 ms/step.
+  struct Anchor {
+    int box;
+    double ms_per_step;
+    double tolerance;
+  };
+  const Anchor anchors[] = {
+      {20, 1.09, 0.25}, {60, 13.3, 2.5}, {80, 32.1, 4.0}, {100, 62.4, 6.0}, {120, 108.3, 8.0}};
+  for (const auto& a : anchors) {
+    LammpsConfig cfg;
+    cfg.box = a.box;
+    cfg.procs = 1;
+    cfg.steps = 36;  // two reneighbor cycles
+    const AppRunResult r = run_lammps(cfg);
+    EXPECT_NEAR(r.runtime.ms() / cfg.steps, a.ms_per_step, a.tolerance)
+        << "box " << a.box;
+  }
+}
+
+TEST(Lammps, SmallBoxDegradesWithMoreProcs) {
+  // Figure 2: box 20 is too small to benefit; adding ranks makes it worse.
+  const auto points = lammps_proc_scaling(20, {1, 2, 8, 24}, 18);
+  ASSERT_EQ(points.size(), 4u);
+  EXPECT_DOUBLE_EQ(points[0].normalized, 1.0);
+  EXPECT_GT(points[1].normalized, 1.0);
+  EXPECT_GT(points[2].normalized, points[1].normalized);
+  EXPECT_GT(points[3].normalized, 5.0);  // dramatic at 24 ranks
+}
+
+TEST(Lammps, LargeBoxBenefitsFromManyProcs) {
+  // Figure 2: box 120 sees a ~55% runtime decrease by 24 ranks, with
+  // diminishing returns after 16.
+  const auto points = lammps_proc_scaling(120, {1, 8, 16, 24}, 18);
+  ASSERT_EQ(points.size(), 4u);
+  EXPECT_LT(points[1].normalized, 0.45);  // 8 ranks: big win
+  EXPECT_LT(points[3].normalized, 0.55);  // 24 ranks still much better than 1
+  EXPECT_GT(points[3].normalized, 0.25);
+  // Diminishing returns: the 16 -> 24 step does not improve much (or hurts).
+  EXPECT_GT(points[3].normalized, points[2].normalized - 0.02);
+}
+
+TEST(Lammps, ThreadsImproveLargeBox) {
+  // Section IV-A: more OpenMP threads help the CPU-side share at 8 procs.
+  const auto points = lammps_thread_scaling(120, 8, {1, 2, 4, 6}, 18);
+  ASSERT_EQ(points.size(), 4u);
+  EXPECT_DOUBLE_EQ(points[0].normalized, 1.0);
+  EXPECT_LT(points[1].normalized, 1.0);
+  EXPECT_LT(points[3].normalized, points[1].normalized);
+  EXPECT_LT(points[3].normalized, 0.85);  // >=15% gain at 6 threads
+}
+
+TEST(Lammps, FigFourConfigMatchesPaperRuntime) {
+  // Section IV-C: box 120, 8 procs, 1 thread ran 173 s over 5000 steps
+  // (34.6 ms/step).
+  LammpsConfig cfg;
+  cfg.box = 120;
+  cfg.procs = 8;
+  cfg.steps = 36;
+  const AppRunResult r = run_lammps(cfg);
+  EXPECT_NEAR(r.runtime.ms() / cfg.steps, 36.0, 6.0);
+}
+
+TEST(Lammps, TraceTransferSizesLandInTableThreeBins) {
+  LammpsConfig cfg;
+  cfg.box = 120;
+  cfg.procs = 8;
+  cfg.steps = 19;  // includes one reneighbor step
+  cfg.capture_trace = true;
+  const AppRunResult r = run_lammps(cfg);
+  const auto hist = trace::bin_transfer_sizes(r.trace, {1.0, 16.0, 256.0, 4096.0});
+  // Positions (~9.9 MiB) in <=16; forces (~19.8 MiB) in <=256; the
+  // reneighbor metadata (0.5 MiB) in <=1. Nothing above 256 MiB.
+  EXPECT_GT(hist.count(0), 0u);
+  EXPECT_GT(hist.count(1), 0u);
+  EXPECT_GT(hist.count(2), 0u);
+  EXPECT_EQ(hist.count(3), 0u);
+  EXPECT_EQ(hist.count(4), 0u);
+  // Per-step pattern: 8 position + 8 force transfers.
+  EXPECT_EQ(hist.count(1), static_cast<std::size_t>(8 * cfg.steps));
+  EXPECT_EQ(hist.count(2), static_cast<std::size_t>(8 * cfg.steps));
+  // Mean in the paper's ballpark (16.85 MiB).
+  EXPECT_NEAR(hist.mean(), 16.85, 3.0);
+}
+
+TEST(Lammps, TraceKernelMixMatchesGpuPackage) {
+  LammpsConfig cfg;
+  cfg.box = 60;
+  cfg.procs = 2;
+  cfg.steps = 5;
+  cfg.capture_trace = true;
+  const AppRunResult r = run_lammps(cfg);
+  // Per rank: 3 kernels per step (pack, force, unpack) + 1 neighbor build
+  // on the single reneighbor step.
+  EXPECT_EQ(r.trace.kernel_count(), static_cast<std::size_t>(2 * (3 * 5 + 1)));
+  std::size_t force = 0;
+  for (const auto& op : r.trace.ops()) {
+    if (op.kind != gpu::OpKind::kKernel) continue;
+    EXPECT_TRUE(op.name == "lj_force" || op.name == "pack_atoms" ||
+                op.name == "unpack_forces" || op.name == "neighbor_build")
+        << op.name;
+    if (op.name == "lj_force") ++force;
+  }
+  EXPECT_EQ(force, static_cast<std::size_t>(2 * 5));
+  // lj_force dominates total kernel time.
+  EXPECT_GT(trace::top_kernel_time_fraction(r.trace, 1), 0.7);
+}
+
+TEST(Lammps, RanksPayProcessSwitchSingleRankDoesNot) {
+  LammpsConfig cfg;
+  cfg.box = 60;
+  cfg.steps = 6;
+  cfg.capture_trace = true;
+  cfg.procs = 1;
+  const AppRunResult single = run_lammps(cfg);
+  for (const auto& op : single.trace.ops()) {
+    EXPECT_EQ(op.switch_penalty, SimDuration::zero());
+  }
+  cfg.procs = 4;
+  const AppRunResult multi = run_lammps(cfg);
+  SimDuration total_switch = SimDuration::zero();
+  for (const auto& op : multi.trace.ops()) total_switch += op.switch_penalty;
+  EXPECT_GT(total_switch, SimDuration::zero());
+}
+
+TEST(Lammps, SlackInjectionCountsAndEquationOne) {
+  LammpsConfig cfg;
+  cfg.box = 20;
+  cfg.procs = 2;
+  cfg.steps = 18;  // exactly one reneighbor (step 0)
+  cfg.slack = 100_us;
+  const AppRunResult r = run_lammps(cfg);
+  // Per rank per step: h2d + pack + force + unpack + d2h + sync = 6 calls,
+  // + 2 more (h2d metadata + neighbor kernel) on the step-0 reneighbor.
+  const std::int64_t expected_per_rank = 6 * cfg.steps + 2;
+  EXPECT_EQ(r.cuda_calls, 2 * expected_per_rank);
+  EXPECT_EQ(r.runtime - r.no_slack_runtime, 100_us * expected_per_rank);
+}
+
+TEST(Lammps, WeakScalingEfficiencyDecaysLogarithmically) {
+  LammpsConfig unit;
+  unit.box = 60;
+  unit.procs = 4;
+  unit.steps = 36;
+  const auto points = lammps_weak_scaling(unit, {1, 2, 4, 16});
+  ASSERT_EQ(points.size(), 4u);
+  EXPECT_DOUBLE_EQ(points[0].efficiency, 1.0);
+  // Efficiency decreases but stays high (log-cost collectives).
+  EXPECT_LT(points[1].efficiency, 1.0);
+  EXPECT_LT(points[3].efficiency, points[1].efficiency);
+  EXPECT_GT(points[3].efficiency, 0.5);
+  // Runtime grows with log2(units): 16 units adds 4 stages vs 1 at 2 units.
+  const double delta2 = points[1].runtime.seconds() - points[0].runtime.seconds();
+  const double delta16 = points[3].runtime.seconds() - points[0].runtime.seconds();
+  EXPECT_GT(delta16, delta2);
+  EXPECT_LT(delta16, 8.0 * delta2);  // far sub-linear
+}
+
+TEST(Lammps, WeakScalingSingleUnitMatchesStrongRun) {
+  LammpsConfig unit;
+  unit.box = 60;
+  unit.procs = 4;
+  unit.steps = 18;
+  const auto points = lammps_weak_scaling(unit, {1});
+  const AppRunResult direct = run_lammps(unit);
+  EXPECT_EQ(points[0].runtime, direct.runtime);
+}
+
+TEST(Lammps, DeterministicRuns) {
+  LammpsConfig cfg;
+  cfg.box = 60;
+  cfg.procs = 4;
+  cfg.steps = 10;
+  const AppRunResult a = run_lammps(cfg);
+  const AppRunResult b = run_lammps(cfg);
+  EXPECT_EQ(a.runtime, b.runtime);
+}
+
+}  // namespace
+}  // namespace rsd::apps

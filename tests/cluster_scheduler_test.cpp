@@ -1,0 +1,111 @@
+#include "cluster/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rsd::cluster {
+namespace {
+
+using namespace rsd::literals;
+
+SimJob job(std::string name, double arrival_s, double duration_s, int cores, int gpus) {
+  return SimJob{std::move(name), duration::seconds(arrival_s), duration::seconds(duration_s),
+                cores, gpus};
+}
+
+TEST(Scheduler, SingleJobRunsImmediately) {
+  const auto m = schedule_traditional({job("a", 0, 10, 48, 4)}, 2, NodeShape{48, 4});
+  ASSERT_EQ(m.outcomes.size(), 1u);
+  EXPECT_EQ(m.outcomes[0].wait(), SimDuration::zero());
+  EXPECT_EQ(m.outcomes[0].finished, SimTime::zero() + duration::seconds(10.0));
+  EXPECT_EQ(m.makespan, SimTime::zero() + duration::seconds(10.0));
+}
+
+TEST(Scheduler, FifoQueuesWhenFull) {
+  // One node: the second job waits for the first.
+  const auto m = schedule_traditional(
+      {job("a", 0, 10, 48, 0), job("b", 0, 5, 48, 0)}, 1, NodeShape{48, 4});
+  EXPECT_EQ(m.outcomes[0].wait(), SimDuration::zero());
+  EXPECT_EQ(m.outcomes[1].wait(), duration::seconds(10.0));
+  EXPECT_EQ(m.makespan, SimTime::zero() + duration::seconds(15.0));
+}
+
+TEST(Scheduler, ParallelWhenResourcesAllow) {
+  const auto m = schedule_traditional(
+      {job("a", 0, 10, 48, 0), job("b", 0, 10, 48, 0)}, 2, NodeShape{48, 4});
+  EXPECT_EQ(m.outcomes[1].wait(), SimDuration::zero());
+  EXPECT_EQ(m.makespan, SimTime::zero() + duration::seconds(10.0));
+}
+
+TEST(Scheduler, ArrivalsRespected) {
+  const auto m = schedule_traditional({job("late", 100, 5, 48, 0)}, 1, NodeShape{48, 4});
+  EXPECT_EQ(m.outcomes[0].started, SimTime::zero() + duration::seconds(100.0));
+}
+
+TEST(Scheduler, CdiPacksWhatTraditionalCannot) {
+  // Two jobs each wanting half a node's cores and 3 GPUs: traditional needs
+  // a whole node each (serialises on 1 node); CDI packs both at once.
+  const std::vector<SimJob> jobs{job("a", 0, 10, 24, 2), job("b", 0, 10, 24, 2)};
+  const auto traditional = schedule_traditional(jobs, 1, NodeShape{48, 4});
+  const auto cdi = schedule_cdi(jobs, 1, NodeShape{48, 4});
+  EXPECT_EQ(traditional.makespan, SimTime::zero() + duration::seconds(20.0));
+  EXPECT_EQ(cdi.makespan, SimTime::zero() + duration::seconds(10.0));
+  EXPECT_LT(cdi.mean_wait_seconds, traditional.mean_wait_seconds);
+}
+
+TEST(Scheduler, TrappedGpusAccountedTraditionalOnly) {
+  // A CPU-only job traps the node's GPUs for its whole runtime.
+  const std::vector<SimJob> jobs{job("cpu_only", 0, 100, 48, 0)};
+  const auto traditional = schedule_traditional(jobs, 1, NodeShape{48, 4});
+  const auto cdi = schedule_cdi(jobs, 1, NodeShape{48, 4});
+  EXPECT_NEAR(traditional.avg_trapped_gpus, 4.0, 1e-9);
+  EXPECT_NEAR(cdi.avg_trapped_gpus, 0.0, 1e-9);
+}
+
+TEST(Scheduler, TrappedGpusBurnIdlePower) {
+  const std::vector<SimJob> jobs{job("cpu_only", 0, 100, 48, 0)};
+  GpuPowerModel power;
+  const auto traditional = schedule_traditional(jobs, 1, NodeShape{48, 4}, power);
+  const auto cdi = schedule_cdi(jobs, 1, NodeShape{48, 4}, power);
+  // Traditional: 4 trapped GPUs x 55 W x 100 s; CDI: 4 pooled x 8 W x 100 s.
+  EXPECT_NEAR(traditional.gpu_energy_joules, 4 * 55.0 * 100.0, 1e-6);
+  EXPECT_NEAR(cdi.gpu_energy_joules, 4 * 8.0 * 100.0, 1e-6);
+}
+
+TEST(Scheduler, BusyGpusBurnBusyPowerInBoth) {
+  const std::vector<SimJob> jobs{job("gpu_job", 0, 50, 4, 4)};
+  const auto traditional = schedule_traditional(jobs, 1, NodeShape{48, 4});
+  const auto cdi = schedule_cdi(jobs, 1, NodeShape{48, 4});
+  EXPECT_NEAR(traditional.avg_busy_gpus, 4.0, 1e-9);
+  EXPECT_NEAR(cdi.avg_busy_gpus, 4.0, 1e-9);
+  EXPECT_NEAR(traditional.gpu_energy_joules, 4 * 400.0 * 50.0, 1e-6);
+}
+
+TEST(Scheduler, HeadOfLineBlockingIsFifo) {
+  // A big job at the head blocks a small one even though it would fit —
+  // strict FIFO, as documented.
+  const std::vector<SimJob> jobs{
+      job("running", 0, 10, 48, 0),   // occupies the only node
+      job("big", 1, 10, 48, 0),       // head of queue
+      job("small", 2, 1, 1, 0),       // would fit nowhere anyway (1 node)
+  };
+  const auto m = schedule_traditional(jobs, 1, NodeShape{48, 4});
+  EXPECT_EQ(m.outcomes[1].started, SimTime::zero() + duration::seconds(10.0));
+  EXPECT_EQ(m.outcomes[2].started, SimTime::zero() + duration::seconds(20.0));
+}
+
+TEST(Scheduler, MeanMetricsComputed) {
+  const std::vector<SimJob> jobs{job("a", 0, 10, 48, 0), job("b", 0, 10, 48, 0)};
+  const auto m = schedule_traditional(jobs, 1, NodeShape{48, 4});
+  EXPECT_NEAR(m.mean_wait_seconds, 5.0, 1e-9);        // 0 and 10
+  EXPECT_NEAR(m.mean_turnaround_seconds, 15.0, 1e-9); // 10 and 20
+}
+
+TEST(Scheduler, EmptyJobListIsSafe) {
+  const auto m = schedule_traditional({}, 2, NodeShape{48, 4});
+  EXPECT_TRUE(m.outcomes.empty());
+  EXPECT_EQ(m.makespan, SimTime::zero());
+  EXPECT_DOUBLE_EQ(m.gpu_energy_joules, 0.0);
+}
+
+}  // namespace
+}  // namespace rsd::cluster

@@ -1,0 +1,121 @@
+#include "cluster/composition.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rsd::cluster {
+namespace {
+
+TEST(Traditional, WholeNodeGranularityTrapsResources) {
+  TraditionalCluster cluster{4, NodeShape{48, 4}};
+  // A CPU-only job traps every GPU on the nodes it occupies (Section III-D:
+  // "trapping of GPU resources would traditionally occur with these jobs").
+  const Allocation a = cluster.allocate({"cpu_only", 96, 0});
+  EXPECT_EQ(a.nodes, 2);
+  EXPECT_EQ(a.trapped_cores, 0);
+  EXPECT_EQ(a.trapped_gpus, 8);
+  EXPECT_EQ(cluster.total_trapped_gpus(), 8);
+  EXPECT_DOUBLE_EQ(cluster.gpu_utilization(), 0.0);
+  EXPECT_DOUBLE_EQ(cluster.core_utilization(), 1.0);
+}
+
+TEST(Traditional, GpuHeavyJobTrapsCores) {
+  TraditionalCluster cluster{4, NodeShape{48, 4}};
+  // CosmoFlow-like: wants many GPUs, needs only 2 cores per GPU pair.
+  const Allocation a = cluster.allocate({"cosmoflow", 8, 16});
+  EXPECT_EQ(a.nodes, 4);
+  EXPECT_EQ(a.trapped_cores, 4 * 48 - 8);
+  EXPECT_EQ(a.trapped_gpus, 0);
+}
+
+TEST(Traditional, OutOfNodesThrows) {
+  TraditionalCluster cluster{1, NodeShape{48, 4}};
+  (void)cluster.allocate({"a", 48, 0});
+  EXPECT_THROW((void)cluster.allocate({"b", 1, 0}), Error);
+}
+
+TEST(Traditional, GpuRequestOnCpuOnlyNodesThrows) {
+  TraditionalCluster cluster{2, NodeShape{48, 0}};
+  EXPECT_THROW((void)cluster.allocate({"j", 1, 1}), Error);
+}
+
+TEST(Traditional, MinimumOneNode) {
+  TraditionalCluster cluster{2, NodeShape{48, 4}};
+  const Allocation a = cluster.allocate({"tiny", 1, 0});
+  EXPECT_EQ(a.nodes, 1);
+  EXPECT_EQ(a.trapped_cores, 47);
+}
+
+TEST(Cdi, ExactFitNothingTrapped) {
+  CdiCluster cluster{20, 24, 40};
+  const Allocation a = cluster.allocate({"cosmoflow", 4, 20});
+  EXPECT_EQ(a.trapped_cores, 0);
+  EXPECT_EQ(a.trapped_gpus, 0);
+  EXPECT_EQ(cluster.free_cores(), 20 * 24 - 4);
+  EXPECT_EQ(cluster.free_gpus(), 20);
+  EXPECT_EQ(cluster.powered_down_gpus(), 20);
+}
+
+TEST(Cdi, PoolExhaustionThrows) {
+  CdiCluster cluster{1, 24, 2};
+  (void)cluster.allocate({"a", 24, 2});
+  EXPECT_THROW((void)cluster.allocate({"b", 1, 0}), Error);
+}
+
+TEST(Comparison, DiscussionScenarioFortyGpusTwentyCpus) {
+  // The paper's Discussion example: 40 GPUs and 20 x 24-core CPUs; LAMMPS
+  // and CosmoFlow each want 20 GPUs. Traditional nodes (24 cores, 2 GPUs)
+  // give both jobs a 1:2 CPU-chip:GPU ratio; CDI gives CosmoFlow its 20
+  // GPUs with just 4 cores and leaves LAMMPS 16 CPU nodes' worth of cores.
+  // Traditional: each job must take whole nodes; asking for 20 GPUs means
+  // 10 nodes each, so LAMMPS is stuck at a 1:2 CPU-chip:GPU ratio (240
+  // cores for 20 GPUs) and CosmoFlow traps nearly every core it holds.
+  TraditionalCluster traditional{20, NodeShape{24, 2}};
+  const Allocation t_cosmo = traditional.allocate({"cosmoflow", 4, 20});
+  const Allocation t_lammps = traditional.allocate({"lammps", 240, 20});
+  EXPECT_EQ(t_cosmo.nodes, 10);
+  EXPECT_EQ(t_cosmo.trapped_cores, 10 * 24 - 4);
+  EXPECT_EQ(t_lammps.nodes, 10);
+  EXPECT_NEAR(t_lammps.cores_per_gpu(), 12.0, 1e-9);  // 240 cores : 20 GPUs
+  EXPECT_EQ(traditional.free_nodes(), 0);             // cluster is full
+
+  // CDI: CosmoFlow composes 4 cores + 20 closely-coupled GPUs, leaving
+  // LAMMPS 16 full CPU nodes (384 cores) for its 20 GPUs.
+  CdiCluster cdi{20, 24, 40};
+  const Allocation c_cosmo = cdi.allocate({"cosmoflow", 4, 20});
+  const Allocation c_lammps = cdi.allocate({"lammps", 16 * 24, 20});
+  EXPECT_EQ(c_cosmo.cpu_cores, 4);
+  EXPECT_EQ(c_cosmo.gpus, 20);
+  EXPECT_EQ(c_lammps.cpu_cores, 384);
+  EXPECT_NEAR(c_lammps.cores_per_gpu(), 19.2, 1e-9);
+  EXPECT_GT(c_lammps.cores_per_gpu(), t_lammps.cores_per_gpu());
+  EXPECT_EQ(cdi.free_gpus(), 0);
+  EXPECT_EQ(cdi.free_cores(), 20 * 24 - 4 - 384);
+}
+
+TEST(Comparison, TraditionalWouldNotFitWhatCdiFits) {
+  // Two GPU-hungry jobs that fit the CDI pools but blow past the node count
+  // on a traditional layout.
+  const std::vector<JobRequest> jobs{
+      {"a", 2, 16},
+      {"b", 2, 16},
+  };
+  TraditionalCluster traditional{8, NodeShape{24, 2}};
+  (void)traditional.allocate(jobs[0]);
+  EXPECT_THROW((void)traditional.allocate(jobs[1]), Error);
+
+  CdiCluster cdi{8, 24, 32};
+  EXPECT_NO_THROW((void)cdi.allocate(jobs[0]));
+  EXPECT_NO_THROW((void)cdi.allocate(jobs[1]));
+}
+
+TEST(Allocation, CoresPerGpuHelper) {
+  Allocation a;
+  a.cpu_cores = 384;
+  a.gpus = 20;
+  EXPECT_NEAR(a.cores_per_gpu(), 19.2, 1e-9);
+  a.gpus = 0;
+  EXPECT_DOUBLE_EQ(a.cores_per_gpu(), 384.0);
+}
+
+}  // namespace
+}  // namespace rsd::cluster

@@ -1,0 +1,87 @@
+#include "core/ascii_plot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace rsd {
+namespace {
+
+TEST(AsciiPlot, EmptyInputYieldsEmptyString) {
+  EXPECT_EQ(ascii_distribution({}), "");
+}
+
+TEST(AsciiPlot, SingleValueRendersOneBar) {
+  const std::vector<double> v{5.0};
+  const std::string plot = ascii_distribution(v);
+  EXPECT_NE(plot.find('#'), std::string::npos);
+  EXPECT_NE(plot.find('1'), std::string::npos);
+}
+
+TEST(AsciiPlot, LineCountMatchesBins) {
+  Rng rng{1};
+  std::vector<double> v;
+  for (int i = 0; i < 500; ++i) v.push_back(rng.lognormal(0.0, 1.0));
+  AsciiPlotOptions opts;
+  opts.bins = 8;
+  const std::string plot = ascii_distribution(v, opts);
+  EXPECT_EQ(std::count(plot.begin(), plot.end(), '\n'), 8);
+}
+
+TEST(AsciiPlot, CountsConserved) {
+  Rng rng{2};
+  std::vector<double> v;
+  for (int i = 0; i < 300; ++i) v.push_back(rng.uniform(1.0, 100.0));
+  AsciiPlotOptions opts;
+  opts.bins = 6;
+  opts.log_scale = false;
+  const std::string plot = ascii_distribution(v, opts);
+  // Sum the trailing counts on each line.
+  std::size_t total = 0;
+  std::istringstream in{plot};
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto pos = line.find_last_of('#');
+    if (pos == std::string::npos) continue;
+    total += static_cast<std::size_t>(std::stoul(line.substr(pos + 2)));
+  }
+  EXPECT_EQ(total, 300u);
+}
+
+TEST(AsciiPlot, UnitAppearsInLabels) {
+  const std::vector<double> v{1.0, 2.0, 3.0};
+  AsciiPlotOptions opts;
+  opts.unit = "us";
+  const std::string plot = ascii_distribution(v, opts);
+  EXPECT_NE(plot.find("us"), std::string::npos);
+}
+
+TEST(AsciiPlot, HandlesNonPositiveWithLogRequested) {
+  const std::vector<double> v{0.0, 1.0, 10.0};  // falls back to linear
+  const std::string plot = ascii_distribution(v);
+  EXPECT_NE(plot.find('#'), std::string::npos);
+}
+
+TEST(AsciiPlot, BarLengthsProportional) {
+  // 90 values in one bin, 10 in another: the big bar must be longer.
+  std::vector<double> v;
+  for (int i = 0; i < 90; ++i) v.push_back(1.0);
+  for (int i = 0; i < 10; ++i) v.push_back(100.0);
+  AsciiPlotOptions opts;
+  opts.bins = 2;
+  opts.log_scale = false;
+  opts.bar_width = 20;
+  const std::string plot = ascii_distribution(v, opts);
+  std::istringstream in{plot};
+  std::string first;
+  std::string second;
+  std::getline(in, first);
+  std::getline(in, second);
+  EXPECT_GT(std::count(first.begin(), first.end(), '#'),
+            std::count(second.begin(), second.end(), '#'));
+}
+
+}  // namespace
+}  // namespace rsd

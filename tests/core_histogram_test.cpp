@@ -1,0 +1,117 @@
+#include "core/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rsd {
+namespace {
+
+TEST(EdgeHistogram, TableThreeBinningLayout) {
+  // The paper's Table III bins transfer sizes (MiB) at 1, 16, 256, 4096.
+  EdgeHistogram h{{1.0, 16.0, 256.0, 4096.0}};
+  EXPECT_EQ(h.bin_count(), 5u);
+  EXPECT_EQ(h.bin_label(0), "<=1");
+  EXPECT_EQ(h.bin_label(1), "<=16");
+  EXPECT_EQ(h.bin_label(2), "<=256");
+  EXPECT_EQ(h.bin_label(3), "<=4096");
+  EXPECT_EQ(h.bin_label(4), ">4096");
+}
+
+TEST(EdgeHistogram, BinIndexBoundaries) {
+  EdgeHistogram h{{1.0, 16.0, 256.0, 4096.0}};
+  EXPECT_EQ(h.bin_index(0.5), 0u);
+  EXPECT_EQ(h.bin_index(1.0), 0u);   // edges are inclusive upper bounds
+  EXPECT_EQ(h.bin_index(1.0001), 1u);
+  EXPECT_EQ(h.bin_index(16.0), 1u);
+  EXPECT_EQ(h.bin_index(256.0), 2u);
+  EXPECT_EQ(h.bin_index(4096.0), 3u);
+  EXPECT_EQ(h.bin_index(5000.0), 4u);
+}
+
+TEST(EdgeHistogram, CountsAndMean) {
+  EdgeHistogram h{{10.0, 100.0}};
+  h.add(5.0);
+  h.add(50.0);
+  h.add(50.0);
+  h.add(500.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 2u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.mean(), (5.0 + 50.0 + 50.0 + 500.0) / 4.0);
+}
+
+TEST(EdgeHistogram, WeightedAdd) {
+  EdgeHistogram h{{10.0}};
+  h.add(5.0, 3);
+  EXPECT_EQ(h.count(0), 3u);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+}
+
+TEST(EdgeHistogram, RejectsBadEdges) {
+  EXPECT_THROW(EdgeHistogram{std::vector<double>{}}, std::invalid_argument);
+  EXPECT_THROW((EdgeHistogram{{2.0, 1.0}}), std::invalid_argument);
+  EXPECT_THROW((EdgeHistogram{{1.0, 1.0}}), std::invalid_argument);
+}
+
+TEST(LinearHistogram, BinAssignment) {
+  LinearHistogram h{0.0, 10.0, 5};
+  h.add(0.5);   // bin 0
+  h.add(3.0);   // bin 1
+  h.add(9.9);   // bin 4
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(LinearHistogram, ClampsOutOfRange) {
+  LinearHistogram h{0.0, 10.0, 5};
+  h.add(-5.0);
+  h.add(100.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+}
+
+TEST(LinearHistogram, BinEdgesConsistent) {
+  LinearHistogram h{0.0, 10.0, 5};
+  for (std::size_t i = 0; i < h.bins(); ++i) {
+    EXPECT_DOUBLE_EQ(h.bin_hi(i) - h.bin_lo(i), 2.0);
+  }
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(4), 10.0);
+}
+
+TEST(LinearHistogram, RejectsBadRange) {
+  EXPECT_THROW((LinearHistogram{0.0, 0.0, 5}), std::invalid_argument);
+  EXPECT_THROW((LinearHistogram{0.0, 1.0, 0}), std::invalid_argument);
+}
+
+TEST(LogHistogram, DecadeBins) {
+  LogHistogram h{1.0, 1000.0, 3};  // decades: [1,10), [10,100), [100,1000)
+  h.add(2.0);
+  h.add(50.0);
+  h.add(500.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_NEAR(h.bin_lo(1), 10.0, 1e-9);
+  EXPECT_NEAR(h.bin_hi(1), 100.0, 1e-9);
+}
+
+TEST(LogHistogram, ClampsAndHandlesNonPositive) {
+  LogHistogram h{1.0, 1000.0, 3};
+  h.add(0.0);      // clamps to first bin
+  h.add(1e9);      // clamps to last bin
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(2), 1u);
+}
+
+TEST(LogHistogram, RejectsBadRange) {
+  EXPECT_THROW((LogHistogram{0.0, 10.0, 3}), std::invalid_argument);
+  EXPECT_THROW((LogHistogram{10.0, 1.0, 3}), std::invalid_argument);
+  EXPECT_THROW((LogHistogram{1.0, 10.0, 0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rsd

@@ -1,0 +1,201 @@
+#include "core/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace rsd {
+namespace {
+
+TEST(StreamingStats, EmptyIsZero) {
+  const StreamingStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(StreamingStats, SingleValue) {
+  StreamingStats s;
+  s.add(42.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.min(), 42.0);
+  EXPECT_DOUBLE_EQ(s.max(), 42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(StreamingStats, KnownMoments) {
+  StreamingStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+  // Sample variance with n-1: sum sq dev = 32, / 7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(StreamingStats, MergeMatchesSequential) {
+  Rng rng{123};
+  StreamingStats all;
+  StreamingStats a;
+  StreamingStats b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(StreamingStats, MergeWithEmpty) {
+  StreamingStats a;
+  a.add(1.0);
+  a.add(3.0);
+  StreamingStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+
+  StreamingStats c;
+  c.merge(a);
+  EXPECT_EQ(c.count(), 2u);
+  EXPECT_DOUBLE_EQ(c.mean(), 2.0);
+}
+
+TEST(Quantile, EmptyAndSingle) {
+  EXPECT_DOUBLE_EQ(quantile({}, 0.5), 0.0);
+  const std::vector<double> one{7.0};
+  EXPECT_DOUBLE_EQ(quantile(one, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(quantile(one, 1.0), 7.0);
+}
+
+TEST(Quantile, LinearInterpolation) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 1.75);
+}
+
+TEST(Quantile, UnsortedInputHandled) {
+  const std::vector<double> v{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 2.5);
+}
+
+TEST(Quantile, ClampsOutOfRangeQ) {
+  const std::vector<double> v{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(quantile(v, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.5), 2.0);
+}
+
+TEST(Violin, SummaryFields) {
+  const std::vector<double> v{5.0, 1.0, 3.0, 2.0, 4.0};
+  const ViolinSummary s = summarize_violin("k", v);
+  EXPECT_EQ(s.label, "k");
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.p25, 2.0);
+  EXPECT_DOUBLE_EQ(s.p75, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.total, 15.0);
+}
+
+TEST(Violin, EmptySummary) {
+  const ViolinSummary s = summarize_violin("empty", {});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(SampleSet, QuantilesAndStats) {
+  SampleSet set;
+  for (const double x : {9.0, 1.0, 5.0, 3.0, 7.0}) set.add(x);
+  EXPECT_EQ(set.size(), 5u);
+  EXPECT_DOUBLE_EQ(set.min(), 1.0);
+  EXPECT_DOUBLE_EQ(set.max(), 9.0);
+  EXPECT_DOUBLE_EQ(set.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(set.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(set.sum(), 25.0);
+}
+
+TEST(SampleSet, AddAfterQuery) {
+  SampleSet set;
+  set.add(2.0);
+  EXPECT_DOUBLE_EQ(set.quantile(0.5), 2.0);
+  set.add(1.0);
+  set.add(3.0);
+  EXPECT_DOUBLE_EQ(set.quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(set.min(), 1.0);
+}
+
+TEST(SampleSet, ViolinDelegation) {
+  SampleSet set;
+  set.add(1.0);
+  set.add(2.0);
+  const auto v = set.violin("x");
+  EXPECT_EQ(v.count, 2u);
+  EXPECT_DOUBLE_EQ(v.mean, 1.5);
+}
+
+TEST(P2Quantile, ExactForSmallStreams) {
+  P2Quantile p50{0.5};
+  for (const double x : {3.0, 1.0, 2.0}) p50.add(x);
+  EXPECT_DOUBLE_EQ(p50.estimate(), 2.0);
+  EXPECT_EQ(p50.count(), 3u);
+}
+
+TEST(P2Quantile, EmptyEstimateIsZero) {
+  const P2Quantile p{0.9};
+  EXPECT_DOUBLE_EQ(p.estimate(), 0.0);
+}
+
+TEST(P2Quantile, MedianOfUniformStream) {
+  Rng rng{31};
+  P2Quantile p50{0.5};
+  for (int i = 0; i < 50000; ++i) p50.add(rng.uniform(0.0, 100.0));
+  EXPECT_NEAR(p50.estimate(), 50.0, 1.0);
+}
+
+TEST(P2Quantile, TailQuantileOfNormalStream) {
+  Rng rng{32};
+  P2Quantile p95{0.95};
+  for (int i = 0; i < 100000; ++i) p95.add(rng.normal(0.0, 1.0));
+  // True 95th percentile of N(0,1) is ~1.645.
+  EXPECT_NEAR(p95.estimate(), 1.645, 0.08);
+}
+
+TEST(P2Quantile, TracksExactQuantileOnSkewedData) {
+  Rng rng{33};
+  P2Quantile p90{0.9};
+  SampleSet exact;
+  for (int i = 0; i < 50000; ++i) {
+    const double x = rng.lognormal(0.0, 1.0);
+    p90.add(x);
+    exact.add(x);
+  }
+  const double truth = exact.quantile(0.9);
+  EXPECT_NEAR(p90.estimate(), truth, 0.05 * truth);
+}
+
+// Property: for normal samples, streaming mean/stddev track the
+// distribution parameters.
+TEST(StreamingStats, NormalSamplingProperty) {
+  Rng rng{7};
+  StreamingStats s;
+  for (int i = 0; i < 20000; ++i) s.add(rng.normal(10.0, 3.0));
+  EXPECT_NEAR(s.mean(), 10.0, 0.1);
+  EXPECT_NEAR(s.stddev(), 3.0, 0.1);
+}
+
+}  // namespace
+}  // namespace rsd

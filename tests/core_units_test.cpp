@@ -1,0 +1,95 @@
+#include "core/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rsd {
+namespace {
+
+using namespace rsd::literals;
+
+TEST(Units, DurationLiteralsProduceNanoseconds) {
+  EXPECT_EQ((5_ns).ns(), 5);
+  EXPECT_EQ((3_us).ns(), 3'000);
+  EXPECT_EQ((2_ms).ns(), 2'000'000);
+  EXPECT_EQ((1_s).ns(), 1'000'000'000);
+}
+
+TEST(Units, DurationConversions) {
+  const SimDuration d = 1500_us;
+  EXPECT_DOUBLE_EQ(d.us(), 1500.0);
+  EXPECT_DOUBLE_EQ(d.ms(), 1.5);
+  EXPECT_DOUBLE_EQ(d.seconds(), 0.0015);
+}
+
+TEST(Units, DurationFactoryFunctions) {
+  EXPECT_EQ(duration::microseconds(2.5).ns(), 2500);
+  EXPECT_EQ(duration::milliseconds(0.001).ns(), 1000);
+  EXPECT_EQ(duration::seconds(1e-9).ns(), 1);
+  EXPECT_EQ(duration::nanoseconds(7).ns(), 7);
+}
+
+TEST(Units, DurationArithmetic) {
+  EXPECT_EQ((3_us + 2_us).ns(), 5000);
+  EXPECT_EQ((3_us - 2_us).ns(), 1000);
+  EXPECT_EQ((3_us * std::int64_t{4}).ns(), 12000);
+  EXPECT_EQ((std::int64_t{4} * 3_us).ns(), 12000);
+  EXPECT_EQ((10_us / std::int64_t{4}).ns(), 2500);
+  EXPECT_DOUBLE_EQ(10_us / 4_us, 2.5);
+}
+
+TEST(Units, DurationScaleByDouble) {
+  EXPECT_EQ((10_us * 0.5).ns(), 5000);
+  EXPECT_EQ((0.5 * 10_us).ns(), 5000);
+}
+
+TEST(Units, DurationComparison) {
+  EXPECT_LT(1_us, 2_us);
+  EXPECT_EQ(1000_ns, 1_us);
+  EXPECT_GT(1_ms, 999_us);
+}
+
+TEST(Units, DurationCompoundAssignment) {
+  SimDuration d = 1_us;
+  d += 2_us;
+  EXPECT_EQ(d, 3_us);
+  d -= 1_us;
+  EXPECT_EQ(d, 2_us);
+}
+
+TEST(Units, TimePlusDuration) {
+  const SimTime t0 = SimTime::zero();
+  const SimTime t1 = t0 + 5_us;
+  EXPECT_EQ(t1.ns(), 5000);
+  EXPECT_EQ((t1 - t0).ns(), 5000);
+  EXPECT_EQ((t1 - 2_us).ns(), 3000);
+}
+
+TEST(Units, TimeOrdering) {
+  EXPECT_LT(SimTime::zero(), SimTime{1});
+  EXPECT_LT(SimTime{1}, SimTime::max());
+}
+
+TEST(Units, ByteConstants) {
+  EXPECT_EQ(kKiB, 1024u);
+  EXPECT_EQ(kMiB, 1024u * 1024u);
+  EXPECT_EQ(kGiB, 1024u * 1024u * 1024u);
+  EXPECT_DOUBLE_EQ(to_mib(16 * kMiB), 16.0);
+  EXPECT_DOUBLE_EQ(to_gib(40 * kGiB), 40.0);
+}
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(2 * kKiB), "2 KiB");
+  EXPECT_EQ(format_bytes(3 * kMiB), "3 MiB");
+  EXPECT_EQ(format_bytes(4 * kGiB), "4 GiB");
+}
+
+TEST(Units, FormatDurationPicksUnit) {
+  EXPECT_EQ(format_duration(500_ns), "500 ns");
+  EXPECT_EQ(format_duration(18_us), "18 us");
+  EXPECT_EQ(format_duration(73_ms), "73 ms");
+  EXPECT_EQ(format_duration(4_s), "4 s");
+}
+
+}  // namespace
+}  // namespace rsd

@@ -1,0 +1,95 @@
+#include "core/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "interconnect/slack.hpp"
+#include "proxy/proxy.hpp"
+
+namespace rsd {
+namespace {
+
+using namespace rsd::literals;
+
+TEST(RepeatRuns, SingleRunIsExact) {
+  const auto r = repeat_runs(1, [](std::uint64_t) { return 42.0; });
+  EXPECT_EQ(r.runs, 1u);
+  EXPECT_DOUBLE_EQ(r.mean, 42.0);
+  EXPECT_DOUBLE_EQ(r.stddev, 0.0);
+}
+
+TEST(RepeatRuns, SeedsAreDistinctAndSequential) {
+  std::vector<std::uint64_t> seen;
+  (void)repeat_runs(
+      5,
+      [&seen](std::uint64_t seed) {
+        seen.push_back(seed);
+        return 0.0;
+      },
+      100);
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{100, 101, 102, 103, 104}));
+}
+
+TEST(RepeatRuns, StatisticsOverNoisyMeasurement) {
+  const auto r = repeat_runs(200, [](std::uint64_t seed) {
+    Rng rng{seed};
+    return rng.normal(10.0, 2.0);
+  });
+  EXPECT_EQ(r.runs, 200u);
+  EXPECT_NEAR(r.mean, 10.0, 0.5);
+  EXPECT_NEAR(r.stddev, 2.0, 0.5);
+  EXPECT_LE(r.min, r.mean);
+  EXPECT_GE(r.max, r.mean);
+}
+
+TEST(SlackNoise, ZeroSigmaIsDeterministic) {
+  interconnect::SlackInjector inj{100_us, 0.0, 7};
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(inj.on_api_call(), 100_us);
+  EXPECT_EQ(inj.total_injected(), 1_ms);
+}
+
+TEST(SlackNoise, OvershootIsRightSkewed) {
+  // lognormal(0, sigma) has mean exp(sigma^2/2) > 1: real sleeps overshoot.
+  interconnect::SlackInjector inj{100_us, 0.3, 11};
+  SimDuration total = SimDuration::zero();
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) total += inj.on_api_call();
+  const double mean_us = total.us() / n;
+  EXPECT_NEAR(mean_us, 100.0 * std::exp(0.3 * 0.3 / 2.0), 1.5);
+  EXPECT_GT(mean_us, 100.0);
+}
+
+TEST(SlackNoise, ProxyRunsVaryBySeedAndAverageNearDeterministic) {
+  const proxy::ProxyRunner runner;
+  auto measure = [&runner](std::uint64_t seed, double sigma) {
+    proxy::ProxyConfig cfg;
+    cfg.matrix_n = 1 << 11;
+    cfg.max_iterations = 20;
+    cfg.slack = 100_us;
+    cfg.host_noise_sigma = sigma;
+    cfg.seed = seed;
+    return runner.run(cfg).loop_runtime.seconds();
+  };
+  const double deterministic = measure(1, 0.0);
+  const auto noisy = repeat_runs(5, [&](std::uint64_t s) { return measure(s, 0.1); });
+  EXPECT_GT(noisy.stddev, 0.0);
+  // Overshoot makes the noisy mean slightly above deterministic; well
+  // within a percent at sigma = 0.1.
+  EXPECT_NEAR(noisy.mean, deterministic, 0.01 * deterministic);
+  EXPECT_GE(noisy.mean, deterministic * 0.999);
+}
+
+TEST(SlackNoise, EquationOneUsesNominalSlack) {
+  const proxy::ProxyRunner runner;
+  proxy::ProxyConfig cfg;
+  cfg.matrix_n = 1 << 11;
+  cfg.max_iterations = 20;
+  cfg.slack = 100_us;
+  cfg.host_noise_sigma = 0.2;
+  const auto r = runner.run(cfg);
+  // loop - no_slack == nominal * calls, regardless of the actual overshoot.
+  EXPECT_EQ(r.loop_runtime - r.no_slack_time, 100_us * r.cuda_calls_per_thread);
+}
+
+}  // namespace
+}  // namespace rsd

@@ -1,0 +1,292 @@
+#include "gpusim/context.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "interconnect/link.hpp"
+#include "interconnect/slack.hpp"
+#include "sim/scheduler.hpp"
+
+namespace rsd::gpu {
+namespace {
+
+using namespace rsd::literals;
+
+/// Collects records in vectors for inspection.
+class VectorSink : public RecordSink {
+ public:
+  void on_op(const OpRecord& op) override { ops.push_back(op); }
+  void on_api(const ApiRecord& api) override { apis.push_back(api); }
+
+  std::vector<OpRecord> ops;
+  std::vector<ApiRecord> apis;
+};
+
+DeviceParams test_params() {
+  DeviceParams p;
+  p.matmul_tflops = 100.0;
+  p.wake_t0 = 500_ns;
+  p.wake_alpha = 0.1;
+  p.wake_max = 1_ms;
+  return p;
+}
+
+struct Fixture {
+  sim::Scheduler sched;
+  Device dev{sched, test_params(), interconnect::make_pcie_gen4_x16()};
+  VectorSink sink;
+
+  Fixture() { dev.set_record_sink(&sink); }
+};
+
+TEST(Context, MallocFreeTracksMemory) {
+  Fixture f;
+  f.sched.spawn([](Fixture& fx) -> sim::Task<> {
+    Context ctx{fx.dev};
+    DeviceBuffer buf = co_await ctx.dmalloc(kMiB);
+    EXPECT_EQ(fx.dev.memory().used(), kMiB);
+    co_await ctx.dfree(buf);
+    EXPECT_EQ(fx.dev.memory().used(), 0u);
+    EXPECT_EQ(buf.handle, 0u);
+  }(f));
+  f.sched.run();
+}
+
+TEST(Context, MemcpyBlocksUntilTransferComplete) {
+  Fixture f;
+  SimTime done_at{-1};
+  f.sched.spawn([](Fixture& fx, SimTime& out) -> sim::Task<> {
+    Context ctx{fx.dev};
+    DeviceBuffer buf = co_await ctx.dmalloc(24 * kMiB);
+    const SimTime before = fx.sched.now();
+    co_await ctx.memcpy_h2d(buf);
+    out = fx.sched.now();
+    // 24 MiB at 24 GiB/s ~ 0.98 ms (+ 8 us link latency + setup + submit).
+    EXPECT_GT(fx.sched.now() - before, 950_us);
+    EXPECT_LT(fx.sched.now() - before, 1100_us);
+  }(f, done_at));
+  f.sched.run();
+  ASSERT_EQ(f.sink.ops.size(), 1u);
+  EXPECT_EQ(f.sink.ops[0].kind, OpKind::kMemcpyH2D);
+  EXPECT_EQ(f.sink.ops[0].bytes, 24 * kMiB);
+}
+
+TEST(Context, LaunchIsAsynchronous) {
+  Fixture f;
+  f.sched.spawn([](Fixture& fx) -> sim::Task<> {
+    Context ctx{fx.dev};
+    const SimTime before = fx.sched.now();
+    co_await ctx.launch("k", 10_ms);
+    // Launch returns after submit cost only, not after the 10 ms kernel.
+    EXPECT_LT(fx.sched.now() - before, 100_us);
+    co_await ctx.synchronize();
+    EXPECT_GT(fx.sched.now() - before, 10_ms);
+  }(f));
+  f.sched.run();
+  ASSERT_EQ(f.sink.ops.size(), 1u);
+  EXPECT_EQ(f.sink.ops[0].kind, OpKind::kKernel);
+  EXPECT_EQ(f.sink.ops[0].name, "k");
+}
+
+TEST(Context, StreamOrderSerializesOps) {
+  Fixture f;
+  f.sched.spawn([](Fixture& fx) -> sim::Task<> {
+    Context ctx{fx.dev};
+    DeviceBuffer buf = co_await ctx.dmalloc(kMiB);
+    co_await ctx.launch("k1", 1_ms);
+    co_await ctx.launch("k2", 1_ms);
+    co_await ctx.memcpy_d2h(buf);
+    co_await ctx.synchronize();
+  }(f));
+  f.sched.run();
+  ASSERT_EQ(f.sink.ops.size(), 3u);
+  // In-stream order on device: k1, k2, then the D2H copy.
+  EXPECT_EQ(f.sink.ops[0].name, "k1");
+  EXPECT_EQ(f.sink.ops[1].name, "k2");
+  EXPECT_EQ(f.sink.ops[2].kind, OpKind::kMemcpyD2H);
+  EXPECT_GE(f.sink.ops[1].start, f.sink.ops[0].end);
+  EXPECT_GE(f.sink.ops[2].start, f.sink.ops[1].end);
+}
+
+TEST(Context, BackToBackKernelsHideSetup) {
+  Fixture f;
+  f.sched.spawn([](Fixture& fx) -> sim::Task<> {
+    Context ctx{fx.dev};
+    co_await ctx.launch("k1", 1_ms);
+    co_await ctx.launch("k2", 1_ms);  // submitted while k1 runs
+    co_await ctx.synchronize();
+  }(f));
+  f.sched.run();
+  ASSERT_EQ(f.sink.ops.size(), 2u);
+  EXPECT_GT(f.sink.ops[0].exposed_overhead, SimDuration::zero());
+  // NOTE: stream chaining dispatches k2 to the engine only after k1
+  // completes, so the engine queue is empty again; exposure is therefore
+  // still charged (it shows as queue delay, not execution time). This
+  // matches the synchronous-pessimistic stance of the paper's proxy
+  // (Section III-B).
+  EXPECT_GE(f.sink.ops[1].start, f.sink.ops[0].end);
+  EXPECT_LE(f.sink.ops[1].start - f.sink.ops[0].end, 10_us);
+}
+
+TEST(Context, SlackInjectedAfterEveryApiCall) {
+  Fixture f;
+  interconnect::SlackInjector inj{100_us};
+  f.sched.spawn([](Fixture& fx, interconnect::SlackInjector& i) -> sim::Task<> {
+    Context ctx{fx.dev, 0, &i};
+    DeviceBuffer a = co_await ctx.dmalloc(kMiB);
+    DeviceBuffer b = co_await ctx.dmalloc(kMiB);
+    // The proxy's 5 delayed calls: 3 memcpys + launch + sync.
+    co_await ctx.memcpy_h2d(a);
+    co_await ctx.memcpy_h2d(b);
+    co_await ctx.launch("mm", 10_us);
+    co_await ctx.memcpy_d2h(a);
+    co_await ctx.synchronize();
+  }(f, inj));
+  f.sched.run();
+  EXPECT_EQ(inj.calls_delayed(), 5);
+  EXPECT_EQ(inj.total_injected(), 500_us);
+  ASSERT_EQ(f.sink.apis.size(), 5u);
+  for (const auto& api : f.sink.apis) EXPECT_EQ(api.slack_after, 100_us);
+}
+
+TEST(Context, ApiCallCountExcludesAllocation) {
+  Fixture f;
+  f.sched.spawn([](Fixture& fx) -> sim::Task<> {
+    Context ctx{fx.dev};
+    DeviceBuffer a = co_await ctx.dmalloc(kMiB);
+    co_await ctx.memcpy_h2d(a);
+    co_await ctx.synchronize();
+    EXPECT_EQ(ctx.api_calls(), 2);
+    co_await ctx.dfree(a);
+    EXPECT_EQ(ctx.api_calls(), 2);
+  }(f));
+  f.sched.run();
+}
+
+TEST(Context, SlackDelaysHostTimeline) {
+  Fixture f;
+  interconnect::SlackInjector inj{1_ms};
+  SimTime end_time{-1};
+  f.sched.spawn([](Fixture& fx, interconnect::SlackInjector& i, SimTime& out) -> sim::Task<> {
+    Context ctx{fx.dev, 0, &i};
+    co_await ctx.launch("k", 1_us);
+    co_await ctx.synchronize();
+    out = fx.sched.now();
+  }(f, inj, end_time));
+  f.sched.run();
+  // Two API calls, each followed by 1 ms slack.
+  EXPECT_GT(end_time - SimTime::zero(), 2_ms);
+}
+
+TEST(Context, TwoContextsInterleaveOnDevice) {
+  Fixture f;
+  auto worker = [](Fixture& fx, int id) -> sim::Task<> {
+    Context ctx{fx.dev, id};
+    for (int i = 0; i < 3; ++i) {
+      co_await ctx.launch("k" + std::to_string(id), 1_ms);
+      co_await ctx.synchronize();
+    }
+  };
+  f.sched.spawn(worker(f, 1));
+  f.sched.spawn(worker(f, 2));
+  f.sched.run();
+  ASSERT_EQ(f.sink.ops.size(), 6u);
+  // Both contexts appear in the interleaved op stream.
+  int c1 = 0;
+  int c2 = 0;
+  for (const auto& op : f.sink.ops) {
+    if (op.context_id == 1) ++c1;
+    if (op.context_id == 2) ++c2;
+  }
+  EXPECT_EQ(c1, 3);
+  EXPECT_EQ(c2, 3);
+}
+
+TEST(Context, MatmulLaunchUsesDeviceCostModel) {
+  Fixture f;
+  f.sched.spawn([](Fixture& fx) -> sim::Task<> {
+    Context ctx{fx.dev};
+    co_await ctx.launch_matmul(8192);
+    co_await ctx.synchronize();
+  }(f));
+  f.sched.run();
+  ASSERT_EQ(f.sink.ops.size(), 1u);
+  EXPECT_EQ(f.sink.ops[0].name, "sgemm_8192");
+  // ~11 ms on the 100 TFLOP/s model (+ setup).
+  EXPECT_NEAR(f.sink.ops[0].duration().ms(), 11.0, 1.0);
+}
+
+TEST(Context, AsyncMemcpyReturnsCompletionEvent) {
+  Fixture f;
+  f.sched.spawn([](Fixture& fx) -> sim::Task<> {
+    Context ctx{fx.dev};
+    DeviceBuffer buf = co_await ctx.dmalloc(24 * kMiB);
+    const SimTime before = fx.sched.now();
+    auto ev = co_await ctx.memcpy_h2d_async(buf);
+    // Returned promptly (submit cost only), transfer still in flight.
+    EXPECT_LT(fx.sched.now() - before, 100_us);
+    EXPECT_FALSE(ev->triggered());
+    co_await ev->wait();
+    // ~1 ms transfer completed.
+    EXPECT_GT(fx.sched.now() - before, 900_us);
+  }(f));
+  f.sched.run();
+  EXPECT_EQ(f.sched.unfinished_count(), 0u);
+}
+
+TEST(Context, StreamWaitOrdersAcrossContexts) {
+  Fixture f;
+  f.sched.spawn([](Fixture& fx) -> sim::Task<> {
+    Context copy_ctx{fx.dev, 0};
+    Context compute_ctx{fx.dev, 1};
+    DeviceBuffer buf = co_await copy_ctx.dmalloc(24 * kMiB);
+    auto copied = co_await copy_ctx.memcpy_h2d_async(buf);
+    co_await compute_ctx.stream_wait(copied);
+    co_await compute_ctx.launch("dependent", 10_us);
+    co_await compute_ctx.synchronize();
+  }(f));
+  f.sched.run();
+  ASSERT_EQ(f.sink.ops.size(), 2u);
+  const auto& copy = f.sink.ops[0].kind == OpKind::kMemcpyH2D ? f.sink.ops[0] : f.sink.ops[1];
+  const auto& kernel = f.sink.ops[0].kind == OpKind::kKernel ? f.sink.ops[0] : f.sink.ops[1];
+  // The kernel could not start before the other context's copy finished.
+  EXPECT_GE(kernel.start, copy.end);
+}
+
+TEST(Context, RecordEventTracksTail) {
+  Fixture f;
+  f.sched.spawn([](Fixture& fx) -> sim::Task<> {
+    Context ctx{fx.dev};
+    EXPECT_EQ(ctx.record_event(), nullptr);  // nothing submitted yet
+    co_await ctx.launch("k", 1_ms);
+    auto ev = ctx.record_event();
+    EXPECT_NE(ev, nullptr);
+    if (ev != nullptr) {
+      EXPECT_FALSE(ev->triggered());
+      co_await ctx.synchronize();
+      EXPECT_TRUE(ev->triggered());
+    }
+  }(f));
+  f.sched.run();
+}
+
+TEST(Context, OomPropagatesAsException) {
+  Fixture f;
+  bool caught = false;
+  f.sched.spawn([](Fixture& fx, bool& flag) -> sim::Task<> {
+    Context ctx{fx.dev};
+    try {
+      DeviceBuffer big = co_await ctx.dmalloc(41ULL * kGiB);
+      (void)big;
+    } catch (const Error& e) {
+      flag = (e.code() == ErrorCode::kOutOfMemory);
+    }
+  }(f, caught));
+  f.sched.run();
+  EXPECT_TRUE(caught);
+}
+
+}  // namespace
+}  // namespace rsd::gpu

@@ -1,0 +1,160 @@
+// End-to-end integration of the paper's full method: profile an
+// application on the simulated node, predict its slack penalty from the
+// proxy surface (Equations 2-3), then *actually run* the application with
+// injected slack and compare the measured penalty against the prediction.
+// This closes the loop the paper could only close for the proxy itself.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "apps/cosmoflow.hpp"
+#include "apps/lammps.hpp"
+#include "model/slack_model.hpp"
+#include "proxy/proxy.hpp"
+#include "trace/analysis.hpp"
+#include "trace/import.hpp"
+
+namespace rsd {
+namespace {
+
+using namespace rsd::literals;
+
+class EndToEnd : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const proxy::ProxyRunner runner;
+    proxy::SweepConfig cfg;
+    cfg.target_compute = 2_s;  // shortened sweep: same surface shape
+    surface_ = new model::ResponseSurface(
+        model::ResponseSurface::from_sweep(run_slack_sweep(runner, cfg)));
+  }
+  static void TearDownTestSuite() {
+    delete surface_;
+    surface_ = nullptr;
+  }
+
+  static model::ResponseSurface* surface_;
+};
+
+model::ResponseSurface* EndToEnd::surface_ = nullptr;
+
+TEST_F(EndToEnd, LammpsPredictionBracketsMeasurementAtModerateSlack) {
+  apps::LammpsConfig cfg;
+  cfg.box = 60;
+  cfg.procs = 4;
+  cfg.steps = 90;
+  cfg.capture_trace = true;
+  const auto baseline = apps::run_lammps(cfg);
+
+  const model::SlackModel slack_model{*surface_};
+  const auto pred = slack_model.predict(baseline.trace, cfg.procs, 100_us);
+
+  cfg.capture_trace = false;
+  cfg.slack = 100_us;
+  const auto slacked = apps::run_lammps(cfg);
+  const double measured =
+      slacked.no_slack_runtime / baseline.no_slack_runtime - 1.0;
+
+  // Paper's headline regime: at 100 us both prediction and measurement are
+  // small, and the measurement does not exceed the pessimistic bound.
+  EXPECT_LT(pred.total.upper, 0.02);
+  EXPECT_LT(measured, pred.total.upper + 0.02);
+  EXPECT_LT(std::abs(measured), 0.05);
+}
+
+TEST_F(EndToEnd, LammpsMeasuredEffectSmallAtNetworkScaleSlack) {
+  // Injecting network-scale slack directly into the multi-rank application
+  // barely moves its Eq.1 runtime (it can even come out slightly negative:
+  // slack thins the ranks' contention on the shared device, exactly the
+  // multi-thread proxy's sub-1.0 behaviour).
+  apps::LammpsConfig cfg;
+  cfg.box = 60;
+  cfg.procs = 4;
+  cfg.steps = 54;
+  const auto baseline = apps::run_lammps(cfg);
+  for (const SimDuration slack : {10_us, 100_us}) {
+    cfg.slack = slack;
+    const auto r = apps::run_lammps(cfg);
+    const double penalty = r.no_slack_runtime / baseline.no_slack_runtime - 1.0;
+    EXPECT_LT(std::abs(penalty), 0.05) << "slack " << slack.us();
+  }
+}
+
+TEST_F(EndToEnd, CosmoflowToleratesHundredMicrosecondSlack) {
+  apps::CosmoflowConfig cfg;
+  cfg.epochs = 1;
+  cfg.train_items = 32;
+  cfg.validation_items = 0;
+  cfg.batch = 4;
+  const auto baseline = apps::run_cosmoflow(cfg);
+  cfg.slack = 100_us;
+  const auto slacked = apps::run_cosmoflow(cfg);
+  const double measured =
+      slacked.no_slack_runtime / baseline.no_slack_runtime - 1.0;
+  // GPU-dominant with deep launch queues: essentially unaffected.
+  EXPECT_LT(measured, 0.01);
+  EXPECT_GT(measured, -0.05);
+}
+
+TEST_F(EndToEnd, CosmoflowPredictionAgreesItIsTolerant) {
+  apps::CosmoflowConfig cfg;
+  cfg.epochs = 1;
+  cfg.train_items = 32;
+  cfg.validation_items = 0;
+  cfg.batch = 4;
+  cfg.capture_trace = true;
+  const auto baseline = apps::run_cosmoflow(cfg);
+  const model::SlackModel slack_model{*surface_};
+  const auto pred = slack_model.predict(baseline.trace, 4, 100_us);
+  EXPECT_LT(pred.total.upper, 0.01);  // the paper's < 1% headline
+}
+
+TEST_F(EndToEnd, WholeMethodRunsFromImportedTrace) {
+  // Profile -> export CSV -> re-import (the external-trace path) ->
+  // predict. Exercises the practitioner pipeline end to end.
+  apps::LammpsConfig cfg;
+  cfg.box = 20;
+  cfg.procs = 2;
+  cfg.steps = 36;
+  cfg.capture_trace = true;
+  const auto run = apps::run_lammps(cfg);
+  const std::string csv = run.trace.ops_to_csv();
+
+  std::istringstream in{csv};
+  const trace::Trace reloaded = trace::parse_ops_csv(in);
+  ASSERT_EQ(reloaded.ops().size(), run.trace.ops().size());
+
+  const model::SlackModel slack_model{*surface_};
+  const auto direct = slack_model.predict(run.trace, 2, 100_us);
+  const auto via_csv = slack_model.predict(reloaded, 2, 100_us);
+  EXPECT_DOUBLE_EQ(direct.total.lower, via_csv.total.lower);
+  EXPECT_DOUBLE_EQ(direct.total.upper, via_csv.total.upper);
+}
+
+TEST_F(EndToEnd, FractionsDistinguishAppClasses) {
+  // The paper's taxonomy: LAMMPS is CPU-heavy (GPU busy a minority of the
+  // time), CosmoFlow is GPU-dominant.
+  apps::LammpsConfig lcfg;
+  lcfg.box = 120;
+  lcfg.procs = 8;
+  lcfg.steps = 54;
+  lcfg.capture_trace = true;
+  const auto lammps = apps::run_lammps(lcfg);
+  const auto lf = trace::runtime_fractions(lammps.trace);
+
+  apps::CosmoflowConfig ccfg;
+  ccfg.epochs = 1;
+  ccfg.train_items = 32;
+  ccfg.validation_items = 0;
+  ccfg.batch = 4;
+  ccfg.capture_trace = true;
+  const auto cosmo = apps::run_cosmoflow(ccfg);
+  const auto cf = trace::runtime_fractions(cosmo.trace);
+
+  EXPECT_GT(cf.kernel, 0.85);
+  EXPECT_LT(lf.kernel, 0.6);
+  EXPECT_GT(cf.kernel, lf.kernel);
+}
+
+}  // namespace
+}  // namespace rsd

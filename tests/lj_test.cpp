@@ -1,0 +1,156 @@
+#include "lj/system.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rsd::lj {
+namespace {
+
+TEST(Vec3, Arithmetic) {
+  const Vec3 a{1.0, 2.0, 3.0};
+  const Vec3 b{4.0, 5.0, 6.0};
+  const Vec3 s = a + b;
+  EXPECT_DOUBLE_EQ(s.x, 5.0);
+  EXPECT_DOUBLE_EQ(s.y, 7.0);
+  EXPECT_DOUBLE_EQ(s.z, 9.0);
+  EXPECT_DOUBLE_EQ(a.dot(b), 32.0);
+  EXPECT_DOUBLE_EQ((a * 2.0).z, 6.0);
+  const Vec3 hyp{3.0, 4.0, 0.0};
+  EXPECT_DOUBLE_EQ(hyp.norm(), 5.0);
+}
+
+TEST(Lattice, FccAtomCountIsFourCellsCubed) {
+  // The paper's box-size convention: box 20 <-> 4*20^3 = 32,000 atoms.
+  EXPECT_EQ(System(2).atom_count(), 32);
+  EXPECT_EQ(System(3).atom_count(), 108);
+  EXPECT_EQ(System(5).atom_count(), 500);
+}
+
+TEST(Lattice, DensityMatchesRequest) {
+  const System sys{5};
+  const double volume = std::pow(sys.box_length(), 3);
+  EXPECT_NEAR(static_cast<double>(sys.atom_count()) / volume, 0.8442, 1e-12);
+}
+
+TEST(Velocities, InitialTemperatureAndMomentum) {
+  const System sys{5};
+  EXPECT_NEAR(sys.temperature(), 1.44, 1e-9);
+  const Vec3 p = sys.net_momentum();
+  EXPECT_NEAR(p.x, 0.0, 1e-9);
+  EXPECT_NEAR(p.y, 0.0, 1e-9);
+  EXPECT_NEAR(p.z, 0.0, 1e-9);
+}
+
+TEST(Forces, NetForceIsZero) {
+  // Newton's third law: internal forces sum to zero.
+  System sys{5};
+  sys.run(3);  // break lattice symmetry first
+  Vec3 f{};
+  for (const auto& fi : sys.forces()) f += fi;
+  EXPECT_NEAR(f.x, 0.0, 1e-7);
+  EXPECT_NEAR(f.y, 0.0, 1e-7);
+  EXPECT_NEAR(f.z, 0.0, 1e-7);
+}
+
+TEST(Forces, CellListMatchesBruteForce) {
+  System sys{5};  // 500 atoms, grid >= 3 -> cell path active
+  sys.run(5);     // move off the lattice
+  sys.compute_forces();
+  const double cell_pe = sys.potential_energy();
+  const std::int64_t cell_pairs = sys.last_pair_count();
+  std::vector<Vec3> cell_forces{sys.forces().begin(), sys.forces().end()};
+
+  sys.compute_forces_reference();
+  EXPECT_NEAR(sys.potential_energy(), cell_pe, 1e-8 * std::abs(cell_pe));
+  EXPECT_EQ(sys.last_pair_count(), cell_pairs);
+  const auto ref = sys.forces();
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_NEAR(ref[i].x, cell_forces[i].x, 1e-8);
+    EXPECT_NEAR(ref[i].y, cell_forces[i].y, 1e-8);
+    EXPECT_NEAR(ref[i].z, cell_forces[i].z, 1e-8);
+  }
+}
+
+TEST(Dynamics, EnergyConservedInNve) {
+  System sys{5};
+  const double e0 = sys.total_energy();
+  sys.run(200);
+  const double e1 = sys.total_energy();
+  // NVE with dt=0.005 and a shifted potential: drift well below 0.1%.
+  EXPECT_NEAR(e1, e0, 1e-3 * std::abs(e0));
+}
+
+TEST(Dynamics, MomentumConservedOverRun) {
+  System sys{5};
+  sys.run(100);
+  const Vec3 p = sys.net_momentum();
+  EXPECT_NEAR(p.x, 0.0, 1e-7);
+  EXPECT_NEAR(p.y, 0.0, 1e-7);
+  EXPECT_NEAR(p.z, 0.0, 1e-7);
+}
+
+TEST(Dynamics, AtomsStayInBox) {
+  System sys{5};
+  sys.run(100);
+  for (const auto& p : sys.positions()) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LT(p.x, sys.box_length());
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LT(p.y, sys.box_length());
+    EXPECT_GE(p.z, 0.0);
+    EXPECT_LT(p.z, sys.box_length());
+  }
+}
+
+TEST(Dynamics, LatticeMeltsTowardEquilibrium) {
+  // From a perfect lattice at T*=1.44 the system heats/melts; the kinetic
+  // and potential energy exchange while the total stays fixed.
+  System sys{5};
+  const double pe0 = sys.potential_energy();
+  sys.run(200);
+  EXPECT_GT(sys.potential_energy(), pe0);  // lattice was the PE minimum
+  EXPECT_GT(sys.temperature(), 0.5);
+  EXPECT_LT(sys.temperature(), 2.5);
+}
+
+TEST(Work, PairCountMatchesExpectedNeighborDensity) {
+  // At rho*=0.8442 and r_c=2.5 the average neighbor count within the
+  // cutoff is rho * 4/3 pi r_c^3 ~ 55; pairs ~ N * 55 / 2.
+  System sys{6};  // 864 atoms
+  sys.run(10);
+  const double pairs_per_atom =
+      2.0 * static_cast<double>(sys.last_pair_count()) / static_cast<double>(sys.atom_count());
+  EXPECT_NEAR(pairs_per_atom, 55.0, 8.0);
+}
+
+TEST(Work, StepWorkAccumulates) {
+  System sys{5};
+  const StepWork w = sys.run(4);
+  EXPECT_EQ(w.atoms, 4 * sys.atom_count());
+  EXPECT_GT(w.pair_interactions, 0);
+}
+
+TEST(Determinism, SameSeedSameTrajectory) {
+  System a{5};
+  System b{5};
+  a.run(20);
+  b.run(20);
+  const auto pa = a.positions();
+  const auto pb = b.positions();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_DOUBLE_EQ(pa[i].x, pb[i].x);
+    EXPECT_DOUBLE_EQ(pa[i].y, pb[i].y);
+    EXPECT_DOUBLE_EQ(pa[i].z, pb[i].z);
+  }
+}
+
+TEST(Params, CustomTemperature) {
+  LjParams p;
+  p.temperature = 0.7;
+  const System sys{5, p};
+  EXPECT_NEAR(sys.temperature(), 0.7, 1e-9);
+}
+
+}  // namespace
+}  // namespace rsd::lj

@@ -1,0 +1,271 @@
+#include "nn/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/layers.hpp"
+#include "nn/tensor.hpp"
+
+namespace rsd::nn {
+namespace {
+
+TEST(Tensor, ShapeAndSize) {
+  Tensor t{{2, 3, 4}};
+  EXPECT_EQ(t.rank(), 3u);
+  EXPECT_EQ(t.size(), 24);
+  EXPECT_EQ(t.dim(1), 3);
+  for (const auto v : t.data()) EXPECT_EQ(v, 0.0);
+}
+
+TEST(Tensor, FiveDAccessorRowMajor) {
+  Tensor t{{1, 2, 2, 2, 2}};
+  t.at5(0, 1, 1, 1, 1) = 7.0;
+  EXPECT_EQ(t[15], 7.0);
+  t.at5(0, 0, 0, 0, 1) = 3.0;
+  EXPECT_EQ(t[1], 3.0);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t{{2, 6}};
+  t[5] = 9.0;
+  t.reshape({3, 4});
+  EXPECT_EQ(t.dim(0), 3);
+  EXPECT_EQ(t[5], 9.0);
+}
+
+TEST(Conv3d, IdentityKernelPassesThrough) {
+  Rng rng{1};
+  Conv3d conv{1, 1, 1, 0, rng};  // 1x1x1 kernel, no padding
+  auto params = conv.params();
+  params[0].values[0] = 1.0;  // weight = identity
+  params[1].values[0] = 0.0;  // bias = 0
+
+  Tensor x{{1, 1, 2, 2, 2}};
+  for (std::int64_t i = 0; i < x.size(); ++i) x[static_cast<std::size_t>(i)] = static_cast<Scalar>(i);
+  const Tensor y = conv.forward(x);
+  ASSERT_EQ(y.size(), x.size());
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_DOUBLE_EQ(y[i], x[i]);
+}
+
+TEST(Conv3d, KnownSumKernel) {
+  Rng rng{1};
+  Conv3d conv{1, 1, 3, 0, rng};
+  auto params = conv.params();
+  for (auto& w : params[0].values) w = 1.0;  // box-sum kernel
+  params[1].values[0] = 0.5;
+
+  Tensor x{{1, 1, 3, 3, 3}};
+  x.fill(2.0);
+  const Tensor y = conv.forward(x);
+  ASSERT_EQ(y.size(), 1);
+  EXPECT_DOUBLE_EQ(y[0], 2.0 * 27 + 0.5);
+  EXPECT_EQ(conv.forward_flops(), 2 * 27);
+}
+
+TEST(Conv3d, SamePaddingPreservesShape) {
+  Rng rng{1};
+  Conv3d conv{2, 4, 3, 1, rng};
+  Tensor x{{2, 2, 4, 4, 4}};
+  const Tensor y = conv.forward(x);
+  EXPECT_EQ(y.shape(), (std::vector<std::int64_t>{2, 4, 4, 4, 4}));
+}
+
+TEST(Relu, ClampsNegativesForwardAndBackward) {
+  Relu relu;
+  Tensor x{{1, 4}};
+  x[0] = -1.0;
+  x[1] = 2.0;
+  x[2] = 0.0;
+  x[3] = -0.5;
+  const Tensor y = relu.forward(x);
+  EXPECT_DOUBLE_EQ(y[0], 0.0);
+  EXPECT_DOUBLE_EQ(y[1], 2.0);
+  Tensor g{{1, 4}};
+  g.fill(1.0);
+  const Tensor gx = relu.backward(g);
+  EXPECT_DOUBLE_EQ(gx[0], 0.0);
+  EXPECT_DOUBLE_EQ(gx[1], 1.0);
+  EXPECT_DOUBLE_EQ(gx[2], 0.0);  // gradient at 0 defined as 0
+}
+
+TEST(MaxPool3d, SelectsMaxAndRoutesGradient) {
+  MaxPool3d pool;
+  Tensor x{{1, 1, 2, 2, 2}};
+  for (std::int64_t i = 0; i < 8; ++i) x[static_cast<std::size_t>(i)] = static_cast<Scalar>(i);
+  const Tensor y = pool.forward(x);
+  ASSERT_EQ(y.size(), 1);
+  EXPECT_DOUBLE_EQ(y[0], 7.0);
+
+  Tensor g{{1, 1, 1, 1, 1}};
+  g[0] = 5.0;
+  const Tensor gx = pool.backward(g);
+  EXPECT_DOUBLE_EQ(gx[7], 5.0);
+  for (std::size_t i = 0; i < 7; ++i) EXPECT_DOUBLE_EQ(gx[i], 0.0);
+}
+
+TEST(Dense, LinearAlgebraCorrect) {
+  Rng rng{1};
+  Dense dense{2, 2, rng};
+  auto params = dense.params();
+  // W = [[1, 2], [3, 4]], b = [10, 20].
+  params[0].values[0] = 1.0;
+  params[0].values[1] = 2.0;
+  params[0].values[2] = 3.0;
+  params[0].values[3] = 4.0;
+  params[1].values[0] = 10.0;
+  params[1].values[1] = 20.0;
+
+  Tensor x{{1, 2}};
+  x[0] = 1.0;
+  x[1] = 1.0;
+  const Tensor y = dense.forward(x);
+  EXPECT_DOUBLE_EQ(y[0], 13.0);
+  EXPECT_DOUBLE_EQ(y[1], 27.0);
+}
+
+TEST(Flatten, RoundTrip) {
+  Flatten flat;
+  Tensor x{{2, 1, 2, 2, 2}};
+  x[9] = 4.0;
+  const Tensor y = flat.forward(x);
+  EXPECT_EQ(y.shape(), (std::vector<std::int64_t>{2, 8}));
+  const Tensor back = flat.backward(y);
+  EXPECT_EQ(back.shape(), x.shape());
+  EXPECT_DOUBLE_EQ(back[9], 4.0);
+}
+
+TEST(Loss, MseValueAndGradient) {
+  Tensor pred{{1, 2}};
+  pred[0] = 1.0;
+  pred[1] = 3.0;
+  Tensor target{{1, 2}};
+  target[0] = 0.0;
+  target[1] = 1.0;
+  EXPECT_DOUBLE_EQ(MseLoss::value(pred, target), (1.0 + 4.0) / 2.0);
+  const Tensor g = MseLoss::gradient(pred, target);
+  EXPECT_DOUBLE_EQ(g[0], 1.0);   // 2*(1-0)/2
+  EXPECT_DOUBLE_EQ(g[1], 2.0);   // 2*(3-1)/2
+}
+
+/// Central-difference gradient check of a whole network.
+void check_gradients(Network& net, const Tensor& x, const Tensor& target) {
+  net.zero_grads();
+  const Tensor pred = net.forward(x);
+  net.backward(MseLoss::gradient(pred, target));
+
+  const Scalar eps = 1e-5;
+  for (std::size_t li = 0; li < net.layer_count(); ++li) {
+    for (auto view : net.layer(li).params()) {
+      // Check a subset of parameters for speed: first, middle, last.
+      const std::size_t n = view.values.size();
+      for (const std::size_t pi : {std::size_t{0}, n / 2, n - 1}) {
+        const Scalar saved = view.values[pi];
+        view.values[pi] = saved + eps;
+        const Scalar up = MseLoss::value(net.forward(x), target);
+        view.values[pi] = saved - eps;
+        const Scalar down = MseLoss::value(net.forward(x), target);
+        view.values[pi] = saved;
+        const Scalar numeric = (up - down) / (2 * eps);
+        const Scalar analytic = view.grads[pi];
+        EXPECT_NEAR(analytic, numeric, 1e-5 + 1e-4 * std::abs(numeric))
+            << "layer " << net.layer(li).name() << " param " << pi;
+      }
+    }
+  }
+}
+
+TEST(Gradients, DenseNetworkMatchesFiniteDifferences) {
+  Rng rng{42};
+  Network net;
+  net.add(std::make_unique<Dense>(4, 8, rng));
+  net.add(std::make_unique<Relu>());
+  net.add(std::make_unique<Dense>(8, 2, rng));
+
+  Tensor x{{2, 4}};
+  for (std::int64_t i = 0; i < x.size(); ++i) {
+    x[static_cast<std::size_t>(i)] = rng.uniform(-1.0, 1.0);
+  }
+  Tensor target{{2, 2}};
+  target.fill(0.3);
+  check_gradients(net, x, target);
+}
+
+TEST(Gradients, ConvPoolNetworkMatchesFiniteDifferences) {
+  Rng rng{43};
+  Network net;
+  net.add(std::make_unique<Conv3d>(1, 2, 3, 1, rng));
+  net.add(std::make_unique<Relu>());
+  net.add(std::make_unique<MaxPool3d>());
+  net.add(std::make_unique<Flatten>());
+  net.add(std::make_unique<Dense>(2 * 2 * 2 * 2, 2, rng));
+
+  Tensor x{{1, 1, 4, 4, 4}};
+  for (std::int64_t i = 0; i < x.size(); ++i) {
+    x[static_cast<std::size_t>(i)] = rng.uniform(-1.0, 1.0);
+  }
+  Tensor target{{1, 2}};
+  target[0] = 0.5;
+  target[1] = -0.5;
+  check_gradients(net, x, target);
+}
+
+TEST(Training, LossDecreasesOnToyRegression) {
+  Rng rng{7};
+  Network net;
+  net.add(std::make_unique<Dense>(3, 16, rng));
+  net.add(std::make_unique<Relu>());
+  net.add(std::make_unique<Dense>(16, 1, rng));
+
+  // Learn y = x0 + 2*x1 - x2.
+  Tensor x{{8, 3}};
+  Tensor y{{8, 1}};
+  for (std::int64_t i = 0; i < 8; ++i) {
+    const double a = rng.uniform(-1.0, 1.0);
+    const double b = rng.uniform(-1.0, 1.0);
+    const double c = rng.uniform(-1.0, 1.0);
+    x.at2(i, 0) = a;
+    x.at2(i, 1) = b;
+    x.at2(i, 2) = c;
+    y.at2(i, 0) = a + 2 * b - c;
+  }
+
+  const Scalar first = net.train_step(x, y, 0.05);
+  Scalar last = first;
+  for (int e = 0; e < 200; ++e) last = net.train_step(x, y, 0.05);
+  EXPECT_LT(last, first * 0.05);
+}
+
+TEST(Cosmoflow, FactoryShapesAndTrainability) {
+  Rng rng{11};
+  Network net = make_cosmoflow_net(1, 8, 2, 4, 3, rng);
+  EXPECT_GT(net.parameter_count(), 0);
+
+  Tensor x{{2, 1, 8, 8, 8}};
+  for (std::int64_t i = 0; i < x.size(); ++i) {
+    x[static_cast<std::size_t>(i)] = rng.uniform(0.0, 1.0);
+  }
+  const Tensor out = net.forward(x);
+  EXPECT_EQ(out.shape(), (std::vector<std::int64_t>{2, 3}));
+
+  // FLOP accounting is populated after a forward pass; convs dominate.
+  const auto flops = net.forward_flops_by_layer();
+  EXPECT_GT(net.total_forward_flops(), 0);
+  EXPECT_EQ(flops.size(), net.layer_count());
+  EXPECT_NE(flops[0].first.find("conv3d"), std::string::npos);
+
+  Tensor target{{2, 3}};
+  target.fill(0.1);
+  const Scalar first = net.train_step(x, target, 0.01);
+  Scalar last = first;
+  for (int e = 0; e < 30; ++e) last = net.train_step(x, target, 0.01);
+  EXPECT_LT(last, first);
+}
+
+TEST(Cosmoflow, RejectsIndivisibleVolume) {
+  Rng rng{1};
+  EXPECT_DEATH((void)make_cosmoflow_net(1, 6, 2, 4, 3, rng), "RSD_ASSERT");
+}
+
+}  // namespace
+}  // namespace rsd::nn

@@ -1,0 +1,167 @@
+// Parameterized property suites for the prediction model and trace
+// analysis: invariants of Equations 2-3 and of the NSys-style metrics,
+// checked across generated configurations.
+#include <gtest/gtest.h>
+
+#include "apps/lammps.hpp"
+#include "core/rng.hpp"
+#include "model/slack_model.hpp"
+#include "trace/analysis.hpp"
+
+namespace rsd {
+namespace {
+
+using namespace rsd::literals;
+
+/// A synthetic monotone surface: penalty decreasing in matrix size,
+/// increasing in slack — the shape a valid Figure-3 sweep always has for
+/// serial submission.
+std::vector<proxy::SweepPoint> monotone_sweep() {
+  std::vector<proxy::SweepPoint> sweep;
+  const std::int64_t sizes[] = {512, 2048, 8192, 32768};
+  const double base_penalty[] = {0.8, 0.2, 0.05, 0.01};
+  const SimDuration slacks[] = {SimDuration::zero(), 10_us, 100_us, 1_ms};
+  for (int si = 0; si < 4; ++si) {
+    for (int ki = 0; ki < 4; ++ki) {
+      proxy::SweepPoint p;
+      p.matrix_n = sizes[si];
+      p.threads = 1;
+      p.slack = slacks[ki];
+      p.normalized_runtime = 1.0 + base_penalty[si] * ki;
+      p.result.matrix_n = sizes[si];
+      p.result.kernel_duration = duration::microseconds(10.0 * std::pow(4.0, si));
+      p.result.matrix_bytes =
+          static_cast<Bytes>(sizes[si]) * static_cast<Bytes>(sizes[si]) * 4;
+      sweep.push_back(p);
+    }
+  }
+  return sweep;
+}
+
+// ---------------------------------------------------------------------
+// Property: for any element set, lower <= upper (on a surface whose
+// penalty is monotone non-increasing in matrix size).
+class BoundsOrdering : public testing::TestWithParam<int> {};  // seed
+
+TEST_P(BoundsOrdering, LowerNeverExceedsUpper) {
+  const model::SlackModel slack_model{model::ResponseSurface::from_sweep(monotone_sweep())};
+  Rng rng{static_cast<std::uint64_t>(GetParam())};
+  std::vector<double> values;
+  for (int i = 0; i < 200; ++i) values.push_back(rng.lognormal(3.0, 2.0));
+  for (const SimDuration slack : {10_us, 100_us, 1_ms}) {
+    const auto kernel = slack_model.equation3(values, true, 1, slack);
+    EXPECT_LE(kernel.lower, kernel.upper + 1e-12);
+    const auto memory = slack_model.equation3(values, false, 1, slack);
+    EXPECT_LE(memory.lower, memory.upper + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoundsOrdering, testing::Range(1, 8));
+
+// ---------------------------------------------------------------------
+// Property: predictions are monotone non-decreasing in slack.
+class PredictionMonotonicity : public testing::TestWithParam<int> {};  // seed
+
+TEST_P(PredictionMonotonicity, TotalBoundsNondecreasingInSlack) {
+  const model::SlackModel slack_model{model::ResponseSurface::from_sweep(monotone_sweep())};
+  Rng rng{static_cast<std::uint64_t>(GetParam()) * 77};
+  trace::Trace t;
+  SimTime cursor = SimTime::zero();
+  for (int i = 0; i < 60; ++i) {
+    gpu::OpRecord op;
+    const bool kernel = rng.uniform() < 0.5;
+    op.kind = kernel ? gpu::OpKind::kKernel
+                     : (rng.uniform() < 0.5 ? gpu::OpKind::kMemcpyH2D
+                                            : gpu::OpKind::kMemcpyD2H);
+    op.name = kernel ? "k" : "m";
+    op.submit = cursor;
+    op.start = cursor;
+    const auto dur = duration::microseconds(rng.lognormal(4.0, 1.5));
+    op.end = cursor + dur;
+    op.bytes = kernel ? 0 : static_cast<Bytes>(rng.lognormal(14.0, 2.0));
+    cursor = op.end + duration::microseconds(rng.uniform(1.0, 50.0));
+    t.add_op(op);
+  }
+  double prev_lower = -1.0;
+  double prev_upper = -1.0;
+  for (const SimDuration slack : {SimDuration::zero(), 10_us, 100_us, 1_ms}) {
+    const auto pred = slack_model.predict(t, 1, slack);
+    EXPECT_GE(pred.total.lower, prev_lower - 1e-12);
+    EXPECT_GE(pred.total.upper, prev_upper - 1e-12);
+    prev_lower = pred.total.lower;
+    prev_upper = pred.total.upper;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PredictionMonotonicity, testing::Range(1, 6));
+
+// ---------------------------------------------------------------------
+// Property: runtime fractions are in [0, 1] and attribution counts are
+// conserved, on real application traces of varying shape.
+struct LammpsTraceParam {
+  int box;
+  int procs;
+};
+
+class TraceAnalysisOnAppTraces : public testing::TestWithParam<LammpsTraceParam> {};
+
+TEST_P(TraceAnalysisOnAppTraces, FractionsBoundedAndCountsConserved) {
+  const auto [box, procs] = GetParam();
+  apps::LammpsConfig cfg;
+  cfg.box = box;
+  cfg.procs = procs;
+  cfg.steps = 20;
+  cfg.capture_trace = true;
+  const auto run = apps::run_lammps(cfg);
+
+  const auto f = trace::runtime_fractions(run.trace);
+  EXPECT_GE(f.kernel, 0.0);
+  EXPECT_LE(f.kernel, 1.0);
+  EXPECT_GE(f.memory, 0.0);
+  EXPECT_LE(f.memory, 1.0);
+
+  const auto hist = trace::bin_transfer_sizes(run.trace, {1.0, 16.0, 256.0, 4096.0});
+  EXPECT_EQ(hist.total(), run.trace.memcpy_count());
+
+  const auto violins = trace::kernel_duration_violins(run.trace, 10);
+  ASSERT_FALSE(violins.empty());
+  EXPECT_EQ(violins.back().label, "Total");
+  EXPECT_EQ(violins.back().count, run.trace.kernel_count());
+  // Per-kernel counts sum to the total (top_n covers all names here).
+  std::size_t sum = 0;
+  for (std::size_t i = 0; i + 1 < violins.size(); ++i) sum += violins[i].count;
+  EXPECT_EQ(sum, violins.back().count);
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, TraceAnalysisOnAppTraces,
+                         testing::Values(LammpsTraceParam{20, 1}, LammpsTraceParam{20, 8},
+                                         LammpsTraceParam{60, 2}, LammpsTraceParam{60, 12},
+                                         LammpsTraceParam{100, 4}));
+
+// ---------------------------------------------------------------------
+// Property: Eq.3 attribution counts always sum to the element count, both
+// round-up and round-down, for any parallelism the surface knows.
+class AttributionConservation : public testing::TestWithParam<int> {};  // element count
+
+TEST_P(AttributionConservation, CountsSumToTotal) {
+  const model::SlackModel slack_model{model::ResponseSurface::from_sweep(monotone_sweep())};
+  Rng rng{99};
+  std::vector<double> values;
+  for (int i = 0; i < GetParam(); ++i) values.push_back(rng.lognormal(2.0, 3.0));
+  model::BinnedAttribution attr;
+  (void)slack_model.equation3(values, true, 1, 100_us, &attr);
+  std::size_t up = 0;
+  std::size_t down = 0;
+  for (std::size_t i = 0; i < attr.matrix_sizes.size(); ++i) {
+    up += attr.round_up_counts[i];
+    down += attr.round_down_counts[i];
+  }
+  EXPECT_EQ(up, values.size());
+  EXPECT_EQ(down, values.size());
+  EXPECT_EQ(attr.total, values.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, AttributionConservation, testing::Values(0, 1, 7, 500));
+
+}  // namespace
+}  // namespace rsd

@@ -1,0 +1,172 @@
+// Parameterized property suites for the computational substrates: MD
+// conservation laws across system sizes and timesteps, CNN gradient
+// correctness across layer shapes, and statistics invariants.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/histogram.hpp"
+#include "core/stats.hpp"
+#include "lj/system.hpp"
+#include "nn/network.hpp"
+
+namespace rsd {
+namespace {
+
+// ---------------------------------------------------------------------
+// LJ: energy and momentum conservation for several system sizes.
+class LjConservation : public testing::TestWithParam<int> {};  // lattice cells
+
+TEST_P(LjConservation, EnergyAndMomentum) {
+  lj::System sys{GetParam()};
+  const double e0 = sys.total_energy();
+  sys.run(120);
+  EXPECT_NEAR(sys.total_energy(), e0, 1e-3 * std::abs(e0));
+  const lj::Vec3 p = sys.net_momentum();
+  EXPECT_NEAR(p.x, 0.0, 1e-6);
+  EXPECT_NEAR(p.y, 0.0, 1e-6);
+  EXPECT_NEAR(p.z, 0.0, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LjConservation, testing::Values(3, 4, 5, 6, 7));
+
+// ---------------------------------------------------------------------
+// LJ: smaller timesteps conserve energy at least as well (2nd-order
+// integrator: drift ~ dt^2).
+class LjTimestep : public testing::TestWithParam<double> {};
+
+TEST_P(LjTimestep, DriftBoundedByTimestep) {
+  lj::LjParams params;
+  params.dt = GetParam();
+  lj::System sys{5, params};
+  const double e0 = sys.total_energy();
+  const int steps = static_cast<int>(0.5 / params.dt);  // fixed simulated span
+  sys.run(steps);
+  const double drift = std::abs(sys.total_energy() - e0) / std::abs(e0);
+  // Generous envelope: drift scales with dt^2; at dt=0.005 it's well below
+  // 1e-3 over this span.
+  EXPECT_LT(drift, 40.0 * params.dt * params.dt);
+}
+
+INSTANTIATE_TEST_SUITE_P(Timesteps, LjTimestep, testing::Values(0.001, 0.002, 0.005));
+
+// ---------------------------------------------------------------------
+// CNN: analytic gradients match finite differences across layer shapes.
+struct ConvShape {
+  std::int64_t in_ch;
+  std::int64_t out_ch;
+  std::int64_t kernel;
+  std::int64_t pad;
+  std::int64_t volume;
+};
+
+class ConvGradients : public testing::TestWithParam<ConvShape> {};
+
+TEST_P(ConvGradients, MatchFiniteDifferences) {
+  const auto shape = GetParam();
+  Rng rng{99};
+  nn::Conv3d conv{shape.in_ch, shape.out_ch, shape.kernel, shape.pad, rng};
+
+  nn::Tensor x{{1, shape.in_ch, shape.volume, shape.volume, shape.volume}};
+  for (std::int64_t i = 0; i < x.size(); ++i) {
+    x[static_cast<std::size_t>(i)] = rng.uniform(-1.0, 1.0);
+  }
+  const nn::Tensor y = conv.forward(x);
+  nn::Tensor target{y.shape()};
+  target.fill(0.1);
+
+  conv.backward(nn::MseLoss::gradient(y, target));
+
+  const nn::Scalar eps = 1e-5;
+  for (auto view : conv.params()) {
+    const std::size_t n = view.values.size();
+    for (const std::size_t pi : {std::size_t{0}, n / 2, n - 1}) {
+      const nn::Scalar saved = view.values[pi];
+      view.values[pi] = saved + eps;
+      const nn::Scalar up = nn::MseLoss::value(conv.forward(x), target);
+      view.values[pi] = saved - eps;
+      const nn::Scalar down = nn::MseLoss::value(conv.forward(x), target);
+      view.values[pi] = saved;
+      const nn::Scalar numeric = (up - down) / (2 * eps);
+      EXPECT_NEAR(view.grads[pi], numeric, 1e-5 + 1e-4 * std::abs(numeric));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ConvGradients,
+                         testing::Values(ConvShape{1, 1, 3, 1, 4}, ConvShape{2, 3, 3, 1, 4},
+                                         ConvShape{1, 2, 1, 0, 3}, ConvShape{3, 1, 3, 0, 5},
+                                         ConvShape{2, 2, 3, 1, 6}));
+
+// ---------------------------------------------------------------------
+// Stats: merging any K-way split of a sample stream reproduces the
+// sequential moments exactly.
+class StatsMerge : public testing::TestWithParam<int> {};  // number of shards
+
+TEST_P(StatsMerge, SplitMergeInvariance) {
+  const int shards = GetParam();
+  Rng rng{2024};
+  StreamingStats all;
+  std::vector<StreamingStats> parts(static_cast<std::size_t>(shards));
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.lognormal(0.0, 1.0);
+    all.add(x);
+    parts[static_cast<std::size_t>(i % shards)].add(x);
+  }
+  StreamingStats merged;
+  for (const auto& p : parts) merged.merge(p);
+  EXPECT_EQ(merged.count(), all.count());
+  EXPECT_NEAR(merged.mean(), all.mean(), 1e-9 * std::abs(all.mean()));
+  EXPECT_NEAR(merged.variance(), all.variance(), 1e-8 * all.variance());
+  EXPECT_DOUBLE_EQ(merged.min(), all.min());
+  EXPECT_DOUBLE_EQ(merged.max(), all.max());
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, StatsMerge, testing::Values(2, 3, 7, 16, 101));
+
+// ---------------------------------------------------------------------
+// Histograms: total count conservation and bin-edge consistency for
+// arbitrary edge sets.
+class EdgeHistogramProperty : public testing::TestWithParam<int> {};  // seed
+
+TEST_P(EdgeHistogramProperty, CountsConservedAndOrdered) {
+  Rng rng{static_cast<std::uint64_t>(GetParam())};
+  EdgeHistogram hist{{1.0, 16.0, 256.0, 4096.0}};
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) hist.add(rng.lognormal(2.0, 2.5));
+  std::size_t total = 0;
+  for (std::size_t b = 0; b < hist.bin_count(); ++b) total += hist.count(b);
+  EXPECT_EQ(total, static_cast<std::size_t>(n));
+  EXPECT_EQ(hist.total(), static_cast<std::size_t>(n));
+  // bin_index is consistent with the counts: re-binning agrees.
+  EXPECT_EQ(hist.bin_index(1.0), 0u);
+  EXPECT_EQ(hist.bin_index(1e9), hist.bin_count() - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EdgeHistogramProperty, testing::Range(1, 6));
+
+// ---------------------------------------------------------------------
+// Quantiles: for any sorted data, quantile_sorted is monotone in q and
+// bounded by min/max.
+class QuantileProperty : public testing::TestWithParam<int> {};  // sample count
+
+TEST_P(QuantileProperty, MonotoneBounded) {
+  Rng rng{7};
+  const int n = GetParam();
+  std::vector<double> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = rng.normal(0.0, 10.0);
+  std::sort(v.begin(), v.end());
+  double prev = -std::numeric_limits<double>::infinity();
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const double val = quantile_sorted(v, q);
+    EXPECT_GE(val, prev - 1e-12);
+    EXPECT_GE(val, v.front());
+    EXPECT_LE(val, v.back());
+    prev = val;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, QuantileProperty, testing::Values(1, 2, 3, 10, 1000));
+
+}  // namespace
+}  // namespace rsd

@@ -1,0 +1,250 @@
+#include "proxy/proxy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "trace/analysis.hpp"
+
+namespace rsd::proxy {
+namespace {
+
+using namespace rsd::literals;
+
+/// Short configs keep the simulated runs fast; the dynamics are
+/// deterministic, so small N loses nothing.
+ProxyConfig quick(std::int64_t n, int threads, SimDuration slack) {
+  ProxyConfig cfg;
+  cfg.matrix_n = n;
+  cfg.threads = threads;
+  cfg.slack = slack;
+  cfg.max_iterations = 30;
+  return cfg;
+}
+
+double normalized(const ProxyRunner& runner, std::int64_t n, int threads, SimDuration slack) {
+  const ProxyResult base = runner.run(quick(n, threads, SimDuration::zero()));
+  const ProxyResult run = runner.run(quick(n, threads, slack));
+  EXPECT_TRUE(base.fits_memory);
+  EXPECT_TRUE(run.fits_memory);
+  return run.no_slack_time / base.no_slack_time;
+}
+
+TEST(Calibration, TargetOverKernelTime) {
+  EXPECT_EQ(calibrate_iterations(1_s, 30_s, 5, 1000), 30);
+  EXPECT_EQ(calibrate_iterations(100_ms, 30_s, 5, 1000), 300);
+}
+
+TEST(Calibration, ClampsToFloorAndCeiling) {
+  // Tiny kernels hit the 1000 ceiling.
+  EXPECT_EQ(calibrate_iterations(10_us, 30_s, 5, 1000), 1000);
+  // Huge kernels hit the floor of 5.
+  EXPECT_EQ(calibrate_iterations(10_s, 30_s, 5, 1000), 5);
+}
+
+TEST(Proxy, ZeroSlackBaselineNormalizesToOne) {
+  const ProxyRunner runner;
+  const ProxyResult base = runner.run(quick(1 << 9, 1, SimDuration::zero()));
+  EXPECT_TRUE(base.fits_memory);
+  EXPECT_EQ(base.no_slack_time, base.loop_runtime);  // nothing to subtract
+  EXPECT_GT(base.loop_runtime, SimDuration::zero());
+}
+
+TEST(Proxy, ResultMetadataConsistent) {
+  const ProxyRunner runner;
+  const ProxyResult r = runner.run(quick(1 << 9, 2, 1_us));
+  EXPECT_EQ(r.matrix_n, 1 << 9);
+  EXPECT_EQ(r.threads, 2);
+  EXPECT_EQ(r.matrix_bytes, Bytes{512} * 512 * 4);  // 1 MiB
+  EXPECT_EQ(r.cuda_calls_per_thread, kCudaCallsPerIteration * r.iterations);
+  EXPECT_GE(r.iterations, 5);
+  EXPECT_LE(r.iterations, 30);
+}
+
+TEST(Proxy, EquationOneRemovesExactlyInjectedSlack) {
+  const ProxyRunner runner;
+  const ProxyResult r = runner.run(quick(1 << 9, 1, 100_us));
+  const SimDuration removed = r.loop_runtime - r.no_slack_time;
+  EXPECT_EQ(removed, 100_us * r.cuda_calls_per_thread);
+}
+
+TEST(Proxy, SmallMatrixShowsEffectsAtOneMicrosecond) {
+  // Paper (IV-B): 2^9 was the first size to show slack effects at 1 us.
+  const ProxyRunner runner;
+  const double n9 = normalized(runner, 1 << 9, 1, 1_us);
+  EXPECT_GT(n9, 1.0005);  // measurable
+  const double n11 = normalized(runner, 1 << 11, 1, 1_us);
+  EXPECT_LT(n11, n9);     // larger size is less affected
+  EXPECT_LT(n11, 1.001);  // effectively unaffected
+}
+
+TEST(Proxy, LargeSlackBlowsUpSmallMatrices) {
+  // Figure 3a: at 10 ms of slack the small sizes degrade by an order of
+  // magnitude or more once the direct delay is removed.
+  const ProxyRunner runner;
+  const double n = normalized(runner, 1 << 9, 1, 10_ms);
+  EXPECT_GT(n, 5.0);
+  EXPECT_LT(n, 100.0);
+}
+
+TEST(Proxy, MidMatrixTenMsSlackModeratePenalty) {
+  // Paper: 2^13 saw its first >=10% hit at 10 ms.
+  const ProxyRunner runner;
+  const double n = normalized(runner, 1 << 13, 1, 10_ms);
+  EXPECT_GT(n, 1.02);
+  EXPECT_LT(n, 1.25);
+}
+
+TEST(Proxy, HugeMatrixToleratesOneSecondSlack) {
+  // Paper: no slack value up to 1 s affected 2^15.
+  const ProxyRunner runner;
+  const double n = normalized(runner, 1 << 15, 1, 1_s);
+  EXPECT_LT(n, 1.01);
+}
+
+TEST(Proxy, PenaltyMonotoneInSlack) {
+  const ProxyRunner runner;
+  double prev = 0.0;
+  for (const SimDuration s : {1_us, 10_us, 100_us, 1_ms, 10_ms}) {
+    const double n = normalized(runner, 1 << 9, 1, s);
+    EXPECT_GE(n, prev - 1e-9);
+    prev = n;
+  }
+}
+
+TEST(Proxy, MoreThreadsIncreaseSlackTolerance) {
+  // Figure 3(a-c): parallel kernel submission raises tolerance.
+  const ProxyRunner runner;
+  const double t1 = normalized(runner, 1 << 9, 1, 1_ms);
+  const double t2 = normalized(runner, 1 << 9, 2, 1_ms);
+  const double t8 = normalized(runner, 1 << 9, 8, 1_ms);
+  EXPECT_GT(t1, t2);
+  EXPECT_GT(t2, t8);
+}
+
+TEST(Proxy, TwoFifteenExcludedAtFourThreads) {
+  // 3 matrices * 4 GiB * 4 threads = 48 GiB > 40 GiB.
+  const ProxyRunner runner;
+  const ProxyResult r4 = runner.run(quick(1 << 15, 4, SimDuration::zero()));
+  EXPECT_FALSE(r4.fits_memory);
+  const ProxyResult r8 = runner.run(quick(1 << 15, 8, SimDuration::zero()));
+  EXPECT_FALSE(r8.fits_memory);
+  // 1 and 2 threads fit (12, 24 GiB).
+  EXPECT_TRUE(runner.run(quick(1 << 15, 1, SimDuration::zero())).fits_memory);
+  EXPECT_TRUE(runner.run(quick(1 << 15, 2, SimDuration::zero())).fits_memory);
+}
+
+TEST(Proxy, CapturedTraceMatchesWorkload) {
+  const ProxyRunner runner;
+  ProxyConfig cfg = quick(1 << 9, 2, 10_us);
+  cfg.capture_trace = true;
+  const ProxyResult r = runner.run(cfg);
+  ASSERT_TRUE(r.trace.has_value());
+  const auto& t = *r.trace;
+  // Per thread: N kernels and 3N copies.
+  EXPECT_EQ(t.kernel_count(), static_cast<std::size_t>(2 * r.iterations));
+  EXPECT_EQ(t.memcpy_count(), static_cast<std::size_t>(2 * 3 * r.iterations));
+  // API calls: 5 per iteration per thread (+ dmalloc/dfree are not APIs).
+  EXPECT_EQ(t.apis().size(), static_cast<std::size_t>(2 * 5 * r.iterations));
+  // All transfers are 1 MiB matrices.
+  for (const auto& op : t.ops()) {
+    if (op.kind != gpu::OpKind::kKernel) {
+      EXPECT_EQ(op.bytes, kMiB);
+    }
+  }
+}
+
+TEST(Proxy, DeterministicAcrossRuns) {
+  const ProxyRunner runner;
+  const ProxyResult a = runner.run(quick(1 << 11, 4, 100_us));
+  const ProxyResult b = runner.run(quick(1 << 11, 4, 100_us));
+  EXPECT_EQ(a.loop_runtime, b.loop_runtime);
+  EXPECT_EQ(a.no_slack_time, b.no_slack_time);
+}
+
+TEST(AsyncProxy, PipelineRunsAndKeepsDeviceFed) {
+  const ProxyRunner runner;
+  ProxyConfig cfg = quick(1 << 11, 1, SimDuration::zero());
+  cfg.async_pipeline = true;
+  cfg.capture_trace = true;
+  const ProxyResult r = runner.run(cfg);
+  ASSERT_TRUE(r.fits_memory);
+  ASSERT_TRUE(r.trace.has_value());
+  // Same device work as the sync loop: N kernels, 3N copies.
+  EXPECT_EQ(r.trace->kernel_count(), static_cast<std::size_t>(r.iterations));
+  EXPECT_EQ(r.trace->memcpy_count(), static_cast<std::size_t>(3 * r.iterations));
+  // Copies overlap kernels: wall time beats the serialized sync loop.
+  const ProxyResult sync = runner.run(quick(1 << 11, 1, SimDuration::zero()));
+  EXPECT_LT(r.loop_runtime, sync.loop_runtime);
+}
+
+TEST(AsyncProxy, ToleratesSlackFarBetterThanSync) {
+  const ProxyRunner runner;
+  using namespace rsd::literals;
+  auto slowdown = [&](bool async_pipeline) {
+    ProxyConfig base = quick(1 << 11, 1, SimDuration::zero());
+    base.async_pipeline = async_pipeline;
+    const ProxyResult baseline = runner.run(base);
+    ProxyConfig cfg = base;
+    cfg.slack = 1_ms;
+    return runner.run(cfg).loop_runtime / baseline.loop_runtime;
+  };
+  const double sync_slowdown = slowdown(false);
+  const double async_slowdown = slowdown(true);
+  EXPECT_LT(async_slowdown, sync_slowdown);
+  EXPECT_GT(sync_slowdown / async_slowdown, 1.2);
+}
+
+TEST(AsyncProxy, DoubleBufferingDoublesFootprintExclusion) {
+  const ProxyRunner runner;
+  // 2^15 sync fits 2 threads (24 GiB) but async double-buffers (48 GiB).
+  ProxyConfig cfg = quick(1 << 15, 2, SimDuration::zero());
+  EXPECT_TRUE(runner.run(cfg).fits_memory);
+  cfg.async_pipeline = true;
+  EXPECT_FALSE(runner.run(cfg).fits_memory);
+}
+
+TEST(Sweep, ProducesNormalizedCurvesAndExclusions) {
+  const ProxyRunner runner;
+  SweepConfig cfg;
+  cfg.matrix_sizes = {1 << 9, 1 << 15};
+  cfg.thread_counts = {1, 4};
+  cfg.slacks = {SimDuration::zero(), 1_ms};
+  cfg.target_compute = 1_s;
+  const auto points = run_slack_sweep(runner, cfg);
+
+  // (2^9, 1), (2^9, 4), (2^15, 1): 3 cells x 2 slacks; (2^15, 4) excluded.
+  EXPECT_EQ(points.size(), 6u);
+  std::map<std::pair<std::int64_t, int>, int> cells;
+  for (const auto& p : points) {
+    ++cells[{p.matrix_n, p.threads}];
+    if (p.slack == SimDuration::zero()) {
+      EXPECT_NEAR(p.normalized_runtime, 1.0, 1e-12);
+    } else {
+      EXPECT_GE(p.normalized_runtime, 1.0 - 1e-9);
+    }
+  }
+  const auto excluded = std::pair<std::int64_t, int>{1 << 15, 4};
+  EXPECT_EQ(cells.count(excluded), 0u);
+  const auto small_single = std::pair<std::int64_t, int>{1 << 9, 1};
+  EXPECT_EQ(cells[small_single], 2);
+}
+
+TEST(Sweep, SlackSensitivityOrderedBySize) {
+  const ProxyRunner runner;
+  SweepConfig cfg;
+  cfg.matrix_sizes = {1 << 9, 1 << 11, 1 << 13};
+  cfg.thread_counts = {1};
+  cfg.slacks = {SimDuration::zero(), 10_ms};
+  cfg.target_compute = 200_ms;
+  const auto points = run_slack_sweep(runner, cfg);
+  std::map<std::int64_t, double> at_10ms;
+  for (const auto& p : points) {
+    if (p.slack == 10_ms) at_10ms[p.matrix_n] = p.normalized_runtime;
+  }
+  EXPECT_GT(at_10ms[1 << 9], at_10ms[1 << 11]);
+  EXPECT_GT(at_10ms[1 << 11], at_10ms[1 << 13]);
+}
+
+}  // namespace
+}  // namespace rsd::proxy

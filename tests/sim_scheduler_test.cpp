@@ -1,0 +1,207 @@
+#include "sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/task.hpp"
+
+namespace rsd::sim {
+namespace {
+
+using namespace rsd::literals;
+
+TEST(Scheduler, StartsAtTimeZero) {
+  Scheduler sched;
+  EXPECT_EQ(sched.now(), SimTime::zero());
+}
+
+TEST(Scheduler, DelayAdvancesClock) {
+  Scheduler sched;
+  SimTime observed{-1};
+  sched.spawn([](Scheduler& s, SimTime& out) -> Task<> {
+    co_await delay(10_us);
+    out = s.now();
+  }(sched, observed));
+  sched.run();
+  EXPECT_EQ(observed, SimTime::zero() + 10_us);
+  EXPECT_EQ(sched.unfinished_count(), 0u);
+}
+
+TEST(Scheduler, SequentialDelaysAccumulate) {
+  Scheduler sched;
+  std::vector<std::int64_t> times;
+  sched.spawn([](Scheduler& s, std::vector<std::int64_t>& t) -> Task<> {
+    co_await delay(1_us);
+    t.push_back(s.now().ns());
+    co_await delay(2_us);
+    t.push_back(s.now().ns());
+    co_await delay(3_us);
+    t.push_back(s.now().ns());
+  }(sched, times));
+  sched.run();
+  EXPECT_EQ(times, (std::vector<std::int64_t>{1000, 3000, 6000}));
+}
+
+TEST(Scheduler, MultipleProcessesInterleaveByTime) {
+  Scheduler sched;
+  std::vector<int> order;
+  auto proc = [](std::vector<int>& ord, int id, SimDuration d) -> Task<> {
+    co_await delay(d);
+    ord.push_back(id);
+  };
+  sched.spawn(proc(order, 3, 30_us));
+  sched.spawn(proc(order, 1, 10_us));
+  sched.spawn(proc(order, 2, 20_us));
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Scheduler, TieBrokenByInsertionOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  auto proc = [](std::vector<int>& ord, int id) -> Task<> {
+    co_await delay(5_us);
+    ord.push_back(id);
+  };
+  for (int i = 0; i < 5; ++i) sched.spawn(proc(order, i));
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Scheduler, ZeroDelayYieldsButRunsSameInstant) {
+  Scheduler sched;
+  SimTime when{-1};
+  sched.spawn([](Scheduler& s, SimTime& out) -> Task<> {
+    co_await yield();
+    out = s.now();
+  }(sched, when));
+  sched.run();
+  EXPECT_EQ(when, SimTime::zero());
+}
+
+TEST(Scheduler, SubTaskAwaitPropagatesResult) {
+  Scheduler sched;
+  int result = 0;
+  auto child = []() -> Task<int> {
+    co_await delay(2_us);
+    co_return 42;
+  };
+  sched.spawn([](decltype(child)& c, int& out) -> Task<> {
+    out = co_await c();
+  }(child, result));
+  sched.run();
+  EXPECT_EQ(result, 42);
+}
+
+TEST(Scheduler, SubTaskAdvancesParentClock) {
+  Scheduler sched;
+  SimTime after{-1};
+  auto child = []() -> Task<> { co_await delay(7_us); };
+  sched.spawn([](Scheduler& s, decltype(child)& c, SimTime& out) -> Task<> {
+    co_await c();
+    out = s.now();
+  }(sched, child, after));
+  sched.run();
+  EXPECT_EQ(after, SimTime::zero() + 7_us);
+}
+
+TEST(Scheduler, NestedSubTasks) {
+  Scheduler sched;
+  int depth_sum = 0;
+  auto leaf = []() -> Task<int> {
+    co_await delay(1_us);
+    co_return 1;
+  };
+  auto mid = [&leaf]() -> Task<int> {
+    const int a = co_await leaf();
+    const int b = co_await leaf();
+    co_return a + b + 10;
+  };
+  sched.spawn([](decltype(mid)& m, int& out) -> Task<> {
+    out = co_await m();
+  }(mid, depth_sum));
+  sched.run();
+  EXPECT_EQ(depth_sum, 12);
+}
+
+TEST(Scheduler, ExceptionInRootPropagatesFromRun) {
+  Scheduler sched;
+  sched.spawn([]() -> Task<> {
+    co_await delay(1_us);
+    throw std::runtime_error{"boom"};
+  }());
+  EXPECT_THROW(sched.run(), std::runtime_error);
+}
+
+TEST(Scheduler, ExceptionInChildPropagatesToParent) {
+  Scheduler sched;
+  bool caught = false;
+  auto child = []() -> Task<> {
+    co_await delay(1_us);
+    throw std::runtime_error{"child failed"};
+  };
+  sched.spawn([](decltype(child)& c, bool& flag) -> Task<> {
+    try {
+      co_await c();
+    } catch (const std::runtime_error&) {
+      flag = true;
+    }
+  }(child, caught));
+  sched.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(Scheduler, RunUntilStopsAtDeadline) {
+  Scheduler sched;
+  int progressed = 0;
+  sched.spawn([](int& p) -> Task<> {
+    co_await delay(10_us);
+    p = 1;
+    co_await delay(10_us);
+    p = 2;
+  }(progressed));
+  sched.run_until(SimTime::zero() + 15_us);
+  EXPECT_EQ(progressed, 1);
+  EXPECT_EQ(sched.now(), SimTime::zero() + 15_us);
+  sched.run();
+  EXPECT_EQ(progressed, 2);
+}
+
+TEST(Scheduler, UnfinishedCountDetectsPendingRoots) {
+  Scheduler sched;
+  sched.spawn([]() -> Task<> { co_await delay(100_us); }());
+  sched.run_until(SimTime::zero() + 1_us);
+  EXPECT_EQ(sched.unfinished_count(), 1u);
+  sched.run();
+  EXPECT_EQ(sched.unfinished_count(), 0u);
+}
+
+TEST(Scheduler, CurrentSchedulerAwaitable) {
+  Scheduler sched;
+  Scheduler* seen = nullptr;
+  sched.spawn([](Scheduler** out) -> Task<> {
+    *out = co_await current_scheduler();
+  }(&seen));
+  sched.run();
+  EXPECT_EQ(seen, &sched);
+}
+
+TEST(Scheduler, ManyEventsStressDeterminism) {
+  auto run_once = [] {
+    Scheduler sched;
+    std::vector<int> order;
+    auto proc = [](std::vector<int>& ord, int id) -> Task<> {
+      for (int i = 0; i < 10; ++i) co_await delay(SimDuration{(id * 7 + i * 13) % 50 + 1});
+      ord.push_back(id);
+    };
+    for (int i = 0; i < 50; ++i) sched.spawn(proc(order, i));
+    sched.run();
+    return order;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace rsd::sim

@@ -1,0 +1,198 @@
+#include "trace/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/analysis.hpp"
+
+namespace rsd::trace {
+namespace {
+
+using namespace rsd::literals;
+
+gpu::OpRecord make_kernel(const std::string& name, std::int64_t start_us, std::int64_t dur_us,
+                          int ctx = 0) {
+  gpu::OpRecord op;
+  op.kind = gpu::OpKind::kKernel;
+  op.name = name;
+  op.context_id = ctx;
+  op.submit = SimTime{start_us * 1000};
+  op.start = SimTime{start_us * 1000};
+  op.end = SimTime{(start_us + dur_us) * 1000};
+  return op;
+}
+
+gpu::OpRecord make_copy(gpu::OpKind kind, Bytes bytes, std::int64_t start_us,
+                        std::int64_t dur_us) {
+  gpu::OpRecord op;
+  op.kind = kind;
+  op.name = gpu::to_string(kind);
+  op.submit = SimTime{start_us * 1000};
+  op.start = SimTime{start_us * 1000};
+  op.end = SimTime{(start_us + dur_us) * 1000};
+  op.bytes = bytes;
+  return op;
+}
+
+TEST(Trace, CountsAndSpan) {
+  Trace t;
+  t.add_op(make_kernel("k", 10, 5));
+  t.add_op(make_copy(gpu::OpKind::kMemcpyH2D, kMiB, 0, 10));
+  EXPECT_EQ(t.kernel_count(), 1u);
+  EXPECT_EQ(t.memcpy_count(), 1u);
+  EXPECT_EQ(t.begin(), SimTime::zero());
+  EXPECT_EQ(t.end(), SimTime{15 * 1000});
+  EXPECT_EQ(t.span(), 15_us);
+}
+
+TEST(Trace, EmptyTraceSafeDefaults) {
+  const Trace t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.begin(), SimTime::zero());
+  EXPECT_EQ(t.end(), SimTime::zero());
+  EXPECT_EQ(t.span(), SimDuration::zero());
+}
+
+TEST(Trace, SpanIncludesApiSlack) {
+  Trace t;
+  gpu::ApiRecord api;
+  api.name = "cudaMemcpyH2D";
+  api.start = SimTime::zero();
+  api.end = SimTime{1000};
+  api.slack_after = 100_us;
+  t.add_api(api);
+  EXPECT_EQ(t.end(), SimTime{101 * 1000});
+}
+
+TEST(Trace, CsvHasHeaderAndRows) {
+  Trace t;
+  t.add_op(make_kernel("sgemm", 0, 10));
+  const std::string csv = t.ops_to_csv();
+  EXPECT_NE(csv.find("kind,name,context"), std::string::npos);
+  EXPECT_NE(csv.find("kernel,sgemm"), std::string::npos);
+}
+
+TEST(Recorder, CollectsOpsAndApis) {
+  TraceRecorder rec;
+  rec.on_op(make_kernel("k", 0, 1));
+  gpu::ApiRecord api;
+  api.name = "x";
+  rec.on_api(api);
+  EXPECT_EQ(rec.trace().ops().size(), 1u);
+  EXPECT_EQ(rec.trace().apis().size(), 1u);
+}
+
+TEST(Analysis, KernelViolinsTopNPlusTotal) {
+  Trace t;
+  // "big" dominates total time; "small" is frequent but cheap.
+  for (int i = 0; i < 3; ++i) t.add_op(make_kernel("big", i * 100, 50));
+  for (int i = 0; i < 10; ++i) t.add_op(make_kernel("small", i * 10, 1));
+  const auto violins = kernel_duration_violins(t, 1);
+  ASSERT_EQ(violins.size(), 2u);  // top-1 + Total
+  EXPECT_EQ(violins[0].label, "big");
+  EXPECT_EQ(violins[0].count, 3u);
+  EXPECT_DOUBLE_EQ(violins[0].median, 50.0);
+  EXPECT_EQ(violins[1].label, "Total");
+  EXPECT_EQ(violins[1].count, 13u);
+}
+
+TEST(Analysis, TopNLargerThanKernelCount) {
+  Trace t;
+  t.add_op(make_kernel("only", 0, 5));
+  const auto violins = kernel_duration_violins(t, 10);
+  ASSERT_EQ(violins.size(), 2u);
+  EXPECT_EQ(violins[0].label, "only");
+}
+
+TEST(Analysis, TopKernelTimeFraction) {
+  Trace t;
+  for (int i = 0; i < 3; ++i) t.add_op(make_kernel("big", i * 100, 50));  // 150 us
+  for (int i = 0; i < 10; ++i) t.add_op(make_kernel("small", i * 10, 15));  // 150 us
+  EXPECT_NEAR(top_kernel_time_fraction(t, 1), 0.5, 1e-9);
+  EXPECT_NEAR(top_kernel_time_fraction(t, 2), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(top_kernel_time_fraction(Trace{}, 5), 0.0);
+}
+
+TEST(Analysis, MemcpyViolinsByDirection) {
+  Trace t;
+  t.add_op(make_copy(gpu::OpKind::kMemcpyH2D, 16 * kMiB, 0, 10));
+  t.add_op(make_copy(gpu::OpKind::kMemcpyH2D, 32 * kMiB, 20, 10));
+  t.add_op(make_copy(gpu::OpKind::kMemcpyD2H, 8 * kMiB, 40, 10));
+  const auto violins = memcpy_size_violins(t);
+  ASSERT_EQ(violins.size(), 3u);
+  EXPECT_EQ(violins[0].label, "H2D");
+  EXPECT_EQ(violins[0].count, 2u);
+  EXPECT_DOUBLE_EQ(violins[0].mean, 24.0);
+  EXPECT_EQ(violins[1].label, "D2H");
+  EXPECT_DOUBLE_EQ(violins[1].mean, 8.0);
+  EXPECT_EQ(violins[2].label, "Total");
+  EXPECT_EQ(violins[2].count, 3u);
+}
+
+TEST(Analysis, TransferBinningMatchesTableThreeLayout) {
+  Trace t;
+  t.add_op(make_copy(gpu::OpKind::kMemcpyH2D, kMiB / 2, 0, 1));       // <=1
+  t.add_op(make_copy(gpu::OpKind::kMemcpyH2D, 10 * kMiB, 0, 1));      // <=16
+  t.add_op(make_copy(gpu::OpKind::kMemcpyD2H, 100 * kMiB, 0, 1));     // <=256
+  t.add_op(make_copy(gpu::OpKind::kMemcpyD2H, 1000 * kMiB, 0, 1));    // <=4096
+  t.add_op(make_kernel("k", 0, 1));                                    // ignored
+  const auto hist = bin_transfer_sizes(t, {1.0, 16.0, 256.0, 4096.0});
+  EXPECT_EQ(hist.count(0), 1u);
+  EXPECT_EQ(hist.count(1), 1u);
+  EXPECT_EQ(hist.count(2), 1u);
+  EXPECT_EQ(hist.count(3), 1u);
+  EXPECT_EQ(hist.count(4), 0u);
+  EXPECT_EQ(hist.total(), 4u);
+}
+
+TEST(Analysis, KernelDurationBinning) {
+  Trace t;
+  t.add_op(make_kernel("a", 0, 5));     // 5 us
+  t.add_op(make_kernel("b", 0, 500));   // 500 us
+  t.add_op(make_copy(gpu::OpKind::kMemcpyH2D, kMiB, 0, 1));  // ignored
+  const auto hist = bin_kernel_durations(t, {10.0, 1000.0});
+  EXPECT_EQ(hist.count(0), 1u);
+  EXPECT_EQ(hist.count(1), 1u);
+  EXPECT_EQ(hist.total(), 2u);
+}
+
+TEST(Analysis, IntervalUnionMergesOverlaps) {
+  using P = std::pair<SimTime, SimTime>;
+  EXPECT_EQ(interval_union({}), SimDuration::zero());
+  EXPECT_EQ(interval_union({P{SimTime{0}, SimTime{10}}}), SimDuration{10});
+  // Overlapping intervals merge.
+  EXPECT_EQ(interval_union({P{SimTime{0}, SimTime{10}}, P{SimTime{5}, SimTime{20}}}),
+            SimDuration{20});
+  // Disjoint intervals sum.
+  EXPECT_EQ(interval_union({P{SimTime{0}, SimTime{10}}, P{SimTime{20}, SimTime{30}}}),
+            SimDuration{20});
+  // Contained intervals don't double count.
+  EXPECT_EQ(interval_union({P{SimTime{0}, SimTime{100}}, P{SimTime{10}, SimTime{20}}}),
+            SimDuration{100});
+  // Unsorted input.
+  EXPECT_EQ(interval_union({P{SimTime{20}, SimTime{30}}, P{SimTime{0}, SimTime{10}}}),
+            SimDuration{20});
+}
+
+TEST(Analysis, RuntimeFractions) {
+  Trace t;
+  // Span 0..100 us; kernel busy 0..50; copies busy 25..75 (two overlapping).
+  t.add_op(make_kernel("k", 0, 50));
+  t.add_op(make_copy(gpu::OpKind::kMemcpyH2D, kMiB, 25, 25));
+  t.add_op(make_copy(gpu::OpKind::kMemcpyD2H, kMiB, 50, 25));
+  gpu::ApiRecord marker;  // extends span to 100 us
+  marker.start = SimTime{0};
+  marker.end = SimTime{100 * 1000};
+  t.add_api(marker);
+  const auto f = runtime_fractions(t);
+  EXPECT_NEAR(f.kernel, 0.5, 1e-9);
+  EXPECT_NEAR(f.memory, 0.5, 1e-9);
+}
+
+TEST(Analysis, RuntimeFractionsEmptyTrace) {
+  const auto f = runtime_fractions(Trace{});
+  EXPECT_DOUBLE_EQ(f.kernel, 0.0);
+  EXPECT_DOUBLE_EQ(f.memory, 0.0);
+}
+
+}  // namespace
+}  // namespace rsd::trace

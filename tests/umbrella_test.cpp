@@ -1,0 +1,29 @@
+// Smoke test: the umbrella header compiles standalone and exposes the
+// public entry points.
+#include "rowscale.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Umbrella, PublicEntryPointsVisible) {
+  using namespace rsd;
+  using namespace rsd::literals;
+
+  EXPECT_EQ((100_us).us(), 100.0);
+  EXPECT_NEAR(interconnect::reach_km_for_slack(100_us), 20.0, 1e-9);
+
+  const proxy::ProxyRunner runner;
+  proxy::ProxyConfig cfg;
+  cfg.matrix_n = 1 << 9;
+  cfg.max_iterations = 5;
+  EXPECT_TRUE(runner.run(cfg).fits_memory);
+
+  rsd::lj::System md{3};
+  EXPECT_EQ(md.atom_count(), 108);
+
+  cluster::CdiCluster pool{2, 24, 8};
+  EXPECT_EQ(pool.free_gpus(), 8);
+}
+
+}  // namespace
