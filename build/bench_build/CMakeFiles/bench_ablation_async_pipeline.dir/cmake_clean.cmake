@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_async_pipeline"
+  "../bench/bench_ablation_async_pipeline.pdb"
+  "CMakeFiles/bench_ablation_async_pipeline.dir/bench_ablation_async_pipeline.cpp.o"
+  "CMakeFiles/bench_ablation_async_pipeline.dir/bench_ablation_async_pipeline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_async_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

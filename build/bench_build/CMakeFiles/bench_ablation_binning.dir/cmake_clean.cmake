@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_binning"
+  "../bench/bench_ablation_binning.pdb"
+  "CMakeFiles/bench_ablation_binning.dir/bench_ablation_binning.cpp.o"
+  "CMakeFiles/bench_ablation_binning.dir/bench_ablation_binning.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_binning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_eq1"
+  "../bench/bench_ablation_eq1.pdb"
+  "CMakeFiles/bench_ablation_eq1.dir/bench_ablation_eq1.cpp.o"
+  "CMakeFiles/bench_ablation_eq1.dir/bench_ablation_eq1.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_eq1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_slack_position"
+  "../bench/bench_ablation_slack_position.pdb"
+  "CMakeFiles/bench_ablation_slack_position.dir/bench_ablation_slack_position.cpp.o"
+  "CMakeFiles/bench_ablation_slack_position.dir/bench_ablation_slack_position.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_slack_position.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

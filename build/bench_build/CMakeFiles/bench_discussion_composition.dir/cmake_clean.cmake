@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_discussion_composition"
+  "../bench/bench_discussion_composition.pdb"
+  "CMakeFiles/bench_discussion_composition.dir/bench_discussion_composition.cpp.o"
+  "CMakeFiles/bench_discussion_composition.dir/bench_discussion_composition.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_discussion_composition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

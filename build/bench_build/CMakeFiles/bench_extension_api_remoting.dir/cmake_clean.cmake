@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_extension_api_remoting"
+  "../bench/bench_extension_api_remoting.pdb"
+  "CMakeFiles/bench_extension_api_remoting.dir/bench_extension_api_remoting.cpp.o"
+  "CMakeFiles/bench_extension_api_remoting.dir/bench_extension_api_remoting.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_api_remoting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

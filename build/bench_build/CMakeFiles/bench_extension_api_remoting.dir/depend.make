@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_extension_api_remoting.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_extension_multigpu_cosmoflow"
+  "../bench/bench_extension_multigpu_cosmoflow.pdb"
+  "CMakeFiles/bench_extension_multigpu_cosmoflow.dir/bench_extension_multigpu_cosmoflow.cpp.o"
+  "CMakeFiles/bench_extension_multigpu_cosmoflow.dir/bench_extension_multigpu_cosmoflow.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_multigpu_cosmoflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

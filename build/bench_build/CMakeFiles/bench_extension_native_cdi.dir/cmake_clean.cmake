@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_extension_native_cdi"
+  "../bench/bench_extension_native_cdi.pdb"
+  "CMakeFiles/bench_extension_native_cdi.dir/bench_extension_native_cdi.cpp.o"
+  "CMakeFiles/bench_extension_native_cdi.dir/bench_extension_native_cdi.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_native_cdi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_extension_native_cdi.
+# This may be replaced when dependencies are built.

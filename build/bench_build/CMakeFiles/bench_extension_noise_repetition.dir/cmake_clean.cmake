@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_extension_noise_repetition"
+  "../bench/bench_extension_noise_repetition.pdb"
+  "CMakeFiles/bench_extension_noise_repetition.dir/bench_extension_noise_repetition.cpp.o"
+  "CMakeFiles/bench_extension_noise_repetition.dir/bench_extension_noise_repetition.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_noise_repetition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_kernel_durations"
+  "../bench/bench_fig4_kernel_durations.pdb"
+  "CMakeFiles/bench_fig4_kernel_durations.dir/bench_fig4_kernel_durations.cpp.o"
+  "CMakeFiles/bench_fig4_kernel_durations.dir/bench_fig4_kernel_durations.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_kernel_durations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

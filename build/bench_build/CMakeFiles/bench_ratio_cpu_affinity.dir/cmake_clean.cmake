@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ratio_cpu_affinity"
+  "../bench/bench_ratio_cpu_affinity.pdb"
+  "CMakeFiles/bench_ratio_cpu_affinity.dir/bench_ratio_cpu_affinity.cpp.o"
+  "CMakeFiles/bench_ratio_cpu_affinity.dir/bench_ratio_cpu_affinity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ratio_cpu_affinity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

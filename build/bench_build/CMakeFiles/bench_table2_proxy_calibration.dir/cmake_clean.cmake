@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_proxy_calibration"
+  "../bench/bench_table2_proxy_calibration.pdb"
+  "CMakeFiles/bench_table2_proxy_calibration.dir/bench_table2_proxy_calibration.cpp.o"
+  "CMakeFiles/bench_table2_proxy_calibration.dir/bench_table2_proxy_calibration.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_proxy_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

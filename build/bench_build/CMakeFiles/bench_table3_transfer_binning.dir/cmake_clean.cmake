@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_transfer_binning"
+  "../bench/bench_table3_transfer_binning.pdb"
+  "CMakeFiles/bench_table3_transfer_binning.dir/bench_table3_transfer_binning.cpp.o"
+  "CMakeFiles/bench_table3_transfer_binning.dir/bench_table3_transfer_binning.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_transfer_binning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_slack_penalty"
+  "../bench/bench_table4_slack_penalty.pdb"
+  "CMakeFiles/bench_table4_slack_penalty.dir/bench_table4_slack_penalty.cpp.o"
+  "CMakeFiles/bench_table4_slack_penalty.dir/bench_table4_slack_penalty.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_slack_penalty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/composition_planner.dir/composition_planner.cpp.o"
+  "CMakeFiles/composition_planner.dir/composition_planner.cpp.o.d"
+  "composition_planner"
+  "composition_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/composition_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predict_from_trace.dir/predict_from_trace.cpp.o"
+  "CMakeFiles/predict_from_trace.dir/predict_from_trace.cpp.o.d"
+  "predict_from_trace"
+  "predict_from_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predict_from_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slack_anatomy.dir/slack_anatomy.cpp.o"
+  "CMakeFiles/slack_anatomy.dir/slack_anatomy.cpp.o.d"
+  "slack_anatomy"
+  "slack_anatomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slack_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("core")
+subdirs("sim")
+subdirs("gpusim")
+subdirs("interconnect")
+subdirs("trace")
+subdirs("proxy")
+subdirs("model")
+subdirs("lj")
+subdirs("nn")
+subdirs("apps")
+subdirs("cluster")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsd_apps.dir/cosmoflow.cpp.o"
+  "CMakeFiles/rsd_apps.dir/cosmoflow.cpp.o.d"
+  "CMakeFiles/rsd_apps.dir/lammps.cpp.o"
+  "CMakeFiles/rsd_apps.dir/lammps.cpp.o.d"
+  "CMakeFiles/rsd_apps.dir/scaling.cpp.o"
+  "CMakeFiles/rsd_apps.dir/scaling.cpp.o.d"
+  "librsd_apps.a"
+  "librsd_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsd_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

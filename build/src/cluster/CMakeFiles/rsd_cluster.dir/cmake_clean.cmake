@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsd_cluster.dir/composition.cpp.o"
+  "CMakeFiles/rsd_cluster.dir/composition.cpp.o.d"
+  "CMakeFiles/rsd_cluster.dir/scheduler.cpp.o"
+  "CMakeFiles/rsd_cluster.dir/scheduler.cpp.o.d"
+  "librsd_cluster.a"
+  "librsd_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsd_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

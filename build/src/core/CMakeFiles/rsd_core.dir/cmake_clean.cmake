@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsd_core.dir/ascii_plot.cpp.o"
+  "CMakeFiles/rsd_core.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/rsd_core.dir/histogram.cpp.o"
+  "CMakeFiles/rsd_core.dir/histogram.cpp.o.d"
+  "CMakeFiles/rsd_core.dir/log.cpp.o"
+  "CMakeFiles/rsd_core.dir/log.cpp.o.d"
+  "CMakeFiles/rsd_core.dir/stats.cpp.o"
+  "CMakeFiles/rsd_core.dir/stats.cpp.o.d"
+  "CMakeFiles/rsd_core.dir/table.cpp.o"
+  "CMakeFiles/rsd_core.dir/table.cpp.o.d"
+  "CMakeFiles/rsd_core.dir/units.cpp.o"
+  "CMakeFiles/rsd_core.dir/units.cpp.o.d"
+  "librsd_core.a"
+  "librsd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

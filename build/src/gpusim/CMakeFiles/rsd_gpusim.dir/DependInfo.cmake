@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpusim/chassis.cpp" "src/gpusim/CMakeFiles/rsd_gpusim.dir/chassis.cpp.o" "gcc" "src/gpusim/CMakeFiles/rsd_gpusim.dir/chassis.cpp.o.d"
+  "/root/repo/src/gpusim/context.cpp" "src/gpusim/CMakeFiles/rsd_gpusim.dir/context.cpp.o" "gcc" "src/gpusim/CMakeFiles/rsd_gpusim.dir/context.cpp.o.d"
+  "/root/repo/src/gpusim/device.cpp" "src/gpusim/CMakeFiles/rsd_gpusim.dir/device.cpp.o" "gcc" "src/gpusim/CMakeFiles/rsd_gpusim.dir/device.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rsd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/interconnect/CMakeFiles/rsd_interconnect.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsd_gpusim.dir/chassis.cpp.o"
+  "CMakeFiles/rsd_gpusim.dir/chassis.cpp.o.d"
+  "CMakeFiles/rsd_gpusim.dir/context.cpp.o"
+  "CMakeFiles/rsd_gpusim.dir/context.cpp.o.d"
+  "CMakeFiles/rsd_gpusim.dir/device.cpp.o"
+  "CMakeFiles/rsd_gpusim.dir/device.cpp.o.d"
+  "librsd_gpusim.a"
+  "librsd_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsd_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsd_interconnect.dir/link.cpp.o"
+  "CMakeFiles/rsd_interconnect.dir/link.cpp.o.d"
+  "librsd_interconnect.a"
+  "librsd_interconnect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsd_interconnect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsd_lj.dir/system.cpp.o"
+  "CMakeFiles/rsd_lj.dir/system.cpp.o.d"
+  "librsd_lj.a"
+  "librsd_lj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsd_lj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsd_model.dir/response_surface.cpp.o"
+  "CMakeFiles/rsd_model.dir/response_surface.cpp.o.d"
+  "CMakeFiles/rsd_model.dir/slack_model.cpp.o"
+  "CMakeFiles/rsd_model.dir/slack_model.cpp.o.d"
+  "librsd_model.a"
+  "librsd_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsd_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsd_nn.dir/layers.cpp.o"
+  "CMakeFiles/rsd_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/rsd_nn.dir/network.cpp.o"
+  "CMakeFiles/rsd_nn.dir/network.cpp.o.d"
+  "librsd_nn.a"
+  "librsd_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsd_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsd_proxy.dir/proxy.cpp.o"
+  "CMakeFiles/rsd_proxy.dir/proxy.cpp.o.d"
+  "librsd_proxy.a"
+  "librsd_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsd_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsd_trace.dir/analysis.cpp.o"
+  "CMakeFiles/rsd_trace.dir/analysis.cpp.o.d"
+  "CMakeFiles/rsd_trace.dir/import.cpp.o"
+  "CMakeFiles/rsd_trace.dir/import.cpp.o.d"
+  "CMakeFiles/rsd_trace.dir/trace.cpp.o"
+  "CMakeFiles/rsd_trace.dir/trace.cpp.o.d"
+  "librsd_trace.a"
+  "librsd_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsd_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

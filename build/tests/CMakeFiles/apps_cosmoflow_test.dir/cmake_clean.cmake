@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_cosmoflow_test.dir/apps_cosmoflow_test.cpp.o"
+  "CMakeFiles/apps_cosmoflow_test.dir/apps_cosmoflow_test.cpp.o.d"
+  "apps_cosmoflow_test"
+  "apps_cosmoflow_test.pdb"
+  "apps_cosmoflow_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_cosmoflow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_scheduler_test.dir/cluster_scheduler_test.cpp.o"
+  "CMakeFiles/cluster_scheduler_test.dir/cluster_scheduler_test.cpp.o.d"
+  "cluster_scheduler_test"
+  "cluster_scheduler_test.pdb"
+  "cluster_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

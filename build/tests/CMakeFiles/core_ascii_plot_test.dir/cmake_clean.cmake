@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_ascii_plot_test.dir/core_ascii_plot_test.cpp.o"
+  "CMakeFiles/core_ascii_plot_test.dir/core_ascii_plot_test.cpp.o.d"
+  "core_ascii_plot_test"
+  "core_ascii_plot_test.pdb"
+  "core_ascii_plot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_ascii_plot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpusim_native_cdi_test.dir/gpusim_native_cdi_test.cpp.o"
+  "CMakeFiles/gpusim_native_cdi_test.dir/gpusim_native_cdi_test.cpp.o.d"
+  "gpusim_native_cdi_test"
+  "gpusim_native_cdi_test.pdb"
+  "gpusim_native_cdi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpusim_native_cdi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lj_test.dir/lj_test.cpp.o"
+  "CMakeFiles/lj_test.dir/lj_test.cpp.o.d"
+  "lj_test"
+  "lj_test.pdb"
+  "lj_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lj_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/property_model_test.cpp" "tests/CMakeFiles/property_model_test.dir/property_model_test.cpp.o" "gcc" "tests/CMakeFiles/property_model_test.dir/property_model_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/rsd_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/rsd_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/rsd_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/proxy/CMakeFiles/rsd_proxy.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/rsd_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/interconnect/CMakeFiles/rsd_interconnect.dir/DependInfo.cmake"
+  "/root/repo/build/src/lj/CMakeFiles/rsd_lj.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/rsd_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rsd_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

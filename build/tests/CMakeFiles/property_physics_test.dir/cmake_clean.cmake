@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_physics_test.dir/property_physics_test.cpp.o"
+  "CMakeFiles/property_physics_test.dir/property_physics_test.cpp.o.d"
+  "property_physics_test"
+  "property_physics_test.pdb"
+  "property_physics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_physics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
