@@ -9,6 +9,7 @@
 #include "core/table.hpp"
 #include "model/slack_model.hpp"
 #include "proxy/proxy.hpp"
+#include "proxy/sweep_cache.hpp"
 
 int main() {
   using namespace rsd;
@@ -43,7 +44,7 @@ int main() {
     SweepConfig cfg;
     cfg.matrix_sizes = grid.sizes;
     cfg.thread_counts = {1};
-    const auto sweep = run_slack_sweep(runner, cfg);
+    const auto sweep = SweepCache::global().get_or_run(runner, cfg);
     const model::SlackModel slack_model{model::ResponseSurface::from_sweep(sweep)};
     for (const SimDuration slack : {100_us, 1_ms}) {
       const auto pred = slack_model.predict(lammps.trace, 1, slack);

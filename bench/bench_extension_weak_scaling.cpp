@@ -10,6 +10,7 @@
 #include "bench/bench_util.hpp"
 #include "core/csv.hpp"
 #include "core/table.hpp"
+#include "exec/pool.hpp"
 
 int main() {
   using namespace rsd;
@@ -30,8 +31,13 @@ int main() {
   cdi_unit.procs = 12;
   cdi_unit.threads = 4;  // CDI composes a full CPU node per GPU: 48 cores
 
-  const auto traditional = lammps_weak_scaling(traditional_unit, units);
-  const auto cdi = lammps_weak_scaling(cdi_unit, units);
+  // Each variant's cost is one full LAMMPS unit simulation; run the two
+  // variants concurrently.
+  const auto curves = exec::Pool::global().parallel_map(
+      std::vector<LammpsConfig>{traditional_unit, cdi_unit},
+      [&](const LammpsConfig& unit) { return lammps_weak_scaling(unit, units); });
+  const auto& traditional = curves[0];
+  const auto& cdi = curves[1];
 
   Table table{"Units (GPUs)", "Traditional [s]", "Efficiency", "CDI-composed [s]",
               "Efficiency", "CDI speedup"};

@@ -11,7 +11,9 @@
 #include "bench/bench_util.hpp"
 #include "core/csv.hpp"
 #include "core/table.hpp"
+#include "exec/pool.hpp"
 #include "proxy/proxy.hpp"
+#include "proxy/sweep_cache.hpp"
 
 int main() {
   using namespace rsd;
@@ -24,7 +26,10 @@ int main() {
 
   const ProxyRunner runner;
   SweepConfig cfg;  // defaults: sizes 2^9..2^15, threads 1/2/4/8, 0..10ms
-  const auto points = run_slack_sweep(runner, cfg);
+  // Cells fan out across exec::Pool::global() (RSD_THREADS overrides the
+  // width); the surface is memoized, so reruns and the other
+  // surface-consuming benches load it instead of resimulating.
+  const auto points = SweepCache::global().get_or_run(runner, cfg);
 
   CsvWriter csv;
   csv.row("matrix_n", "threads", "slack_us", "normalized_runtime");
@@ -58,10 +63,12 @@ int main() {
   {
     ProxyConfig base;
     base.matrix_n = 1 << 15;
-    const ProxyResult baseline = runner.run(base);
-    base.slack = 1_s;
-    const ProxyResult slacked = runner.run(base);
-    const double norm = slacked.no_slack_time / baseline.no_slack_time;
+    ProxyConfig with_slack = base;
+    with_slack.slack = 1_s;
+    const auto extremes = exec::Pool::global().parallel_map(
+        std::vector<ProxyConfig>{base, with_slack},
+        [&](const ProxyConfig& c) { return runner.run(c); });
+    const double norm = extremes[1].no_slack_time / extremes[0].no_slack_time;
     std::cout << "\n2^15 at 1 s of slack per call: normalized " << fmt_fixed(norm, 4)
               << " (paper: no effect observed up to 1 s)\n";
   }

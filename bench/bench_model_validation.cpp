@@ -8,8 +8,10 @@
 #include "bench/bench_util.hpp"
 #include "core/csv.hpp"
 #include "core/table.hpp"
+#include "exec/pool.hpp"
 #include "model/slack_model.hpp"
 #include "proxy/proxy.hpp"
+#include "proxy/sweep_cache.hpp"
 
 int main() {
   using namespace rsd;
@@ -21,7 +23,7 @@ int main() {
 
   const ProxyRunner runner;
   SweepConfig sweep_cfg;
-  const auto sweep = run_slack_sweep(runner, sweep_cfg);
+  const auto sweep = SweepCache::global().get_or_run(runner, sweep_cfg);
   const model::SlackModel slack_model{model::ResponseSurface::from_sweep(sweep)};
 
   Table table{"Matrix", "Threads", "Slack", "Measured SP", "Predicted lower",
@@ -29,29 +31,55 @@ int main() {
   CsvWriter csv;
   csv.row("matrix_n", "threads", "slack_us", "measured_sp", "lower", "upper");
 
+  // Every (threads, size, slack) combo is an independent baseline+slacked
+  // simulation pair; fan them out and assemble rows in the serial order.
+  struct Combo {
+    int threads = 1;
+    std::int64_t n = 0;
+    SimDuration slack;
+  };
+  std::vector<Combo> combos;
   for (const int threads : {1, 2, 4, 8}) {
     for (const std::int64_t n : {1 << 9, 1 << 11, 1 << 13}) {
-      for (const SimDuration slack : {100_us, 1_ms}) {
-        ProxyConfig cfg;
-        cfg.matrix_n = n;
-        cfg.threads = threads;
-        cfg.capture_trace = true;
-        const ProxyResult baseline = runner.run(cfg);
-        if (!baseline.fits_memory) continue;
-
-        cfg.capture_trace = false;
-        cfg.slack = slack;
-        const ProxyResult slacked = runner.run(cfg);
-        const double measured = slacked.no_slack_time / baseline.no_slack_time - 1.0;
-        const auto pred = slack_model.predict(*baseline.trace, threads, slack);
-
-        table.add_row(std::to_string(n), std::to_string(threads), format_duration(slack),
-                      fmt_fixed(measured, 4), fmt_fixed(pred.total.lower, 4),
-                      fmt_fixed(pred.total.upper, 4),
-                      fmt_fixed(std::abs(pred.total.lower - measured), 4));
-        csv.row(n, threads, slack.us(), measured, pred.total.lower, pred.total.upper);
-      }
+      for (const SimDuration slack : {100_us, 1_ms}) combos.push_back({threads, n, slack});
     }
+  }
+
+  struct Row {
+    bool fits = false;
+    double measured = 0.0;
+    double lower = 0.0;
+    double upper = 0.0;
+  };
+  const auto rows = exec::Pool::global().parallel_map(combos, [&](const Combo& c) {
+    ProxyConfig cfg;
+    cfg.matrix_n = c.n;
+    cfg.threads = c.threads;
+    cfg.capture_trace = true;
+    const ProxyResult baseline = runner.run(cfg);
+    Row row;
+    if (!baseline.fits_memory) return row;
+
+    cfg.capture_trace = false;
+    cfg.slack = c.slack;
+    const ProxyResult slacked = runner.run(cfg);
+    row.fits = true;
+    row.measured = slacked.no_slack_time / baseline.no_slack_time - 1.0;
+    const auto pred = slack_model.predict(*baseline.trace, c.threads, c.slack);
+    row.lower = pred.total.lower;
+    row.upper = pred.total.upper;
+    return row;
+  });
+
+  for (std::size_t i = 0; i < combos.size(); ++i) {
+    const Combo& c = combos[i];
+    const Row& row = rows[i];
+    if (!row.fits) continue;
+    table.add_row(std::to_string(c.n), std::to_string(c.threads), format_duration(c.slack),
+                  fmt_fixed(row.measured, 4), fmt_fixed(row.lower, 4),
+                  fmt_fixed(row.upper, 4),
+                  fmt_fixed(std::abs(row.lower - row.measured), 4));
+    csv.row(c.n, c.threads, c.slack.us(), row.measured, row.lower, row.upper);
   }
 
   table.print(std::cout);

@@ -1,22 +1,81 @@
-// Shared helpers for the experiment harnesses: uniform headers, and CSV
-// output into ./bench_results/ so every figure's series is machine-readable.
+// Shared helpers for the experiment harnesses: uniform headers, CSV output
+// into the canonical bench_results/ directory (see core/paths.hpp — the
+// location is repo-relative, overridable with RSD_RESULTS_DIR, and no
+// longer depends on the process CWD), and wall-clock instrumentation:
+// every bench appends a {"bench", "wall_s", "threads"} line to
+// bench_results/bench_meta.json (JSON lines) so the perf trajectory can be
+// tracked across PRs.
 #pragma once
 
+#include <chrono>
+#include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <system_error>
 
 #include "core/csv.hpp"
+#include "core/paths.hpp"
 #include "core/table.hpp"
+#include "exec/pool.hpp"
 
 namespace rsd::bench {
 
+namespace detail {
+
+struct MetaState {
+  std::string id;
+  std::chrono::steady_clock::time_point start;
+  bool armed = false;
+};
+
+inline MetaState& meta_state() {
+  static MetaState m;
+  return m;
+}
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+/// atexit hook: one wall-clock line per bench process, however it returns
+/// from main.
+inline void write_meta_line() {
+  const auto& m = meta_state();
+  if (!m.armed) return;
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - m.start).count();
+  const std::filesystem::path dir = rsd::results_dir();
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return;
+  std::ofstream out{dir / "bench_meta.json", std::ios::app};
+  if (!out) return;
+  out << "{\"bench\": \"" << json_escape(m.id) << "\", \"wall_s\": " << wall_s
+      << ", \"threads\": " << exec::default_thread_count() << "}\n";
+}
+
+}  // namespace detail
+
 inline void print_header(const std::string& id, const std::string& description) {
+  auto& m = detail::meta_state();
+  m.id = id;
+  m.start = std::chrono::steady_clock::now();
+  if (!m.armed) {
+    m.armed = true;
+    std::atexit(detail::write_meta_line);
+  }
   std::cout << "\n=== " << id << " ===\n" << description << "\n\n";
 }
 
 inline void save_csv(const std::string& name, const CsvWriter& csv) {
-  const std::filesystem::path dir{"bench_results"};
+  const std::filesystem::path dir = rsd::results_dir();
   std::filesystem::create_directories(dir);
   const auto path = (dir / (name + ".csv")).string();
   csv.save(path);

@@ -15,6 +15,7 @@
 #include "interconnect/link.hpp"
 #include "model/slack_model.hpp"
 #include "proxy/proxy.hpp"
+#include "proxy/sweep_cache.hpp"
 #include "trace/import.hpp"
 
 int main(int argc, char** argv) {
@@ -47,7 +48,7 @@ int main(int argc, char** argv) {
   std::cout << "building the proxy response surface (Figure 3 sweep)...\n";
   const proxy::ProxyRunner runner;
   proxy::SweepConfig sweep_cfg;
-  const auto sweep = run_slack_sweep(runner, sweep_cfg);
+  const auto sweep = proxy::SweepCache::global().get_or_run(runner, sweep_cfg);
   const model::SlackModel slack_model{model::ResponseSurface::from_sweep(sweep)};
 
   Table table{"Slack / call", "Fibre reach [km]", "SP lower", "SP upper"};

@@ -3,15 +3,20 @@
 #include <cmath>
 
 #include "core/error.hpp"
+#include "exec/pool.hpp"
 
 namespace rsd::apps {
 
 std::vector<ScalingPoint> lammps_proc_scaling(int box, const std::vector<int>& proc_counts,
                                               int steps, const LammpsCalibration& cal) {
+  return lammps_proc_scaling(box, proc_counts, steps, cal, exec::Pool::global());
+}
+
+std::vector<ScalingPoint> lammps_proc_scaling(int box, const std::vector<int>& proc_counts,
+                                              int steps, const LammpsCalibration& cal,
+                                              exec::Pool& pool) {
   RSD_ASSERT(!proc_counts.empty());
-  std::vector<ScalingPoint> points;
-  double baseline = 0.0;
-  for (const int procs : proc_counts) {
+  std::vector<ScalingPoint> points = pool.parallel_map(proc_counts, [&](const int procs) {
     LammpsConfig cfg;
     cfg.box = box;
     cfg.procs = procs;
@@ -22,20 +27,27 @@ std::vector<ScalingPoint> lammps_proc_scaling(int box, const std::vector<int>& p
     p.procs = procs;
     p.threads = 1;
     p.runtime = r.runtime;
-    if (baseline == 0.0) baseline = r.runtime.seconds();
-    p.normalized = r.runtime.seconds() / baseline;
-    points.push_back(p);
-  }
+    return p;
+  });
+  // Normalize against the first point (the sweep's baseline), exactly as
+  // the serial loop did.
+  const double baseline = points.front().runtime.seconds();
+  for (auto& p : points) p.normalized = p.runtime.seconds() / baseline;
   return points;
 }
 
 std::vector<ScalingPoint> lammps_thread_scaling(int box, int procs,
                                                 const std::vector<int>& thread_counts,
                                                 int steps, const LammpsCalibration& cal) {
+  return lammps_thread_scaling(box, procs, thread_counts, steps, cal, exec::Pool::global());
+}
+
+std::vector<ScalingPoint> lammps_thread_scaling(int box, int procs,
+                                                const std::vector<int>& thread_counts,
+                                                int steps, const LammpsCalibration& cal,
+                                                exec::Pool& pool) {
   RSD_ASSERT(!thread_counts.empty());
-  std::vector<ScalingPoint> points;
-  double baseline = 0.0;
-  for (const int threads : thread_counts) {
+  std::vector<ScalingPoint> points = pool.parallel_map(thread_counts, [&](const int threads) {
     LammpsConfig cfg;
     cfg.box = box;
     cfg.procs = procs;
@@ -46,27 +58,33 @@ std::vector<ScalingPoint> lammps_thread_scaling(int box, int procs,
     p.procs = procs;
     p.threads = threads;
     p.runtime = r.runtime;
-    if (baseline == 0.0) baseline = r.runtime.seconds();
-    p.normalized = r.runtime.seconds() / baseline;
-    points.push_back(p);
-  }
+    return p;
+  });
+  const double baseline = points.front().runtime.seconds();
+  for (auto& p : points) p.normalized = p.runtime.seconds() / baseline;
   return points;
 }
 
 std::vector<CoreScalingPoint> cosmoflow_core_scaling(const std::vector<int>& core_counts,
                                                      const CosmoflowConfig& base,
                                                      const CosmoflowCalibration& cal) {
+  return cosmoflow_core_scaling(core_counts, base, cal, exec::Pool::global());
+}
+
+std::vector<CoreScalingPoint> cosmoflow_core_scaling(const std::vector<int>& core_counts,
+                                                     const CosmoflowConfig& base,
+                                                     const CosmoflowCalibration& cal,
+                                                     exec::Pool& pool) {
   RSD_ASSERT(!core_counts.empty());
-  std::vector<CoreScalingPoint> points;
-  for (const int cores : core_counts) {
+  std::vector<CoreScalingPoint> points = pool.parallel_map(core_counts, [&](const int cores) {
     CosmoflowConfig cfg = base;
     cfg.cpu_cores = cores;
     const AppRunResult r = run_cosmoflow(cfg, cal);
     CoreScalingPoint p;
     p.cores = cores;
     p.runtime = r.runtime;
-    points.push_back(p);
-  }
+    return p;
+  });
   const double best = points.back().runtime.seconds();
   for (auto& p : points) p.normalized = p.runtime.seconds() / best;
   return points;

@@ -1,11 +1,19 @@
 // CPU-to-GPU ratio scaling experiments (Section IV-A): strong scaling of
 // LAMMPS over MPI ranks and OpenMP threads, and CosmoFlow's core needs.
+// Each sweep point is an independent serial simulation, so the sweeps fan
+// out across `exec::Pool`; the two-argument overloads use the global pool.
+// Points are assembled in input order — output is identical for any pool
+// size.
 #pragma once
 
 #include <vector>
 
 #include "apps/cosmoflow.hpp"
 #include "apps/lammps.hpp"
+
+namespace rsd::exec {
+class Pool;
+}  // namespace rsd::exec
 
 namespace rsd::apps {
 
@@ -20,12 +28,18 @@ struct ScalingPoint {
 [[nodiscard]] std::vector<ScalingPoint> lammps_proc_scaling(
     int box, const std::vector<int>& proc_counts, int steps,
     const LammpsCalibration& cal = {});
+[[nodiscard]] std::vector<ScalingPoint> lammps_proc_scaling(
+    int box, const std::vector<int>& proc_counts, int steps, const LammpsCalibration& cal,
+    exec::Pool& pool);
 
 /// Section IV-A thread sweep: fixed ranks, varying OpenMP threads; the
 /// `normalized` field is relative to the 1-thread point of the same sweep.
 [[nodiscard]] std::vector<ScalingPoint> lammps_thread_scaling(
     int box, int procs, const std::vector<int>& thread_counts, int steps,
     const LammpsCalibration& cal = {});
+[[nodiscard]] std::vector<ScalingPoint> lammps_thread_scaling(
+    int box, int procs, const std::vector<int>& thread_counts, int steps,
+    const LammpsCalibration& cal, exec::Pool& pool);
 
 /// CosmoFlow core sweep: runtime as a function of available CPU cores.
 struct CoreScalingPoint {
@@ -37,6 +51,9 @@ struct CoreScalingPoint {
 [[nodiscard]] std::vector<CoreScalingPoint> cosmoflow_core_scaling(
     const std::vector<int>& core_counts, const CosmoflowConfig& base,
     const CosmoflowCalibration& cal = {});
+[[nodiscard]] std::vector<CoreScalingPoint> cosmoflow_core_scaling(
+    const std::vector<int>& core_counts, const CosmoflowConfig& base,
+    const CosmoflowCalibration& cal, exec::Pool& pool);
 
 /// Weak scaling (Section III-B's framing): replicate a fixed per-unit
 /// problem (one GPU + its composed CPU share) across N units, with an

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "core/error.hpp"
+#include "exec/pool.hpp"
 #include "gpusim/context.hpp"
 #include "interconnect/slack.hpp"
 #include "sim/scheduler.hpp"
@@ -198,30 +199,68 @@ ProxyResult ProxyRunner::run(const ProxyConfig& config) const {
 }
 
 std::vector<SweepPoint> run_slack_sweep(const ProxyRunner& runner, const SweepConfig& config) {
-  std::vector<SweepPoint> points;
-  for (const std::int64_t n : config.matrix_sizes) {
-    for (const int threads : config.thread_counts) {
-      // Zero-slack baseline for this (size, threads) cell.
-      ProxyConfig base_cfg;
-      base_cfg.matrix_n = n;
-      base_cfg.threads = threads;
-      base_cfg.slack = SimDuration::zero();
-      base_cfg.target_compute = config.target_compute;
-      const ProxyResult baseline = runner.run(base_cfg);
-      if (!baseline.fits_memory) continue;  // excluded, like 2^15 at >=4 threads
+  return run_slack_sweep(runner, config, exec::Pool::global());
+}
 
-      for (const SimDuration slack : config.slacks) {
-        ProxyConfig cfg = base_cfg;
-        cfg.slack = slack;
-        SweepPoint point;
-        point.matrix_n = n;
-        point.threads = threads;
-        point.slack = slack;
-        point.result = slack == SimDuration::zero() ? baseline : runner.run(cfg);
-        point.normalized_runtime =
-            point.result.no_slack_time / baseline.no_slack_time;
-        points.push_back(std::move(point));
-      }
+std::vector<SweepPoint> run_slack_sweep(const ProxyRunner& runner, const SweepConfig& config,
+                                        exec::Pool& pool) {
+  struct Cell {
+    std::int64_t matrix_n = 0;
+    int threads = 1;
+  };
+  std::vector<Cell> cells;
+  cells.reserve(config.matrix_sizes.size() * config.thread_counts.size());
+  for (const std::int64_t n : config.matrix_sizes) {
+    for (const int threads : config.thread_counts) cells.push_back({n, threads});
+  }
+
+  const auto cell_config = [&](const Cell& c, SimDuration slack) {
+    ProxyConfig cfg;
+    cfg.matrix_n = c.matrix_n;
+    cfg.threads = c.threads;
+    cfg.slack = slack;
+    cfg.target_compute = config.target_compute;
+    return cfg;
+  };
+
+  // Level 1: zero-slack baselines for every (size, threads) cell. These
+  // decide which cells fit device memory (e.g. 2^15 at >=4 threads is
+  // excluded, as in the paper).
+  const std::vector<ProxyResult> baselines = pool.parallel_map(cells, [&](const Cell& c) {
+    return runner.run(cell_config(c, SimDuration::zero()));
+  });
+
+  // Level 2: every non-zero slack point of the surviving cells.
+  struct SlackJob {
+    std::size_t cell = 0;
+    SimDuration slack;
+  };
+  std::vector<SlackJob> jobs;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (!baselines[i].fits_memory) continue;
+    for (const SimDuration slack : config.slacks) {
+      if (slack != SimDuration::zero()) jobs.push_back({i, slack});
+    }
+  }
+  const std::vector<ProxyResult> slacked = pool.parallel_map(jobs, [&](const SlackJob& j) {
+    return runner.run(cell_config(cells[j.cell], j.slack));
+  });
+
+  // Assemble in the serial loop's order; `jobs` was generated in the same
+  // nested order, so a single cursor pairs each point with its result.
+  std::vector<SweepPoint> points;
+  std::size_t job = 0;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const ProxyResult& baseline = baselines[i];
+    if (!baseline.fits_memory) continue;
+    for (const SimDuration slack : config.slacks) {
+      SweepPoint point;
+      point.matrix_n = cells[i].matrix_n;
+      point.threads = cells[i].threads;
+      point.slack = slack;
+      point.result = slack == SimDuration::zero() ? baseline : slacked[job++];
+      point.normalized_runtime = point.result.no_slack_time / baseline.no_slack_time;
+      points.push_back(std::move(point));
     }
   }
   return points;

@@ -26,6 +26,10 @@
 #include "interconnect/link.hpp"
 #include "trace/trace.hpp"
 
+namespace rsd::exec {
+class Pool;
+}  // namespace rsd::exec
+
 namespace rsd::proxy {
 
 struct ProxyConfig {
@@ -88,6 +92,7 @@ class ProxyRunner {
   ProxyRunner();
 
   [[nodiscard]] const gpu::DeviceParams& device_params() const { return device_params_; }
+  [[nodiscard]] const interconnect::LinkParams& link_params() const { return link_params_; }
 
   /// Execute one proxy run. Returns fits_memory=false (and no timing) when
   /// the matrices do not fit on the device.
@@ -121,8 +126,17 @@ struct SweepConfig {
 
 /// The full Figure 3 sweep: every (size, threads, slack) combination that
 /// fits in device memory, normalized per (size, threads) against the
-/// zero-slack baseline.
+/// zero-slack baseline. Runs on `exec::Pool::global()`.
 [[nodiscard]] std::vector<SweepPoint> run_slack_sweep(const ProxyRunner& runner,
                                                       const SweepConfig& config);
+
+/// Same sweep fanned out on an explicit pool. Each cell's simulation stays
+/// single-threaded; results are assembled in the serial loop's order, so
+/// the output is bit-identical for any pool size. Two levels of fan-out:
+/// the zero-slack baselines first (they decide which cells fit memory),
+/// then every non-zero slack point of the surviving cells.
+[[nodiscard]] std::vector<SweepPoint> run_slack_sweep(const ProxyRunner& runner,
+                                                      const SweepConfig& config,
+                                                      exec::Pool& pool);
 
 }  // namespace rsd::proxy

@@ -1,0 +1,59 @@
+// Memoized Figure-3 response surfaces.
+//
+// Four harnesses (fig3, table4, model_validation, ablation_binning) need
+// the same proxy slack sweep; before this cache each rebuilt the full
+// surface from scratch (~hundreds of DES runs). `SweepCache` keys a sweep
+// by a fingerprint of everything that determines its output — device
+// calibration, link parameters, and the `SweepConfig` grid — memoizes it
+// in-process, and persists it as CSV under `<results>/.cache/` so later
+// *processes* load it in milliseconds too.
+//
+// The simulations are bit-deterministic, so a cache hit is exact: loaded
+// points reproduce the original sweep byte-for-byte (doubles round-trip
+// via hexfloat).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "proxy/proxy.hpp"
+
+namespace rsd::proxy {
+
+class SweepCache {
+ public:
+  /// Cache files live in `dir` (created on first store).
+  explicit SweepCache(std::filesystem::path dir);
+
+  /// Process-wide cache rooted at `<results_dir()>/.cache`.
+  [[nodiscard]] static SweepCache& global();
+
+  /// Everything that determines a sweep's output: device calibration,
+  /// link parameters, and the sweep grid.
+  [[nodiscard]] static std::uint64_t fingerprint(const ProxyRunner& runner,
+                                                 const SweepConfig& config);
+
+  /// Return the memoized sweep, loading from disk or running it (fanned
+  /// out on `exec::Pool::global()`) on a miss.
+  [[nodiscard]] std::vector<SweepPoint> get_or_run(const ProxyRunner& runner,
+                                                   const SweepConfig& config);
+
+  /// Same, on an explicit pool.
+  [[nodiscard]] std::vector<SweepPoint> get_or_run(const ProxyRunner& runner,
+                                                   const SweepConfig& config, exec::Pool& pool);
+
+  [[nodiscard]] const std::filesystem::path& dir() const { return dir_; }
+
+  /// Drop in-process memoization (disk entries stay). Mostly for tests.
+  void clear_memory();
+
+ private:
+  std::filesystem::path dir_;
+  std::mutex m_;
+  std::map<std::uint64_t, std::vector<SweepPoint>> memory_;
+};
+
+}  // namespace rsd::proxy

@@ -42,6 +42,34 @@ TEST(RepeatRuns, StatisticsOverNoisyMeasurement) {
   EXPECT_GE(r.max, r.mean);
 }
 
+TEST(RepeatRunsParallel, MatchesSerialStatisticsBitForBit) {
+  exec::Pool pool{4};
+  auto measure = [](std::uint64_t seed) {
+    Rng rng{seed};
+    return rng.normal(10.0, 2.0);
+  };
+  const auto serial = repeat_runs(50, measure, 7);
+  const auto parallel = repeat_runs_parallel(50, measure, pool, 7);
+  EXPECT_EQ(parallel.runs, serial.runs);
+  EXPECT_EQ(parallel.mean, serial.mean);
+  EXPECT_EQ(parallel.stddev, serial.stddev);
+  EXPECT_EQ(parallel.min, serial.min);
+  EXPECT_EQ(parallel.max, serial.max);
+}
+
+TEST(RepeatRunsParallel, SerialPoolSeesSequentialSeeds) {
+  exec::Pool pool{1};
+  std::vector<std::uint64_t> seen;
+  (void)repeat_runs_parallel(
+      5,
+      [&seen](std::uint64_t seed) {
+        seen.push_back(seed);
+        return 0.0;
+      },
+      pool, 100);
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{100, 101, 102, 103, 104}));
+}
+
 TEST(SlackNoise, ZeroSigmaIsDeterministic) {
   interconnect::SlackInjector inj{100_us, 0.0, 7};
   for (int i = 0; i < 10; ++i) EXPECT_EQ(inj.on_api_call(), 100_us);

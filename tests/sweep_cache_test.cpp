@@ -1,0 +1,110 @@
+#include "proxy/sweep_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/csv.hpp"
+#include "exec/pool.hpp"
+
+namespace rsd::proxy {
+namespace {
+
+namespace fs = std::filesystem;
+using namespace rsd::literals;
+
+SweepConfig small_config() {
+  SweepConfig cfg;
+  cfg.matrix_sizes = {1 << 9, 1 << 11};
+  cfg.thread_counts = {1, 2};
+  cfg.slacks = {SimDuration::zero(), 10_us, 1_ms};
+  cfg.target_compute = 100_ms;
+  return cfg;
+}
+
+std::string to_csv(const std::vector<SweepPoint>& points) {
+  CsvWriter csv;
+  for (const auto& p : points) {
+    csv.row(p.matrix_n, p.threads, p.slack.ns(), p.normalized_runtime,
+            p.result.kernel_duration.ns(), p.result.matrix_bytes, p.result.iterations,
+            p.result.loop_runtime.ns(), p.result.no_slack_time.ns(),
+            p.result.cuda_calls_per_thread);
+  }
+  return csv.str();
+}
+
+struct TempDir {
+  fs::path path;
+  TempDir() : path(fs::temp_directory_path() / "rsd_sweep_cache_test") {
+    fs::remove_all(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+};
+
+TEST(SweepCache, MemoizesAndRoundTripsThroughDisk) {
+  TempDir tmp;
+  const ProxyRunner runner;
+  const SweepConfig cfg = small_config();
+
+  SweepCache cache{tmp.path};
+  const auto fresh = cache.get_or_run(runner, cfg);
+  EXPECT_FALSE(fresh.empty());
+  EXPECT_EQ(to_csv(fresh), to_csv(run_slack_sweep(runner, cfg)));
+
+  // In-process memoization.
+  EXPECT_EQ(to_csv(cache.get_or_run(runner, cfg)), to_csv(fresh));
+
+  // Cross-process path: a new cache on the same directory must load the
+  // persisted CSV and reproduce the sweep bit-for-bit.
+  SweepCache reopened{tmp.path};
+  const auto loaded = reopened.get_or_run(runner, cfg);
+  EXPECT_EQ(to_csv(loaded), to_csv(fresh));
+
+  // And the entry really is on disk.
+  bool found = false;
+  for (const auto& e : fs::directory_iterator(tmp.path)) {
+    if (e.path().extension() == ".csv") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SweepCache, FingerprintDependsOnGridAndCalibration) {
+  const ProxyRunner a;
+  SweepConfig cfg = small_config();
+  const std::uint64_t base = SweepCache::fingerprint(a, cfg);
+
+  SweepConfig denser = cfg;
+  denser.matrix_sizes.push_back(1 << 13);
+  EXPECT_NE(SweepCache::fingerprint(a, denser), base);
+
+  SweepConfig slower = cfg;
+  slower.target_compute = 200_ms;
+  EXPECT_NE(SweepCache::fingerprint(a, slower), base);
+
+  gpu::DeviceParams params;
+  params.matmul_tflops *= 2.0;
+  const ProxyRunner faster{params, a.link_params()};
+  EXPECT_NE(SweepCache::fingerprint(faster, cfg), base);
+
+  EXPECT_EQ(SweepCache::fingerprint(a, cfg), base);  // stable
+}
+
+TEST(SweepCache, CorruptEntryIsRebuilt) {
+  TempDir tmp;
+  const ProxyRunner runner;
+  const SweepConfig cfg = small_config();
+
+  SweepCache cache{tmp.path};
+  const auto fresh = cache.get_or_run(runner, cfg);
+
+  // Truncate every cache file, then force a reload from disk.
+  for (const auto& e : fs::directory_iterator(tmp.path)) {
+    std::ofstream out{e.path(), std::ios::trunc};
+  }
+  SweepCache reopened{tmp.path};
+  EXPECT_EQ(to_csv(reopened.get_or_run(runner, cfg)), to_csv(fresh));
+}
+
+}  // namespace
+}  // namespace rsd::proxy
