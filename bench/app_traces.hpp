@@ -1,7 +1,8 @@
 // The two production-application traces Section IV-C profiles:
 // LAMMPS box 120 with 8 processes / 1 thread, and CosmoFlow mini with
 // batch 4 — exactly the configurations whose NSys captures feed Figures
-// 4-5 and Tables III-IV.
+// 4-5 and Tables III-IV. Narration goes to `out` so harness experiments
+// can route it through their ExperimentContext.
 #pragma once
 
 #include <iostream>
@@ -12,7 +13,7 @@
 
 namespace rsd::bench {
 
-inline apps::AppRunResult lammps_paper_trace(int steps = 5000) {
+inline apps::AppRunResult lammps_paper_trace(int steps = 5000, std::ostream& out = std::cout) {
   apps::LammpsConfig cfg;
   cfg.box = 120;
   cfg.procs = 8;
@@ -20,12 +21,12 @@ inline apps::AppRunResult lammps_paper_trace(int steps = 5000) {
   cfg.steps = steps;
   cfg.capture_trace = true;
   auto result = apps::run_lammps(cfg);
-  std::cout << "[trace] LAMMPS box 120, 8 procs, " << steps << " steps: ran "
-            << rsd::fmt_fixed(result.runtime.seconds(), 1) << " s (paper: 173 s)\n";
+  out << "[trace] LAMMPS box 120, 8 procs, " << steps << " steps: ran "
+      << rsd::fmt_fixed(result.runtime.seconds(), 1) << " s (paper: 173 s)\n";
   return result;
 }
 
-inline apps::AppRunResult cosmoflow_paper_trace(int epochs = 5) {
+inline apps::AppRunResult cosmoflow_paper_trace(int epochs = 5, std::ostream& out = std::cout) {
   apps::CosmoflowConfig cfg;
   cfg.epochs = epochs;
   cfg.train_items = 1024;
@@ -33,8 +34,8 @@ inline apps::AppRunResult cosmoflow_paper_trace(int epochs = 5) {
   cfg.batch = 4;
   cfg.capture_trace = true;
   auto result = apps::run_cosmoflow(cfg);
-  std::cout << "[trace] CosmoFlow mini, batch 4, " << epochs << " epochs: ran "
-            << rsd::fmt_fixed(result.runtime.seconds(), 1) << " s (paper: 705 s)\n";
+  out << "[trace] CosmoFlow mini, batch 4, " << epochs << " epochs: ran "
+      << rsd::fmt_fixed(result.runtime.seconds(), 1) << " s (paper: 705 s)\n";
   return result;
 }
 

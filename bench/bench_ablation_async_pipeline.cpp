@@ -6,21 +6,19 @@
 // Expected: the pipelined proxy keeps the device fed while the host sleeps
 // its slack, so its raw wall time barely moves where the synchronous loop
 // already degrades badly.
-#include <iostream>
-
-#include "bench/bench_util.hpp"
 #include "core/csv.hpp"
 #include "core/table.hpp"
+#include "harness/context.hpp"
+#include "harness/experiment.hpp"
 #include "proxy/proxy.hpp"
 
-int main() {
+RSD_EXPERIMENT(ablation_async_pipeline, "ablation_async_pipeline", "ablation",
+               "Ablation: synchronous vs pipelined proxy — wall-time slowdown vs "
+               "zero-slack baseline (1 thread). Sync = the paper's loop; async = "
+               "double-buffered two-stream pipeline.") {
   using namespace rsd;
   using namespace rsd::literals;
   using namespace rsd::proxy;
-
-  bench::print_header("Ablation: synchronous vs pipelined proxy",
-                      "Wall-time slowdown vs zero-slack baseline (1 thread). Sync = the "
-                      "paper's loop; async = double-buffered two-stream pipeline.");
 
   const ProxyRunner runner;
   Table table{"Matrix", "Slack", "Sync slowdown", "Async slowdown"};
@@ -54,12 +52,11 @@ int main() {
     }
   }
 
-  table.print(std::cout);
-  std::cout << "\nPipelining hides slack behind queued work where kernels are large\n"
+  table.print(ctx.out());
+  ctx.out() << "\nPipelining hides slack behind queued work where kernels are large\n"
                "enough, but the pipeline issues more API calls per iteration, so at\n"
                "extreme slack on tiny kernels the extra per-call delays dominate and\n"
                "asynchrony stops paying — the paper's synchronous-pessimistic choice\n"
                "brackets the realistic range from above without this subtlety.\n";
-  bench::save_csv("ablation_async_pipeline", csv);
-  return 0;
+  ctx.save_csv("ablation_async_pipeline", csv);
 }

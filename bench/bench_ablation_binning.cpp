@@ -1,27 +1,23 @@
 // Ablation 3 (DESIGN.md): Equation 3's binning granularity. The paper
 // sweeps the proxy at four matrix sizes (2^9..2^15, steps of 2^2); a
 // denser grid (adding 2^10..2^14) tightens the lower/upper penalty gap.
-#include <iostream>
-
 #include "bench/app_traces.hpp"
-#include "bench/bench_util.hpp"
 #include "core/csv.hpp"
 #include "core/table.hpp"
+#include "harness/context.hpp"
+#include "harness/experiment.hpp"
 #include "model/slack_model.hpp"
 #include "proxy/proxy.hpp"
-#include "proxy/sweep_cache.hpp"
 
-int main() {
+RSD_EXPERIMENT(ablation_binning, "ablation_binning", "ablation",
+               "Ablation: Eq.3 binning granularity — LAMMPS slack-penalty bounds with "
+               "the paper's 4-size proxy grid vs a 7-size grid.") {
   using namespace rsd;
   using namespace rsd::literals;
   using namespace rsd::proxy;
 
-  bench::print_header("Ablation: Eq.3 binning granularity",
-                      "LAMMPS slack-penalty bounds with the paper's 4-size proxy grid vs "
-                      "a 7-size grid.");
-
   const ProxyRunner runner;
-  const auto lammps = bench::lammps_paper_trace(360);
+  const auto lammps = bench::lammps_paper_trace(360, ctx.out());
 
   Table table{"Grid", "Slack", "SP lower", "SP upper", "Gap"};
   CsvWriter csv;
@@ -44,7 +40,7 @@ int main() {
     SweepConfig cfg;
     cfg.matrix_sizes = grid.sizes;
     cfg.thread_counts = {1};
-    const auto sweep = SweepCache::global().get_or_run(runner, cfg);
+    const auto sweep = ctx.sweep_cache().get_or_run(runner, cfg, ctx.pool());
     const model::SlackModel slack_model{model::ResponseSurface::from_sweep(sweep)};
     for (const SimDuration slack : {100_us, 1_ms}) {
       const auto pred = slack_model.predict(lammps.trace, 1, slack);
@@ -56,7 +52,6 @@ int main() {
     }
   }
 
-  table.print(std::cout);
-  bench::save_csv("ablation_binning", csv);
-  return 0;
+  table.print(ctx.out());
+  ctx.save_csv("ablation_binning", csv);
 }

@@ -1,21 +1,18 @@
 // Ablation 2 (DESIGN.md): Equation 1. Compare normalized runtimes with and
 // without removing the directly-injected slack. Without Eq.1 the direct
 // network delay swamps the starvation signal the paper isolates.
-#include <iostream>
-
-#include "bench/bench_util.hpp"
 #include "core/csv.hpp"
 #include "core/table.hpp"
+#include "harness/context.hpp"
+#include "harness/experiment.hpp"
 #include "proxy/proxy.hpp"
 
-int main() {
+RSD_EXPERIMENT(ablation_eq1, "ablation_eq1", "ablation",
+               "Ablation: Equation 1 — proxy normalized runtime with vs without "
+               "removing injected slack (1 thread).") {
   using namespace rsd;
   using namespace rsd::literals;
   using namespace rsd::proxy;
-
-  bench::print_header("Ablation: Equation 1",
-                      "Proxy normalized runtime with vs without removing injected slack "
-                      "(1 thread).");
 
   const ProxyRunner runner;
   Table table{"Matrix", "Slack", "With Eq.1", "Without Eq.1"};
@@ -39,9 +36,8 @@ int main() {
     }
   }
 
-  table.print(std::cout);
-  std::cout << "\nEq.1 isolates GPU starvation; the raw ratio mostly measures the "
+  table.print(ctx.out());
+  ctx.out() << "\nEq.1 isolates GPU starvation; the raw ratio mostly measures the "
                "injected delay itself.\n";
-  bench::save_csv("ablation_eq1", csv);
-  return 0;
+  ctx.save_csv("ablation_eq1", csv);
 }

@@ -9,22 +9,19 @@
 // zero-slack baseline, so Equation 1's normalization cancels it; removing
 // it actually *raises* the normalized penalty slightly (the baseline gets
 // faster while the slack run's wake cost is unchanged).
-#include <iostream>
-
-#include "bench/bench_util.hpp"
 #include "core/csv.hpp"
 #include "core/table.hpp"
+#include "harness/context.hpp"
+#include "harness/experiment.hpp"
 #include "interconnect/link.hpp"
 #include "proxy/proxy.hpp"
 
-int main() {
+RSD_EXPERIMENT(ablation_mechanisms, "ablation_mechanisms", "ablation",
+               "Ablation: starvation mechanisms — normalized proxy runtime per "
+               "device-model variant (1 thread).") {
   using namespace rsd;
   using namespace rsd::literals;
   using namespace rsd::proxy;
-
-  bench::print_header("Ablation: starvation mechanisms",
-                      "Normalized proxy runtime per device-model variant "
-                      "(1 thread).");
 
   struct Variant {
     const char* name;
@@ -72,7 +69,6 @@ int main() {
     table.add_row_vec(row);
   }
 
-  table.print(std::cout);
-  bench::save_csv("ablation_mechanisms", csv);
-  return 0;
+  table.print(ctx.out());
+  ctx.save_csv("ablation_mechanisms", csv);
 }

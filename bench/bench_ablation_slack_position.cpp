@@ -2,22 +2,19 @@
 // Section III-C) vs before it (the LD_PRELOAD interposer alternative,
 // Section III-B). The paper reports the two "generally agreed"; here the
 // agreement is exact up to one boundary sleep per run.
-#include <iostream>
-
-#include "bench/bench_util.hpp"
 #include "core/csv.hpp"
 #include "core/table.hpp"
 #include "gpusim/context.hpp"
+#include "harness/context.hpp"
+#include "harness/experiment.hpp"
 #include "proxy/proxy.hpp"
 
-int main() {
+RSD_EXPERIMENT(ablation_slack_position, "ablation_slack_position", "ablation",
+               "Ablation: slack position — Eq.1-normalized penalty with "
+               "sleep-after-call vs sleep-before-call injection (1 thread).") {
   using namespace rsd;
   using namespace rsd::literals;
   using namespace rsd::proxy;
-
-  bench::print_header("Ablation: slack position",
-                      "Eq.1-normalized penalty with sleep-after-call vs sleep-before-call "
-                      "injection (1 thread).");
 
   const ProxyRunner runner;
   Table table{"Matrix", "Slack", "After-call", "Before-call", "Delta"};
@@ -46,9 +43,8 @@ int main() {
     }
   }
 
-  table.print(std::cout);
-  std::cout << "\nPaper (IV-D): LD_PRELOAD-style injection 'generally agreed' with the\n"
+  table.print(ctx.out());
+  ctx.out() << "\nPaper (IV-D): LD_PRELOAD-style injection 'generally agreed' with the\n"
                "proxy's method; here the positions differ only at loop boundaries.\n";
-  bench::save_csv("ablation_slack_position", csv);
-  return 0;
+  ctx.save_csv("ablation_slack_position", csv);
 }

@@ -1,19 +1,16 @@
 // Discussion example: 40 GPUs + 20 x 24-core CPU nodes serving LAMMPS and
 // CosmoFlow (both wanting 20 GPUs) under traditional vs CDI scheduling.
-#include <iostream>
-
-#include "bench/bench_util.hpp"
 #include "cluster/composition.hpp"
 #include "core/csv.hpp"
 #include "core/table.hpp"
+#include "harness/context.hpp"
+#include "harness/experiment.hpp"
 
-int main() {
+RSD_EXPERIMENT(discussion_composition, "discussion_composition", "text",
+               "Discussion: composition example — 40 GPUs, 20 CPU nodes x 24 cores; "
+               "LAMMPS and CosmoFlow each want 20 GPUs.") {
   using namespace rsd;
   using namespace rsd::cluster;
-
-  bench::print_header("Discussion: composition example",
-                      "40 GPUs, 20 CPU nodes x 24 cores; LAMMPS and CosmoFlow each want "
-                      "20 GPUs.");
 
   Table table{"Architecture", "Job", "Cores", "GPUs", "Trapped cores", "Trapped GPUs",
               "Cores/GPU"};
@@ -40,12 +37,11 @@ int main() {
   add("cdi", cdi.allocate({"cosmoflow", 4, 20}));
   add("cdi", cdi.allocate({"lammps", 16 * 24, 20}));
 
-  table.print(std::cout);
-  std::cout << "\nTraditional traps " << traditional.total_trapped_cores()
+  table.print(ctx.out());
+  ctx.out() << "\nTraditional traps " << traditional.total_trapped_cores()
             << " cores; CDI traps none and leaves " << cdi.free_cores()
             << " cores free for other work.\n"
             << "LAMMPS cores-per-GPU: 12.0 traditional vs 19.2 CDI (paper: 1:2 -> 5:4 "
                "GPU:CPU-chip ratio).\n";
-  bench::save_csv("discussion_composition", csv);
-  return 0;
+  ctx.save_csv("discussion_composition", csv);
 }

@@ -4,13 +4,12 @@
 // one-way and lets the device queue hide the latency. For a GPU-dominant
 // submission pattern (CosmoFlow-like: bursts of asynchronous launches),
 // the difference is dramatic.
-#include <iostream>
-
-#include "bench/bench_util.hpp"
 #include "core/csv.hpp"
 #include "core/table.hpp"
 #include "gpusim/context.hpp"
 #include "gpusim/device.hpp"
+#include "harness/context.hpp"
+#include "harness/experiment.hpp"
 #include "interconnect/link.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/sync.hpp"
@@ -55,10 +54,10 @@ SimDuration run_pattern(int steps, int kernels_per_step, SimDuration kernel_time
 
 }  // namespace
 
-int main() {
-  bench::print_header("Extension: CDI transport vs API remoting",
-                      "40 async kernel launches per step + sync, 50 steps, 1 ms kernels "
-                      "(a CosmoFlow-like sequence).");
+RSD_EXPERIMENT(extension_api_remoting, "extension_api_remoting", "extension",
+               "Extension: CDI transport vs API remoting — 40 async kernel launches "
+               "per step + sync, 50 steps, 1 ms kernels (a CosmoFlow-like sequence).") {
+  using namespace rsd;
 
   Table table{"Kernel", "One-way latency", "Local [s]", "CDI native [s]",
               "API remoting [s]", "Remoting / CDI"};
@@ -85,10 +84,9 @@ int main() {
     }
   }
 
-  table.print(std::cout);
-  std::cout << "\nCDI hides command latency behind the device queue; remoting pays it on\n"
+  table.print(ctx.out());
+  ctx.out() << "\nCDI hides command latency behind the device queue; remoting pays it on\n"
                "every call — the reason the paper rules remoting out for slack studies\n"
                "and deployment alike (Section II-A).\n";
-  bench::save_csv("extension_api_remoting", csv);
-  return 0;
+  ctx.save_csv("extension_api_remoting", csv);
 }

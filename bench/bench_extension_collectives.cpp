@@ -2,20 +2,17 @@
 // chassis couples many GPUs over an NVLink-class fabric; a traditional
 // layout caps coupled GPUs at 4 per node and scatters the rest across the
 // network. CosmoFlow-style gradient exchanges benefit directly.
-#include <iostream>
-
-#include "bench/bench_util.hpp"
 #include "core/csv.hpp"
 #include "core/table.hpp"
 #include "gpusim/collective.hpp"
+#include "harness/context.hpp"
+#include "harness/experiment.hpp"
 
-int main() {
+RSD_EXPERIMENT(extension_collectives, "extension_collectives", "extension",
+               "Extension: collectives by placement — best-of(ring, tree) allreduce "
+               "time for N GPUs exchanging a CosmoFlow-scale gradient buffer.") {
   using namespace rsd;
   using namespace rsd::gpu;
-
-  bench::print_header("Extension: collectives by placement",
-                      "Best-of(ring, tree) allreduce time for N GPUs exchanging a "
-                      "CosmoFlow-scale gradient buffer.");
 
   const auto chassis = make_nvlink();
   const auto pcie = make_pcie_p2p();
@@ -40,9 +37,8 @@ int main() {
     }
   }
 
-  table.print(std::cout);
-  std::cout << "\nBeyond 4 GPUs a traditional node cannot keep the group PCIe-local at\n"
+  table.print(ctx.out());
+  ctx.out() << "\nBeyond 4 GPUs a traditional node cannot keep the group PCIe-local at\n"
                "all; a CDI chassis keeps up to its slot count NVLink-coupled.\n";
-  bench::save_csv("extension_collectives", csv);
-  return 0;
+  ctx.save_csv("extension_collectives", csv);
 }

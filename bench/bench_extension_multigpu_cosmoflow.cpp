@@ -2,21 +2,18 @@
 // chassis vs GPUs scattered over the network. Per-step gradient allreduce
 // runs on the group fabric; a traditional node caps the NVLink-coupled
 // group at 4 GPUs, a chassis does not.
-#include <iostream>
-
 #include "apps/cosmoflow.hpp"
-#include "bench/bench_util.hpp"
 #include "core/csv.hpp"
 #include "core/table.hpp"
 #include "gpusim/collective.hpp"
+#include "harness/context.hpp"
+#include "harness/experiment.hpp"
 
-int main() {
+RSD_EXPERIMENT(extension_multigpu_cosmoflow, "extension_multigpu_cosmoflow", "extension",
+               "Extension: multi-GPU CosmoFlow — data-parallel training time (1 epoch, "
+               "mini dataset) vs GPU count, chassis fabric vs scattered network.") {
   using namespace rsd;
   using namespace rsd::apps;
-
-  bench::print_header("Extension: multi-GPU CosmoFlow",
-                      "Data-parallel training time (1 epoch, mini dataset) vs GPU count, "
-                      "chassis fabric vs scattered network.");
 
   MultiGpuCosmoflowConfig cfg;
   cfg.base.epochs = 1;
@@ -55,10 +52,9 @@ int main() {
     }
   }
 
-  table.print(std::cout);
-  std::cout << "\nCosmoFlow-size gradients make the fabric irrelevant (a null result the\n"
+  table.print(ctx.out());
+  ctx.out() << "\nCosmoFlow-size gradients make the fabric irrelevant (a null result the\n"
                "model predicts); GiB-scale gradients are where chassis coupling pays,\n"
                "and a traditional node could not couple more than 4 GPUs at all.\n";
-  bench::save_csv("extension_multigpu_cosmoflow", csv);
-  return 0;
+  ctx.save_csv("extension_multigpu_cosmoflow", csv);
 }

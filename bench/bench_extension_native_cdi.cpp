@@ -8,21 +8,19 @@
 // native wall time — and it should, because the device-side starvation
 // dynamics (the part the paper actually studies) depend only on the gap
 // structure, which both paths produce identically for synchronous loops.
-#include <iostream>
-
-#include "bench/bench_util.hpp"
 #include "core/csv.hpp"
 #include "core/table.hpp"
 #include "gpusim/context.hpp"
+#include "harness/context.hpp"
+#include "harness/experiment.hpp"
 #include "proxy/proxy.hpp"
 
-int main() {
+RSD_EXPERIMENT(extension_native_cdi, "extension_native_cdi", "extension",
+               "Extension: native CDI vs sleep emulation — proxy wall time under a real "
+               "network command path vs the paper's sleep-per-call emulation with "
+               "s = 2 x one-way latency.") {
   using namespace rsd;
   using namespace rsd::proxy;
-
-  bench::print_header("Extension: native CDI vs sleep emulation",
-                      "Proxy wall time under a real network command path vs the paper's "
-                      "sleep-per-call emulation with s = 2 x one-way latency.");
 
   const ProxyRunner runner;
   Table table{"Matrix", "One-way latency", "Native wall [s]", "Emulated wall [s]",
@@ -55,9 +53,8 @@ int main() {
     }
   }
 
-  table.print(std::cout);
-  std::cout << "\nRatios near 1 mean the software-only emulation (runnable on any\n"
+  table.print(ctx.out());
+  ctx.out() << "\nRatios near 1 mean the software-only emulation (runnable on any\n"
                "traditional node) predicts native row-scale CDI behaviour.\n";
-  bench::save_csv("extension_native_cdi", csv);
-  return 0;
+  ctx.save_csv("extension_native_cdi", csv);
 }

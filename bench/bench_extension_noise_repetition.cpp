@@ -1,23 +1,20 @@
 // Extension: the paper's measurement protocol — every experiment averaged
 // over 5 runs — applied to the simulator with sleep-overshoot noise turned
 // on. Shows the run-to-run spread the deterministic results sit inside.
-#include <iostream>
-
-#include "bench/bench_util.hpp"
 #include "core/csv.hpp"
 #include "core/experiment.hpp"
 #include "core/table.hpp"
-#include "exec/pool.hpp"
+#include "harness/context.hpp"
+#include "harness/experiment.hpp"
 #include "proxy/proxy.hpp"
 
-int main() {
+RSD_EXPERIMENT(extension_noise_repetition, "extension_noise_repetition", "extension",
+               "Extension: 5-run averaging under host noise — proxy normalized "
+               "runtime, sleep-overshoot sigma = 0.1, seeded repetitions (the paper's "
+               "repetition protocol; --runs/--seed set the count and seed base).") {
   using namespace rsd;
   using namespace rsd::literals;
   using namespace rsd::proxy;
-
-  bench::print_header("Extension: 5-run averaging under host noise",
-                      "Proxy normalized runtime, sleep-overshoot sigma = 0.1, 5 seeds "
-                      "(the paper's repetition protocol).");
 
   const ProxyRunner runner;
   Table table{"Matrix", "Slack", "Deterministic", "Mean of 5", "Stddev", "Min", "Max"};
@@ -36,16 +33,16 @@ int main() {
       const double deterministic = runner.run(cfg).no_slack_time / baseline.no_slack_time;
 
       cfg.host_noise_sigma = 0.1;
-      // The 5 seeded repetitions fan out across the pool; statistics are
+      // The seeded repetitions fan out across the pool; statistics are
       // accumulated in seed order, so they match the serial protocol.
       const auto stat = repeat_runs_parallel(
-          5,
+          ctx.runs(),
           [&](std::uint64_t seed) {
             ProxyConfig noisy = cfg;
             noisy.seed = seed;
             return runner.run(noisy).no_slack_time / baseline.no_slack_time;
           },
-          exec::Pool::global());
+          ctx.pool(), ctx.seed());
 
       table.add_row(std::to_string(n), format_duration(slack), fmt_fixed(deterministic, 4),
                     fmt_fixed(stat.mean, 4), fmt_fixed(stat.stddev, 4),
@@ -54,9 +51,8 @@ int main() {
     }
   }
 
-  table.print(std::cout);
-  std::cout << "\nThe deterministic model sits inside the noisy 5-run band; overshoot\n"
+  table.print(ctx.out());
+  ctx.out() << "\nThe deterministic model sits inside the noisy 5-run band; overshoot\n"
                "biases the mean slightly upward, as on real hardware.\n";
-  bench::save_csv("extension_noise_repetition", csv);
-  return 0;
+  ctx.save_csv("extension_noise_repetition", csv);
 }

@@ -2,22 +2,20 @@
 // job queue through the FIFO scheduler on a traditional cluster and a CDI
 // cluster with identical hardware, and compare throughput, waiting time,
 // trapped resources, and GPU energy.
-#include <iostream>
 #include <vector>
 
-#include "bench/bench_util.hpp"
 #include "cluster/scheduler.hpp"
 #include "core/csv.hpp"
 #include "core/rng.hpp"
 #include "core/table.hpp"
+#include "harness/context.hpp"
+#include "harness/experiment.hpp"
 
-int main() {
+RSD_EXPERIMENT(extension_throughput, "extension_throughput", "extension",
+               "Extension: cluster throughput — mixed job queue on 16 nodes x (48 "
+               "cores, 4 GPUs), traditional vs CDI composition, FIFO scheduling.") {
   using namespace rsd;
   using namespace rsd::cluster;
-
-  bench::print_header("Extension: cluster throughput",
-                      "Mixed job queue on 16 nodes x (48 cores, 4 GPUs), traditional vs "
-                      "CDI composition, FIFO scheduling.");
 
   // A reproducible mixed workload: CPU-heavy MD, GPU-hungry training,
   // CPU-only pre/post-processing, and balanced jobs.
@@ -75,7 +73,7 @@ int main() {
   row("Avg trapped GPUs", traditional.avg_trapped_gpus, cdi.avg_trapped_gpus, 2);
   row("GPU energy [kWh]", traditional.gpu_energy_joules / 3.6e6,
       cdi.gpu_energy_joules / 3.6e6, 2);
-  table.print(std::cout);
+  table.print(ctx.out());
 
   CsvWriter csv;
   csv.row("arch", "makespan_s", "mean_wait_s", "avg_busy_gpus", "avg_trapped_gpus",
@@ -85,6 +83,5 @@ int main() {
           traditional.gpu_energy_joules);
   csv.row("cdi", cdi.makespan.seconds(), cdi.mean_wait_seconds, cdi.avg_busy_gpus,
           cdi.avg_trapped_gpus, cdi.gpu_energy_joules);
-  bench::save_csv("extension_throughput", csv);
-  return 0;
+  ctx.save_csv("extension_throughput", csv);
 }

@@ -4,21 +4,18 @@
 // composes the Figure-2 optimum (~8-12 ranks per GPU at box 120 — and a
 // whole node per GPU for box 200-class problems). The efficiency curves
 // show the per-unit advantage carries to scale.
-#include <iostream>
-
 #include "apps/scaling.hpp"
-#include "bench/bench_util.hpp"
 #include "core/csv.hpp"
 #include "core/table.hpp"
-#include "exec/pool.hpp"
+#include "harness/context.hpp"
+#include "harness/experiment.hpp"
 
-int main() {
+RSD_EXPERIMENT(extension_weak_scaling, "extension_weak_scaling", "extension",
+               "Extension: weak scaling of the composed unit — per-unit problem: "
+               "LAMMPS box 120 on one GPU. Traditional unit: 12 ranks (node-limited); "
+               "CDI unit: composed rank optimum.") {
   using namespace rsd;
   using namespace rsd::apps;
-
-  bench::print_header("Extension: weak scaling of the composed unit",
-                      "Per-unit problem: LAMMPS box 120 on one GPU. Traditional unit: 12 "
-                      "ranks (node-limited); CDI unit: composed rank optimum.");
 
   const std::vector<int> units{1, 2, 4, 8, 16, 32, 64};
 
@@ -33,7 +30,7 @@ int main() {
 
   // Each variant's cost is one full LAMMPS unit simulation; run the two
   // variants concurrently.
-  const auto curves = exec::Pool::global().parallel_map(
+  const auto curves = ctx.pool().parallel_map(
       std::vector<LammpsConfig>{traditional_unit, cdi_unit},
       [&](const LammpsConfig& unit) { return lammps_weak_scaling(unit, units); });
   const auto& traditional = curves[0];
@@ -51,9 +48,8 @@ int main() {
     csv.row(units[i], traditional[i].runtime.seconds(), traditional[i].efficiency,
             cdi[i].runtime.seconds(), cdi[i].efficiency);
   }
-  table.print(std::cout);
-  std::cout << "\nThe composed unit's advantage is preserved as units replicate; the\n"
+  table.print(ctx.out());
+  ctx.out() << "\nThe composed unit's advantage is preserved as units replicate; the\n"
                "log-cost collective erodes efficiency identically for both.\n";
-  bench::save_csv("extension_weak_scaling", csv);
-  return 0;
+  ctx.save_csv("extension_weak_scaling", csv);
 }

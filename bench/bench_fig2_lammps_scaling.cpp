@@ -4,20 +4,17 @@
 // Paper anchors: box 20 degrades with more processes (overhead dominates);
 // box 60 improves ~17% by 8 processes; box 120 improves ~56% by 24 with
 // diminishing returns after 16.
-#include <iostream>
-
 #include "apps/scaling.hpp"
-#include "bench/bench_util.hpp"
 #include "core/csv.hpp"
 #include "core/table.hpp"
+#include "harness/context.hpp"
+#include "harness/experiment.hpp"
 
-int main() {
+RSD_EXPERIMENT(fig2_lammps_scaling, "fig2_lammps_scaling", "figure",
+               "Figure 2 — LAMMPS strong scaling on one GPU: normalized runtime vs MPI "
+               "processes.\nValues are runtime(P)/runtime(1); < 1 means faster.") {
   using namespace rsd;
   using namespace rsd::apps;
-
-  bench::print_header("Figure 2",
-                      "LAMMPS strong scaling on one GPU: normalized runtime vs MPI "
-                      "processes.\nValues are runtime(P)/runtime(1); < 1 means faster.");
 
   const std::vector<int> procs{1, 2, 4, 8, 12, 16, 20, 24};
   const std::vector<int> boxes{20, 60, 80, 100, 120};
@@ -31,7 +28,7 @@ int main() {
   csv.row("box", "procs", "normalized_runtime", "runtime_s");
 
   for (const int box : boxes) {
-    const auto points = lammps_proc_scaling(box, procs, steps);
+    const auto points = lammps_proc_scaling(box, procs, steps, {}, ctx.pool());
     std::vector<std::string> row{std::to_string(box)};
     for (const auto& pt : points) {
       row.push_back(fmt_fixed(pt.normalized, 3));
@@ -40,9 +37,8 @@ int main() {
     table.add_row_vec(row);
   }
 
-  table.print(std::cout);
-  std::cout << "\nPaper anchors: box20 degrades with P; box120 ~0.44 at P=24, "
+  table.print(ctx.out());
+  ctx.out() << "\nPaper anchors: box20 degrades with P; box120 ~0.44 at P=24, "
                "diminishing after 16.\n";
-  bench::save_csv("fig2_lammps_scaling", csv);
-  return 0;
+  ctx.save_csv("fig2_lammps_scaling", csv);
 }

@@ -5,31 +5,28 @@
 // Paper anchors: 2^9 shows effects from 1 us; 2^13's first >=10% hit is at
 // 10 ms; 2^15 tolerates up to 1 s; more threads shift tolerance up; 2^15
 // is excluded at >= 4 threads (3 x 4 GiB x 4 > 40 GiB).
-#include <iostream>
 #include <map>
 
-#include "bench/bench_util.hpp"
 #include "core/csv.hpp"
 #include "core/table.hpp"
-#include "exec/pool.hpp"
+#include "harness/context.hpp"
+#include "harness/experiment.hpp"
 #include "proxy/proxy.hpp"
-#include "proxy/sweep_cache.hpp"
 
-int main() {
+RSD_EXPERIMENT(fig3_slack_sweep, "fig3_slack_sweep", "figure",
+               "Figure 3 — proxy slack sweep: normalized (Eq.1) runtime vs injected "
+               "slack.\nOne sub-table per thread count; '-' = excluded (device OOM).") {
   using namespace rsd;
   using namespace rsd::literals;
   using namespace rsd::proxy;
 
-  bench::print_header("Figure 3",
-                      "Proxy slack sweep: normalized (Eq.1) runtime vs injected slack.\n"
-                      "One sub-table per thread count; '-' = excluded (device OOM).");
-
   const ProxyRunner runner;
   SweepConfig cfg;  // defaults: sizes 2^9..2^15, threads 1/2/4/8, 0..10ms
-  // Cells fan out across exec::Pool::global() (RSD_THREADS overrides the
-  // width); the surface is memoized, so reruns and the other
-  // surface-consuming benches load it instead of resimulating.
-  const auto points = SweepCache::global().get_or_run(runner, cfg);
+  // Cells fan out across the context pool (--threads / RSD_THREADS sets
+  // the width); the surface is memoized in the shared SweepCache, so the
+  // other surface-consuming experiments in this invocation reuse it
+  // without touching the disk cache again.
+  const auto points = ctx.sweep_cache().get_or_run(runner, cfg, ctx.pool());
 
   CsvWriter csv;
   csv.row("matrix_n", "threads", "slack_us", "normalized_runtime");
@@ -40,7 +37,7 @@ int main() {
   }
 
   for (const auto& [threads, sizes] : grid) {
-    std::cout << "--- " << threads << " thread(s) ---\n";
+    ctx.out() << "--- " << threads << " thread(s) ---\n";
     std::vector<std::string> header{"Matrix \\ Slack"};
     for (const auto& s : cfg.slacks) header.push_back(format_duration(s));
     Table table{header};
@@ -56,7 +53,7 @@ int main() {
       }
       table.add_row_vec(row);
     }
-    table.print(std::cout);
+    table.print(ctx.out());
   }
 
   // Section IV-B extremes: 2^15 tolerates slack up to 1 s.
@@ -65,14 +62,13 @@ int main() {
     base.matrix_n = 1 << 15;
     ProxyConfig with_slack = base;
     with_slack.slack = 1_s;
-    const auto extremes = exec::Pool::global().parallel_map(
+    const auto extremes = ctx.pool().parallel_map(
         std::vector<ProxyConfig>{base, with_slack},
         [&](const ProxyConfig& c) { return runner.run(c); });
     const double norm = extremes[1].no_slack_time / extremes[0].no_slack_time;
-    std::cout << "\n2^15 at 1 s of slack per call: normalized " << fmt_fixed(norm, 4)
+    ctx.out() << "\n2^15 at 1 s of slack per call: normalized " << fmt_fixed(norm, 4)
               << " (paper: no effect observed up to 1 s)\n";
   }
 
-  bench::save_csv("fig3_slack_sweep", csv);
-  return 0;
+  ctx.save_csv("fig3_slack_sweep", csv);
 }

@@ -1,20 +1,20 @@
 // Figure 4: violin plots of kernel durations for LAMMPS (every kernel +
 // Total) and CosmoFlow (top five kernels, which the paper reports cover
 // 49.9% of runtime, + Total).
-#include <iostream>
 #include <vector>
 
 #include "bench/app_traces.hpp"
-#include "bench/bench_util.hpp"
 #include "core/ascii_plot.hpp"
 #include "core/csv.hpp"
 #include "core/table.hpp"
+#include "harness/context.hpp"
+#include "harness/experiment.hpp"
 #include "trace/analysis.hpp"
 
 namespace {
 
 void print_violins(const std::string& app, const std::vector<rsd::ViolinSummary>& violins,
-                   rsd::CsvWriter& csv) {
+                   rsd::CsvWriter& csv, std::ostream& out) {
   using rsd::fmt_fixed;
   rsd::Table table{"Kernel", "Count", "Min [us]", "P25", "Median", "P75", "Max [us]",
                    "Mean [us]"};
@@ -24,48 +24,45 @@ void print_violins(const std::string& app, const std::vector<rsd::ViolinSummary>
                   fmt_fixed(v.mean, 1));
     csv.row(app, v.label, v.count, v.min, v.p25, v.median, v.p75, v.max, v.mean);
   }
-  table.print(std::cout);
+  table.print(out);
 }
 
-void print_total_distribution(const rsd::trace::Trace& trace) {
+void print_total_distribution(const rsd::trace::Trace& trace, std::ostream& out) {
   std::vector<double> durations;
   for (const auto& op : trace.ops()) {
     if (op.kind == rsd::gpu::OpKind::kKernel) durations.push_back(op.duration().us());
   }
   rsd::AsciiPlotOptions opts;
   opts.unit = "us";
-  std::cout << "All-kernel duration distribution:\n"
-            << rsd::ascii_distribution(durations, opts);
+  out << "All-kernel duration distribution:\n" << rsd::ascii_distribution(durations, opts);
 }
 
 }  // namespace
 
-int main() {
+RSD_EXPERIMENT(fig4_kernel_durations, "fig4_kernel_durations", "figure",
+               "Figure 4 — kernel-duration distributions (violin summaries, "
+               "microseconds).") {
   using namespace rsd;
-
-  bench::print_header("Figure 4",
-                      "Kernel-duration distributions (violin summaries, microseconds).");
 
   CsvWriter csv;
   csv.row("app", "kernel", "count", "min_us", "p25_us", "median_us", "p75_us", "max_us",
           "mean_us");
 
   {
-    const auto run = bench::lammps_paper_trace();
-    std::cout << "\nLAMMPS (box 120, 8 procs):\n";
-    print_violins("lammps", trace::kernel_duration_violins(run.trace, 8), csv);
-    print_total_distribution(run.trace);
+    const auto run = bench::lammps_paper_trace(5000, ctx.out());
+    ctx.out() << "\nLAMMPS (box 120, 8 procs):\n";
+    print_violins("lammps", trace::kernel_duration_violins(run.trace, 8), csv, ctx.out());
+    print_total_distribution(run.trace, ctx.out());
   }
   {
-    const auto run = bench::cosmoflow_paper_trace();
-    std::cout << "\nCosmoFlow (mini, batch 4) — top five kernels:\n";
-    print_violins("cosmoflow", trace::kernel_duration_violins(run.trace, 5), csv);
-    print_total_distribution(run.trace);
+    const auto run = bench::cosmoflow_paper_trace(5, ctx.out());
+    ctx.out() << "\nCosmoFlow (mini, batch 4) — top five kernels:\n";
+    print_violins("cosmoflow", trace::kernel_duration_violins(run.trace, 5), csv, ctx.out());
+    print_total_distribution(run.trace, ctx.out());
     const double frac = trace::top_kernel_time_fraction(run.trace, 5);
-    std::cout << "Top-5 kernel share of total kernel time: " << fmt_pct(frac, 1)
+    ctx.out() << "Top-5 kernel share of total kernel time: " << fmt_pct(frac, 1)
               << " (paper: 49.9%)\n";
   }
 
-  bench::save_csv("fig4_kernel_durations", csv);
-  return 0;
+  ctx.save_csv("fig4_kernel_durations", csv);
 }

@@ -1,16 +1,15 @@
 // Figure 5: violin plots of memcpy sizes (MiB) for LAMMPS and CosmoFlow.
-#include <iostream>
-
 #include "bench/app_traces.hpp"
-#include "bench/bench_util.hpp"
 #include "core/csv.hpp"
 #include "core/table.hpp"
+#include "harness/context.hpp"
+#include "harness/experiment.hpp"
 #include "trace/analysis.hpp"
 
 namespace {
 
 void print_violins(const std::string& app, const std::vector<rsd::ViolinSummary>& violins,
-                   rsd::CsvWriter& csv) {
+                   rsd::CsvWriter& csv, std::ostream& out) {
   using rsd::fmt_fixed;
   rsd::Table table{"Direction", "Count", "Min [MiB]", "P25", "Median", "P75", "Max [MiB]",
                    "Mean [MiB]"};
@@ -20,31 +19,29 @@ void print_violins(const std::string& app, const std::vector<rsd::ViolinSummary>
                   fmt_fixed(v.mean, 2));
     csv.row(app, v.label, v.count, v.min, v.p25, v.median, v.p75, v.max, v.mean);
   }
-  table.print(std::cout);
+  table.print(out);
 }
 
 }  // namespace
 
-int main() {
+RSD_EXPERIMENT(fig5_memcpy_sizes, "fig5_memcpy_sizes", "figure",
+               "Figure 5 — memcpy size distributions (violin summaries, MiB).") {
   using namespace rsd;
-
-  bench::print_header("Figure 5", "Memcpy size distributions (violin summaries, MiB).");
 
   CsvWriter csv;
   csv.row("app", "direction", "count", "min_mib", "p25_mib", "median_mib", "p75_mib",
           "max_mib", "mean_mib");
 
   {
-    const auto run = bench::lammps_paper_trace();
-    std::cout << "\nLAMMPS (box 120, 8 procs):\n";
-    print_violins("lammps", trace::memcpy_size_violins(run.trace), csv);
+    const auto run = bench::lammps_paper_trace(5000, ctx.out());
+    ctx.out() << "\nLAMMPS (box 120, 8 procs):\n";
+    print_violins("lammps", trace::memcpy_size_violins(run.trace), csv, ctx.out());
   }
   {
-    const auto run = bench::cosmoflow_paper_trace();
-    std::cout << "\nCosmoFlow (mini, batch 4):\n";
-    print_violins("cosmoflow", trace::memcpy_size_violins(run.trace), csv);
+    const auto run = bench::cosmoflow_paper_trace(5, ctx.out());
+    ctx.out() << "\nCosmoFlow (mini, batch 4):\n";
+    print_violins("cosmoflow", trace::memcpy_size_violins(run.trace), csv, ctx.out());
   }
 
-  bench::save_csv("fig5_memcpy_sizes", csv);
-  return 0;
+  ctx.save_csv("fig5_memcpy_sizes", csv);
 }

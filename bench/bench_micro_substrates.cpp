@@ -6,6 +6,8 @@
 
 #include "core/rng.hpp"
 #include "core/stats.hpp"
+#include "harness/context.hpp"
+#include "harness/experiment.hpp"
 #include "lj/system.hpp"
 #include "nn/network.hpp"
 #include "proxy/proxy.hpp"
@@ -104,4 +106,18 @@ BENCHMARK(BM_CnnForward)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Instead of BENCHMARK_MAIN(), drive google-benchmark programmatically so
+// the microbenchmarks register as a normal experiment. No Shutdown() call:
+// the registry must stay usable if the experiment runs twice in-process.
+RSD_EXPERIMENT(micro_substrates, "micro_substrates", "micro",
+               "Microbenchmarks (google-benchmark) of the simulation substrates: DES "
+               "scheduler, semaphores, stats, LJ step, CNN forward.") {
+  int argc = 1;
+  char arg0[] = "rsd_bench";
+  char* argv[] = {arg0, nullptr};
+  benchmark::Initialize(&argc, argv);
+  benchmark::ConsoleReporter reporter;
+  reporter.SetOutputStream(&ctx.out());
+  reporter.SetErrorStream(&ctx.out());
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+}

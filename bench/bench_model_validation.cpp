@@ -3,27 +3,23 @@
 // the lower bound within 0.005 of the measured value for single-threaded
 // runs, with the upper bound severely pessimistic (less so as threads
 // increase).
-#include <iostream>
-
-#include "bench/bench_util.hpp"
 #include "core/csv.hpp"
 #include "core/table.hpp"
-#include "exec/pool.hpp"
+#include "harness/context.hpp"
+#include "harness/experiment.hpp"
 #include "model/slack_model.hpp"
 #include "proxy/proxy.hpp"
-#include "proxy/sweep_cache.hpp"
 
-int main() {
+RSD_EXPERIMENT(model_validation, "model_validation", "text",
+               "Model validation (Section IV-D) — proxy traces predicting their own "
+               "measured slack penalty.") {
   using namespace rsd;
   using namespace rsd::literals;
   using namespace rsd::proxy;
 
-  bench::print_header("Model validation (Section IV-D)",
-                      "Proxy traces predicting their own measured slack penalty.");
-
   const ProxyRunner runner;
   SweepConfig sweep_cfg;
-  const auto sweep = SweepCache::global().get_or_run(runner, sweep_cfg);
+  const auto sweep = ctx.sweep_cache().get_or_run(runner, sweep_cfg, ctx.pool());
   const model::SlackModel slack_model{model::ResponseSurface::from_sweep(sweep)};
 
   Table table{"Matrix", "Threads", "Slack", "Measured SP", "Predicted lower",
@@ -51,7 +47,7 @@ int main() {
     double lower = 0.0;
     double upper = 0.0;
   };
-  const auto rows = exec::Pool::global().parallel_map(combos, [&](const Combo& c) {
+  const auto rows = ctx.pool().parallel_map(combos, [&](const Combo& c) {
     ProxyConfig cfg;
     cfg.matrix_n = c.n;
     cfg.threads = c.threads;
@@ -82,9 +78,8 @@ int main() {
     csv.row(c.n, c.threads, c.slack.us(), row.measured, row.lower, row.upper);
   }
 
-  table.print(std::cout);
-  std::cout << "\nPaper: single-thread lower bound within 0.005 of measured; upper bound\n"
+  table.print(ctx.out());
+  ctx.out() << "\nPaper: single-thread lower bound within 0.005 of measured; upper bound\n"
                "pessimistic, less so with more threads.\n";
-  bench::save_csv("model_validation", csv);
-  return 0;
+  ctx.save_csv("model_validation", csv);
 }

@@ -1,83 +1,88 @@
-// Section IV-A text results beyond Figure 2:
-//  * OpenMP thread scaling (1..6 threads at 8 processes) for boxes >= 60;
-//    the paper's box 120 saw -52.3% at 6 threads vs 1.
-//  * Box 200 (GPU memory saturated): 48 cores vs 24 cores (+24.3% faster
-//    in the paper).
-//  * CosmoFlow CPU needs: 2 cores suffice, more add nothing.
-#include <iostream>
-
+// Section IV-A text results beyond Figure 2, as three independently
+// selectable experiments:
+//  * ratio_thread_scaling — OpenMP thread scaling (1..6 threads at 8
+//    processes) for boxes >= 60; the paper's box 120 saw -52.3% at 6
+//    threads vs 1.
+//  * ratio_box200_cores — box 200 (GPU memory saturated): 48 cores vs 24
+//    cores (+24.3% faster in the paper).
+//  * ratio_cosmoflow_cores — CosmoFlow CPU needs: 2 cores suffice, more
+//    add nothing.
 #include "apps/scaling.hpp"
-#include "bench/bench_util.hpp"
 #include "core/csv.hpp"
 #include "core/table.hpp"
+#include "harness/context.hpp"
+#include "harness/experiment.hpp"
 
-int main() {
+RSD_EXPERIMENT(ratio_thread_scaling, "ratio_thread_scaling", "text",
+               "Section IV-A — OpenMP thread scaling at 8 processes (normalized to 1 "
+               "thread).") {
   using namespace rsd;
   using namespace rsd::apps;
 
-  bench::print_header("CPU affinity (Section IV-A)",
-                      "Thread scaling at 8 processes, box 200 core sweep, and "
-                      "CosmoFlow core needs.");
-
   const int steps = 360;
-
-  {
-    Table table{"Box \\ Threads", "1", "2", "4", "6"};
-    CsvWriter csv;
-    csv.row("box", "threads", "normalized_runtime");
-    for (const int box : {60, 80, 100, 120}) {
-      const auto points = lammps_thread_scaling(box, 8, {1, 2, 4, 6}, steps);
-      std::vector<std::string> row{std::to_string(box)};
-      for (const auto& pt : points) {
-        row.push_back(fmt_fixed(pt.normalized, 3));
-        csv.row(box, pt.threads, pt.normalized);
-      }
-      table.add_row_vec(row);
-    }
-    std::cout << "OpenMP threads at 8 processes (normalized to 1 thread):\n";
-    table.print(std::cout);
-    std::cout << "Paper: box 120 reaches ~0.48 at 6 threads.\n\n";
-    bench::save_csv("ratio_thread_scaling", csv);
-  }
-
-  {
-    // Box 200 saturates the GPU: compare 24 cores (12 per GPU equivalent)
-    // against all 48 cores.
-    LammpsConfig cfg;
-    cfg.box = 200;
-    cfg.steps = 90;
-    cfg.procs = 24;
-    cfg.threads = 1;
-    const auto t24 = run_lammps(cfg).runtime;
-    cfg.threads = 2;  // 24 procs x 2 threads = 48 cores
-    const auto t48 = run_lammps(cfg).runtime;
-    const double gain = 1.0 - t48.seconds() / t24.seconds();
-    Table table{"Cores", "Runtime [s]", "vs 24 cores"};
-    table.add_row("24", fmt_fixed(t24.seconds(), 3), "1.000");
-    table.add_row("48", fmt_fixed(t48.seconds(), 3), fmt_fixed(t48.seconds() / t24.seconds(), 3));
-    std::cout << "Box 200 (GPU-memory-saturating) core sweep:\n";
-    table.print(std::cout);
-    std::cout << "Measured gain from 48 cores: " << fmt_pct(gain, 1)
-              << " (paper: 24.3%).\n\n";
-  }
-
-  {
-    CosmoflowConfig base;
-    base.epochs = 1;
-    base.train_items = 64;
-    base.validation_items = 64;
-    const auto points = cosmoflow_core_scaling({1, 2, 4, 8, 12}, base);
-    Table table{"Cores", "Runtime [s]", "Normalized"};
-    CsvWriter csv;
-    csv.row("cores", "runtime_s", "normalized");
+  Table table{"Box \\ Threads", "1", "2", "4", "6"};
+  CsvWriter csv;
+  csv.row("box", "threads", "normalized_runtime");
+  for (const int box : {60, 80, 100, 120}) {
+    const auto points = lammps_thread_scaling(box, 8, {1, 2, 4, 6}, steps, {}, ctx.pool());
+    std::vector<std::string> row{std::to_string(box)};
     for (const auto& pt : points) {
-      table.add_row(std::to_string(pt.cores), fmt_fixed(pt.runtime.seconds(), 3),
-                    fmt_fixed(pt.normalized, 3));
-      csv.row(pt.cores, pt.runtime.seconds(), pt.normalized);
+      row.push_back(fmt_fixed(pt.normalized, 3));
+      csv.row(box, pt.threads, pt.normalized);
     }
-    std::cout << "CosmoFlow CPU core sweep (paper: needs 2 cores, no benefit beyond):\n";
-    table.print(std::cout);
-    bench::save_csv("ratio_cosmoflow_cores", csv);
+    table.add_row_vec(row);
   }
-  return 0;
+  ctx.out() << "OpenMP threads at 8 processes (normalized to 1 thread):\n";
+  table.print(ctx.out());
+  ctx.out() << "Paper: box 120 reaches ~0.48 at 6 threads.\n\n";
+  ctx.save_csv("ratio_thread_scaling", csv);
+}
+
+RSD_EXPERIMENT(ratio_box200_cores, "ratio_box200_cores", "text",
+               "Section IV-A — box 200 (GPU-memory-saturating) core sweep: 24 vs 48 "
+               "cores.") {
+  using namespace rsd;
+  using namespace rsd::apps;
+
+  // Box 200 saturates the GPU: compare 24 cores (12 per GPU equivalent)
+  // against all 48 cores.
+  LammpsConfig cfg;
+  cfg.box = 200;
+  cfg.steps = 90;
+  cfg.procs = 24;
+  cfg.threads = 1;
+  const auto t24 = run_lammps(cfg).runtime;
+  cfg.threads = 2;  // 24 procs x 2 threads = 48 cores
+  const auto t48 = run_lammps(cfg).runtime;
+  const double gain = 1.0 - t48.seconds() / t24.seconds();
+  Table table{"Cores", "Runtime [s]", "vs 24 cores"};
+  table.add_row("24", fmt_fixed(t24.seconds(), 3), "1.000");
+  table.add_row("48", fmt_fixed(t48.seconds(), 3), fmt_fixed(t48.seconds() / t24.seconds(), 3));
+  ctx.out() << "Box 200 (GPU-memory-saturating) core sweep:\n";
+  table.print(ctx.out());
+  ctx.out() << "Measured gain from 48 cores: " << fmt_pct(gain, 1) << " (paper: 24.3%).\n\n";
+}
+
+RSD_EXPERIMENT(ratio_cosmoflow_cores, "ratio_cosmoflow_cores", "text",
+               "Section IV-A — CosmoFlow CPU core sweep (paper: needs 2 cores, no "
+               "benefit beyond).") {
+  using namespace rsd;
+  using namespace rsd::apps;
+
+  CosmoflowConfig base;
+  base.epochs = 1;
+  base.train_items = 64;
+  base.validation_items = 64;
+  const auto points = cosmoflow_core_scaling({1, 2, 4, 8, 12}, base, {}, ctx.pool());
+  Table table{"Cores", "Runtime [s]", "Normalized"};
+  CsvWriter csv;
+  csv.row("cores", "runtime_s", "normalized");
+  for (const auto& pt : points) {
+    table.add_row(std::to_string(pt.cores), fmt_fixed(pt.runtime.seconds(), 3),
+                  fmt_fixed(pt.normalized, 3));
+    csv.row(pt.cores, pt.runtime.seconds(), pt.normalized);
+  }
+  ctx.out() << "CosmoFlow CPU core sweep (paper: needs 2 cores, no benefit beyond):\n";
+  table.print(ctx.out());
+  ctx.save_csv("ratio_cosmoflow_cores", csv);
 }

@@ -1,19 +1,16 @@
 // Table I: LAMMPS LJ baseline runtimes for box sizes 20..120 with 1 MPI
 // process and 1 thread, 5000 timesteps.
-#include <iostream>
-
 #include "apps/lammps.hpp"
-#include "bench/bench_util.hpp"
 #include "core/csv.hpp"
 #include "core/table.hpp"
+#include "harness/context.hpp"
+#include "harness/experiment.hpp"
 
-int main() {
+RSD_EXPERIMENT(table1_lammps_baseline, "table1_lammps_baseline", "table",
+               "Table I — LAMMPS box sizes with 1 process / 1 thread, 5000 steps.\n"
+               "Paper runtimes [s]: 5.473 / 66.523 / 160.703 / 312.185 / 541.452") {
   using namespace rsd;
   using namespace rsd::apps;
-
-  bench::print_header("Table I",
-                      "LAMMPS box sizes with 1 process / 1 thread, 5000 steps.\n"
-                      "Paper runtimes [s]: 5.473 / 66.523 / 160.703 / 312.185 / 541.452");
 
   struct PaperRow {
     int box;
@@ -41,7 +38,6 @@ int main() {
     csv.row(row.box, lammps_atoms(row.box), row.paper_seconds, measured);
   }
 
-  table.print(std::cout);
-  bench::save_csv("table1_lammps_baseline", csv);
-  return 0;
+  table.print(ctx.out());
+  ctx.save_csv("table1_lammps_baseline", csv);
 }

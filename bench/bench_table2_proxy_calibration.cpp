@@ -2,20 +2,19 @@
 // kernel runtime, iteration count N (~30 s of GPU compute clamped to
 // [5, 1000]), and the baseline main-compute-loop runtime.
 #include <cmath>
-#include <iostream>
 
-#include "bench/bench_util.hpp"
 #include "core/csv.hpp"
 #include "core/table.hpp"
+#include "harness/context.hpp"
+#include "harness/experiment.hpp"
 #include "proxy/proxy.hpp"
 
-int main() {
+RSD_EXPERIMENT(table2_proxy_calibration, "table2_proxy_calibration", "table",
+               "Table II — proxy calibration: kernel runtime, iteration count, and "
+               "baseline compute-loop runtime per matrix size (single thread, no "
+               "slack).") {
   using namespace rsd;
   using namespace rsd::proxy;
-
-  bench::print_header("Table II",
-                      "Proxy calibration: kernel runtime, iteration count, and baseline "
-                      "compute-loop runtime per matrix size (single thread, no slack).");
 
   const ProxyRunner runner;
   Table table{"Matrix Size", "Matrix [MiB]", "Kernel Runtime", "Iterations N",
@@ -35,7 +34,6 @@ int main() {
             r.loop_runtime.seconds());
   }
 
-  table.print(std::cout);
-  bench::save_csv("table2_proxy_calibration", csv);
-  return 0;
+  table.print(ctx.out());
+  ctx.save_csv("table2_proxy_calibration", csv);
 }

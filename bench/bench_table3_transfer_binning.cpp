@@ -1,24 +1,21 @@
 // Table III: binning of data transfer sizes (MiB) at edges 1/16/256/4096.
 // Paper counts — LAMMPS: 2264 / 42016 / 40008 / 0 / 0, mean 16.85 MiB;
 // CosmoFlow: 8186 / 668 / 335 / 640 / 0, mean 34.4 MiB.
-#include <iostream>
-
 #include "bench/app_traces.hpp"
-#include "bench/bench_util.hpp"
 #include "core/csv.hpp"
 #include "core/histogram.hpp"
 #include "core/table.hpp"
+#include "harness/context.hpp"
+#include "harness/experiment.hpp"
 #include "trace/analysis.hpp"
 
-int main() {
+RSD_EXPERIMENT(table3_transfer_binning, "table3_transfer_binning", "table",
+               "Table III — transfer-size binning (MiB). Paper:\n"
+               "  LAMMPS    <=1: 2264  <=16: 42016  <=256: 40008  <=4096: 0  >4096: 0"
+               "  mean 16.85\n"
+               "  CosmoFlow <=1: 8186  <=16: 668    <=256: 335    <=4096: 640  >4096: 0"
+               "  mean 34.4") {
   using namespace rsd;
-
-  bench::print_header("Table III",
-                      "Transfer-size binning (MiB). Paper:\n"
-                      "  LAMMPS    <=1: 2264  <=16: 42016  <=256: 40008  <=4096: 0  >4096: 0"
-                      "  mean 16.85\n"
-                      "  CosmoFlow <=1: 8186  <=16: 668    <=256: 335    <=4096: 640  >4096: 0"
-                      "  mean 34.4");
 
   const std::vector<double> edges{1.0, 16.0, 256.0, 4096.0};
   Table table{"App", "<=1", "<=16", "<=256", "<=4096", ">4096", "Mean [MiB]"};
@@ -34,12 +31,11 @@ int main() {
             hist.mean());
   };
 
-  const auto lammps = bench::lammps_paper_trace();
-  const auto cosmoflow = bench::cosmoflow_paper_trace();
+  const auto lammps = bench::lammps_paper_trace(5000, ctx.out());
+  const auto cosmoflow = bench::cosmoflow_paper_trace(5, ctx.out());
   add("LAMMPS", lammps.trace);
   add("CosmoFlow", cosmoflow.trace);
 
-  table.print(std::cout);
-  bench::save_csv("table3_transfer_binning", csv);
-  return 0;
+  table.print(ctx.out());
+  ctx.save_csv("table3_transfer_binning", csv);
 }

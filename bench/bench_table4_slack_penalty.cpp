@@ -4,38 +4,35 @@
 //
 // Paper headline: both applications pessimistically see < 1% penalty at
 // 100 us of slack — the latency of ~20 km of fibre.
-#include <iostream>
-
 #include "bench/app_traces.hpp"
-#include "bench/bench_util.hpp"
 #include "core/csv.hpp"
 #include "core/table.hpp"
+#include "harness/context.hpp"
+#include "harness/experiment.hpp"
 #include "interconnect/link.hpp"
 #include "model/slack_model.hpp"
 #include "proxy/proxy.hpp"
-#include "proxy/sweep_cache.hpp"
 #include "trace/analysis.hpp"
 
-int main() {
+RSD_EXPERIMENT(table4_slack_penalty, "table4_slack_penalty", "table",
+               "Table IV — total slack penalty (Eq.2-3) for LAMMPS (parallelism 8) and\n"
+               "CosmoFlow (effective parallelism 4). Penalties are fractions of\n"
+               "runtime added beyond the direct network delay.") {
   using namespace rsd;
   using namespace rsd::literals;
 
-  bench::print_header("Table IV",
-                      "Total slack penalty (Eq.2-3) for LAMMPS (parallelism 8) and\n"
-                      "CosmoFlow (effective parallelism 4). Penalties are fractions of\n"
-                      "runtime added beyond the direct network delay.");
-
-  // The proxy response surface (the Figure 3 sweep): memoized, so this
-  // loads in milliseconds when any surface-consuming bench ran before.
+  // The proxy response surface (the Figure 3 sweep): shared through the
+  // context's SweepCache, so when fig3 (or any surface consumer) already
+  // ran in this invocation the surface comes straight from memory.
   const proxy::ProxyRunner runner;
   proxy::SweepConfig sweep_cfg;  // full default sweep
-  const auto sweep = proxy::SweepCache::global().get_or_run(runner, sweep_cfg);
+  const auto sweep = ctx.sweep_cache().get_or_run(runner, sweep_cfg, ctx.pool());
   const model::SlackModel slack_model{model::ResponseSurface::from_sweep(sweep)};
 
   // Profile the applications at zero slack (shortened LAMMPS run: the
   // per-step distribution is stationary).
-  const auto lammps = bench::lammps_paper_trace(720);
-  const auto cosmoflow = bench::cosmoflow_paper_trace(1);
+  const auto lammps = bench::lammps_paper_trace(720, ctx.out());
+  const auto cosmoflow = bench::cosmoflow_paper_trace(1, ctx.out());
 
   const std::vector<SimDuration> slacks{1_us, 10_us, 100_us, 1_ms};
   Table table{"App",      "Slack",    "SP lower", "SP upper",
@@ -60,10 +57,9 @@ int main() {
   add("LAMMPS", lammps.trace, 8);
   add("CosmoFlow", cosmoflow.trace, 4);
 
-  table.print(std::cout);
-  std::cout << "\nPaper headline: both apps < 1% pessimistic penalty at 100 us of slack\n"
+  table.print(ctx.out());
+  ctx.out() << "\nPaper headline: both apps < 1% pessimistic penalty at 100 us of slack\n"
             << "(100 us of slack = " << interconnect::reach_km_for_slack(100_us)
             << " km of fibre at light speed).\n";
-  bench::save_csv("table4_slack_penalty", csv);
-  return 0;
+  ctx.save_csv("table4_slack_penalty", csv);
 }

@@ -1,0 +1,9 @@
+// `rsd_bench` entry point. All behaviour lives in harness/cli.cpp so the
+// tests can drive the same CLI in-process with captured streams.
+#include <iostream>
+
+#include "harness/cli.hpp"
+
+int main(int argc, char** argv) {
+  return rsd::harness::run_cli(argc, argv, std::cout, std::cerr);
+}

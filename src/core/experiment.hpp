@@ -20,6 +20,23 @@ struct RepeatedStat {
   double max = 0.0;
 };
 
+namespace detail {
+
+/// The shared summarise step of both `repeat_runs` overloads — one place
+/// for the StreamingStats -> RepeatedStat mapping, so the serial and
+/// parallel paths cannot drift.
+[[nodiscard]] inline RepeatedStat summarise_runs(const StreamingStats& stats) {
+  RepeatedStat r;
+  r.runs = stats.count();
+  r.mean = stats.mean();
+  r.stddev = stats.stddev();
+  r.min = stats.min();
+  r.max = stats.max();
+  return r;
+}
+
+}  // namespace detail
+
 /// Run `measure(seed)` for seeds base_seed .. base_seed + runs - 1 and
 /// summarise. `measure` must return a double.
 template <typename MeasureFn>
@@ -30,13 +47,7 @@ template <typename MeasureFn>
   for (int i = 0; i < runs; ++i) {
     stats.add(measure(base_seed + static_cast<std::uint64_t>(i)));
   }
-  RepeatedStat r;
-  r.runs = stats.count();
-  r.mean = stats.mean();
-  r.stddev = stats.stddev();
-  r.min = stats.min();
-  r.max = stats.max();
-  return r;
+  return detail::summarise_runs(stats);
 }
 
 /// `repeat_runs`, with the seeds fanned out across `pool`. Each seed's
@@ -55,13 +66,7 @@ template <typename MeasureFn>
 
   StreamingStats stats;
   for (const double v : values) stats.add(v);
-  RepeatedStat r;
-  r.runs = stats.count();
-  r.mean = stats.mean();
-  r.stddev = stats.stddev();
-  r.min = stats.min();
-  r.max = stats.max();
-  return r;
+  return detail::summarise_runs(stats);
 }
 
 }  // namespace rsd

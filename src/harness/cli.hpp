@@ -1,0 +1,23 @@
+// The `rsd_bench` command line, as a library function so tests can drive
+// it with captured streams.
+//
+//   rsd_bench --list [patterns...] [--tags t1,t2]   enumerate the fleet
+//   rsd_bench [patterns...] [--tags t1,t2]          run a selection
+//             [--threads N] [--runs N] [--seed S]
+//             [--results-dir DIR] [--manifest FILE]
+//
+// Patterns are shell-style globs over experiment names (a leading
+// "bench_" is ignored, so pre-harness binary names keep working). With no
+// patterns and no tags, every registered experiment runs. Exit status:
+// 0 = all selected experiments succeeded, 1 = at least one failed,
+// 2 = usage/selection error (e.g. an unknown experiment name).
+#pragma once
+
+#include <iosfwd>
+
+namespace rsd::harness {
+
+[[nodiscard]] int run_cli(int argc, const char* const* argv, std::ostream& out,
+                          std::ostream& err);
+
+}  // namespace rsd::harness

@@ -1,0 +1,38 @@
+#include "harness/context.hpp"
+
+#include "core/csv.hpp"
+#include "core/paths.hpp"
+
+namespace rsd::harness {
+
+namespace {
+
+std::filesystem::path resolve_results_dir(const ExperimentContext::Options& options) {
+  return options.results_dir.empty() ? rsd::results_dir() : options.results_dir;
+}
+
+}  // namespace
+
+ExperimentContext::ExperimentContext(Options options)
+    : results_dir_(resolve_results_dir(options)),
+      runs_(options.runs >= 1 ? options.runs : 1),
+      seed_(options.seed),
+      out_(options.out != nullptr ? options.out : &std::cout),
+      pool_(options.threads >= 1 ? options.threads : exec::default_thread_count()),
+      sweep_cache_(results_dir_ / ".cache") {}
+
+void ExperimentContext::save_csv(const std::string& name, const CsvWriter& csv) {
+  std::filesystem::create_directories(results_dir_);
+  const auto path = (results_dir_ / (name + ".csv")).string();
+  csv.save(path);
+  *out_ << "[csv] " << path << "\n";
+  csv_paths_.push_back(path);
+}
+
+std::vector<std::string> ExperimentContext::drain_csv_paths() {
+  std::vector<std::string> out;
+  out.swap(csv_paths_);
+  return out;
+}
+
+}  // namespace rsd::harness

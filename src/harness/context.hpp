@@ -1,0 +1,70 @@
+// Shared per-invocation state. Before the harness, each bench binary
+// built its own thread pool and re-loaded the response-surface cache from
+// disk; one `ExperimentContext` now outlives every experiment in an
+// `rsd_bench` invocation, so the Figure-3 surface is computed (or read)
+// once and every later consumer hits warm memory.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "exec/pool.hpp"
+#include "proxy/sweep_cache.hpp"
+
+namespace rsd {
+class CsvWriter;
+}  // namespace rsd
+
+namespace rsd::harness {
+
+class ExperimentContext {
+ public:
+  struct Options {
+    std::filesystem::path results_dir;  ///< Empty = `rsd::results_dir()`.
+    int threads = 0;                    ///< <= 0 = `exec::default_thread_count()`.
+    int runs = 5;                       ///< The paper's repetition protocol.
+    std::uint64_t seed = 1;             ///< Base seed for seeded repetitions.
+    std::ostream* out = &std::cout;
+  };
+
+  ExperimentContext() : ExperimentContext(Options{}) {}
+  explicit ExperimentContext(Options options);
+
+  /// The invocation-wide fan-out pool (`--threads` / RSD_THREADS wide).
+  [[nodiscard]] exec::Pool& pool() { return pool_; }
+
+  /// Memoized Figure-3 response surfaces, rooted at
+  /// `<results_dir>/.cache`. Shared across experiments, so the surface is
+  /// simulated at most once per invocation.
+  [[nodiscard]] proxy::SweepCache& sweep_cache() { return sweep_cache_; }
+
+  [[nodiscard]] const std::filesystem::path& results_dir() const { return results_dir_; }
+  [[nodiscard]] int runs() const { return runs_; }
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+  /// Where experiment tables/narration go (std::cout under the CLI, a
+  /// capture buffer under tests).
+  [[nodiscard]] std::ostream& out() { return *out_; }
+
+  /// Write `<results_dir>/<name>.csv`, log the path, and record it for
+  /// the run manifest.
+  void save_csv(const std::string& name, const CsvWriter& csv);
+
+  /// CSV paths recorded since the previous drain (the runner empties
+  /// this after each experiment to attribute files in the manifest).
+  [[nodiscard]] std::vector<std::string> drain_csv_paths();
+
+ private:
+  std::filesystem::path results_dir_;
+  int runs_;
+  std::uint64_t seed_;
+  std::ostream* out_;
+  exec::Pool pool_;
+  proxy::SweepCache sweep_cache_;
+  std::vector<std::string> csv_paths_;
+};
+
+}  // namespace rsd::harness

@@ -1,0 +1,93 @@
+#include "harness/manifest.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <system_error>
+
+namespace rsd::harness {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+bool RunSummary::all_ok() const {
+  return std::all_of(outcomes.begin(), outcomes.end(),
+                     [](const ExperimentOutcome& o) { return o.ok; });
+}
+
+namespace {
+
+void append_string_array(std::ostringstream& out, const std::vector<std::string>& items) {
+  out << '[';
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << '"' << json_escape(items[i]) << '"';
+  }
+  out << ']';
+}
+
+}  // namespace
+
+std::string manifest_json(const RunSummary& summary) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"schema\": \"rsd-bench-manifest-v1\",\n";
+  out << "  \"threads\": " << summary.threads << ",\n";
+  out << "  \"runs\": " << summary.runs << ",\n";
+  out << "  \"seed\": " << summary.seed << ",\n";
+  out << "  \"results_dir\": \"" << json_escape(summary.results_dir) << "\",\n";
+  out << "  \"experiments\": [";
+  for (std::size_t i = 0; i < summary.outcomes.size(); ++i) {
+    const ExperimentOutcome& o = summary.outcomes[i];
+    out << (i > 0 ? "," : "") << "\n    {";
+    out << "\"name\": \"" << json_escape(o.name) << "\", ";
+    out << "\"tags\": ";
+    append_string_array(out, o.tags);
+    out << ", \"status\": \"" << (o.ok ? "ok" : "failed") << "\"";
+    if (!o.ok) out << ", \"error\": \"" << json_escape(o.error) << "\"";
+    if (std::isfinite(o.wall_s)) out << ", \"wall_s\": " << o.wall_s;
+    out << ", \"csv\": ";
+    append_string_array(out, o.csv_paths);
+    out << '}';
+  }
+  if (!summary.outcomes.empty()) out << "\n  ";
+  out << "]\n";
+  out << "}\n";
+  return out.str();
+}
+
+void write_manifest(const std::filesystem::path& path, const RunSummary& summary) {
+  std::error_code ec;
+  if (path.has_parent_path()) std::filesystem::create_directories(path.parent_path(), ec);
+  std::ofstream out{path, std::ios::trunc};
+  if (!out) throw std::runtime_error{"manifest: cannot open " + path.string()};
+  out << manifest_json(summary);
+  if (!out) throw std::runtime_error{"manifest: write failed for " + path.string()};
+}
+
+}  // namespace rsd::harness

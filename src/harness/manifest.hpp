@@ -1,0 +1,48 @@
+// The structured run manifest. Replaces the old per-process
+// `bench_meta.json` atexit hook: one `rsd_bench` invocation writes one
+// JSON document recording, per experiment, the wall clock, the CSV files
+// produced, and the exit status — machine-readable ground truth for
+// tracking the fleet's perf trajectory across PRs.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rsd::harness {
+
+/// JSON string-literal escaping. Quotes and backslashes are
+/// backslash-escaped; control characters (newlines, tabs, ...) become
+/// their short escapes or \u00XX — a description or path containing a
+/// newline can no longer corrupt the manifest.
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+struct ExperimentOutcome {
+  std::string name;
+  std::vector<std::string> tags;
+  bool ok = false;
+  std::string error;  ///< Non-empty iff !ok.
+  double wall_s = 0.0;
+  std::vector<std::string> csv_paths;
+};
+
+struct RunSummary {
+  int threads = 1;
+  int runs = 5;
+  std::uint64_t seed = 1;
+  std::string results_dir;
+  std::vector<ExperimentOutcome> outcomes;
+
+  [[nodiscard]] bool all_ok() const;
+};
+
+/// The manifest document. Non-finite wall clocks are omitted rather than
+/// serialized (inf/nan are not valid JSON).
+[[nodiscard]] std::string manifest_json(const RunSummary& summary);
+
+/// Write `manifest_json` to `path` (parent directories created).
+void write_manifest(const std::filesystem::path& path, const RunSummary& summary);
+
+}  // namespace rsd::harness

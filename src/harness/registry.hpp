@@ -1,0 +1,55 @@
+// Global experiment registry: name-sorted, duplicate-rejecting, with
+// glob/tag selection for the `rsd_bench` CLI. `Registry` is an ordinary
+// class (tests build private instances); the fleet lives in `global()`.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "harness/experiment.hpp"
+
+namespace rsd::harness {
+
+/// Shell-style glob match: `*` = any (possibly empty) run of characters,
+/// `?` = any single character. Everything else matches literally.
+[[nodiscard]] bool glob_match(std::string_view pattern, std::string_view text);
+
+class Registry {
+ public:
+  Registry() = default;
+
+  /// The fleet `rsd_bench` runs: every statically-registered experiment.
+  [[nodiscard]] static Registry& global();
+
+  /// Insert, keeping `experiments()` sorted by name. A duplicate name is
+  /// rejected: the experiment is dropped, the conflict is recorded in
+  /// `errors()`, and false is returned.
+  bool add(std::unique_ptr<Experiment> experiment);
+
+  /// All experiments, sorted by name (stable regardless of link order).
+  [[nodiscard]] const std::vector<std::unique_ptr<Experiment>>& experiments() const {
+    return experiments_;
+  }
+
+  [[nodiscard]] const Experiment* find(std::string_view name) const;
+
+  /// Experiments matching the selection: a candidate is selected when it
+  /// matches at least one name pattern (no patterns = all) AND carries at
+  /// least one of `tags` (no tags = all). Name patterns are globs, and a
+  /// leading "bench_" is ignored so pre-harness binary names keep working
+  /// (`bench_fig3_slack_sweep` selects `fig3_slack_sweep`).
+  [[nodiscard]] std::vector<const Experiment*> select(const std::vector<std::string>& patterns,
+                                                      const std::vector<std::string>& tags) const;
+
+  /// Registration conflicts (duplicate names). A healthy build has none;
+  /// the CLI refuses to run if any are present.
+  [[nodiscard]] const std::vector<std::string>& errors() const { return errors_; }
+
+ private:
+  std::vector<std::unique_ptr<Experiment>> experiments_;
+  std::vector<std::string> errors_;
+};
+
+}  // namespace rsd::harness

@@ -1,0 +1,46 @@
+#include "harness/runner.hpp"
+
+#include <chrono>
+#include <exception>
+#include <ostream>
+
+#include "harness/context.hpp"
+#include "harness/experiment.hpp"
+
+namespace rsd::harness {
+
+RunSummary run_experiments(const std::vector<const Experiment*>& selected,
+                           ExperimentContext& ctx) {
+  RunSummary summary;
+  summary.threads = ctx.pool().size();
+  summary.runs = ctx.runs();
+  summary.seed = ctx.seed();
+  summary.results_dir = ctx.results_dir().string();
+
+  for (const Experiment* e : selected) {
+    ctx.out() << "\n=== " << e->name() << " ===\n" << e->description() << "\n\n";
+
+    ExperimentOutcome outcome;
+    outcome.name = e->name();
+    outcome.tags = e->tags();
+    const auto start = std::chrono::steady_clock::now();
+    try {
+      e->run(ctx);
+      outcome.ok = true;
+    } catch (const std::exception& ex) {
+      outcome.error = ex.what();
+    } catch (...) {
+      outcome.error = "unknown exception";
+    }
+    outcome.wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    outcome.csv_paths = ctx.drain_csv_paths();
+    if (!outcome.ok) {
+      ctx.out() << "[failed] " << e->name() << ": " << outcome.error << "\n";
+    }
+    summary.outcomes.push_back(std::move(outcome));
+  }
+  return summary;
+}
+
+}  // namespace rsd::harness

@@ -1,0 +1,19 @@
+// In-process fleet execution: run selected experiments sequentially
+// against one shared `ExperimentContext`, timing each and containing
+// failures (one experiment throwing fails that experiment's manifest
+// entry, not the invocation's remaining experiments).
+#pragma once
+
+#include <vector>
+
+#include "harness/manifest.hpp"
+
+namespace rsd::harness {
+
+class Experiment;
+class ExperimentContext;
+
+[[nodiscard]] RunSummary run_experiments(const std::vector<const Experiment*>& selected,
+                                         ExperimentContext& ctx);
+
+}  // namespace rsd::harness

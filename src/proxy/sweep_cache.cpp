@@ -110,7 +110,10 @@ std::vector<SweepPoint> SweepCache::get_or_run(const ProxyRunner& runner,
 
   {
     std::lock_guard<std::mutex> lk(m_);
-    if (const auto it = memory_.find(fp); it != memory_.end()) return it->second;
+    if (const auto it = memory_.find(fp); it != memory_.end()) {
+      ++memory_hits_;
+      return it->second;
+    }
   }
 
   // Disk hit: rebuild the points. The sweep only ever stores points whose
@@ -149,6 +152,7 @@ std::vector<SweepPoint> SweepCache::get_or_run(const ProxyRunner& runner,
     }
     if (ok) {
       std::lock_guard<std::mutex> lk(m_);
+      ++disk_loads_;
       return memory_.try_emplace(fp, std::move(points)).first->second;
     }
     // Unreadable/stale entry: fall through and rebuild it.
@@ -178,12 +182,28 @@ std::vector<SweepPoint> SweepCache::get_or_run(const ProxyRunner& runner,
   }
 
   std::lock_guard<std::mutex> lk(m_);
+  ++sweeps_computed_;
   return memory_.try_emplace(fp, std::move(points)).first->second;
 }
 
 void SweepCache::clear_memory() {
   std::lock_guard<std::mutex> lk(m_);
   memory_.clear();
+}
+
+std::size_t SweepCache::memory_hits() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return memory_hits_;
+}
+
+std::size_t SweepCache::disk_loads() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return disk_loads_;
+}
+
+std::size_t SweepCache::sweeps_computed() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return sweeps_computed_;
 }
 
 }  // namespace rsd::proxy

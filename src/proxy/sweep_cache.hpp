@@ -50,10 +50,20 @@ class SweepCache {
   /// Drop in-process memoization (disk entries stay). Mostly for tests.
   void clear_memory();
 
+  /// Observability for the harness: how the `get_or_run` calls so far
+  /// were served. `sweeps_computed()` staying at 1 across a whole
+  /// rsd_bench invocation is the "surface built once" guarantee.
+  [[nodiscard]] std::size_t memory_hits() const;
+  [[nodiscard]] std::size_t disk_loads() const;
+  [[nodiscard]] std::size_t sweeps_computed() const;
+
  private:
   std::filesystem::path dir_;
-  std::mutex m_;
+  mutable std::mutex m_;
   std::map<std::uint64_t, std::vector<SweepPoint>> memory_;
+  std::size_t memory_hits_ = 0;
+  std::size_t disk_loads_ = 0;
+  std::size_t sweeps_computed_ = 0;
 };
 
 }  // namespace rsd::proxy

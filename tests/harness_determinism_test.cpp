@@ -1,0 +1,66 @@
+// Determinism regression for the harness port: the fig3_slack_sweep
+// experiment running inside the registry/CLI machinery must produce a CSV
+// byte-identical to the pre-harness standalone computation (same fixed
+// seed and grid, any pool width). This is the guarantee that let the
+// refactor keep every tracked bench_results/*.csv unchanged.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/csv.hpp"
+#include "exec/pool.hpp"
+#include "harness/context.hpp"
+#include "harness/experiment.hpp"
+#include "harness/registry.hpp"
+#include "proxy/proxy.hpp"
+
+namespace {
+
+using namespace rsd;
+namespace fs = std::filesystem;
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in{path, std::ios::binary};
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// What bench_fig3_slack_sweep computed as a standalone main() before the
+// harness existed: the default sweep, serialized row-per-point.
+std::string standalone_fig3_csv() {
+  const proxy::ProxyRunner runner;
+  const proxy::SweepConfig cfg;
+  exec::Pool pool{1};
+  const auto points = proxy::run_slack_sweep(runner, cfg, pool);
+  CsvWriter csv;
+  csv.row("matrix_n", "threads", "slack_us", "normalized_runtime");
+  for (const auto& p : points) {
+    csv.row(p.matrix_n, p.threads, p.slack.us(), p.normalized_runtime);
+  }
+  return csv.str();
+}
+
+TEST(HarnessDeterminism, Fig3CsvMatchesStandaloneComputation) {
+  const fs::path dir = fs::path{testing::TempDir()} / "rsd_fig3_determinism";
+  fs::remove_all(dir);
+
+  harness::ExperimentContext::Options options;
+  options.results_dir = dir;
+  options.threads = 2;  // byte-identity must hold at any pool width
+  std::ostringstream sink;
+  options.out = &sink;
+  harness::ExperimentContext ctx{options};
+
+  const harness::Experiment* fig3 = harness::Registry::global().find("fig3_slack_sweep");
+  ASSERT_NE(fig3, nullptr);
+  fig3->run(ctx);
+
+  const fs::path csv_path = dir / "fig3_slack_sweep.csv";
+  ASSERT_TRUE(fs::exists(csv_path));
+  EXPECT_EQ(read_file(csv_path), standalone_fig3_csv());
+}
+
+}  // namespace

@@ -1,0 +1,274 @@
+// Harness tests: glob matching, registry registration/selection rules, the
+// global fleet's invariants, manifest JSON, and the rsd_bench CLI driven
+// in-process with captured streams.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "harness/cli.hpp"
+#include "harness/context.hpp"
+#include "harness/experiment.hpp"
+#include "harness/manifest.hpp"
+#include "harness/registry.hpp"
+
+namespace {
+
+using namespace rsd::harness;
+namespace fs = std::filesystem;
+
+void noop_run(ExperimentContext&) {}
+
+std::unique_ptr<FunctionExperiment> make_experiment(std::string name,
+                                                    const std::string& tags = "test") {
+  return std::make_unique<FunctionExperiment>(std::move(name), tags, "a test experiment",
+                                              &noop_run);
+}
+
+int cli(std::vector<std::string> args, std::string* out_text = nullptr,
+        std::string* err_text = nullptr) {
+  std::vector<const char*> argv{"rsd_bench"};
+  for (const auto& a : args) argv.push_back(a.c_str());
+  std::ostringstream out;
+  std::ostringstream err;
+  const int rc = run_cli(static_cast<int>(argv.size()), argv.data(), out, err);
+  if (out_text != nullptr) *out_text = out.str();
+  if (err_text != nullptr) *err_text = err.str();
+  return rc;
+}
+
+fs::path fresh_temp_dir(const std::string& name) {
+  const fs::path dir = fs::path{testing::TempDir()} / name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+TEST(GlobMatch, LiteralAndWildcards) {
+  EXPECT_TRUE(glob_match("fig3_slack_sweep", "fig3_slack_sweep"));
+  EXPECT_FALSE(glob_match("fig3_slack_sweep", "fig3_slack_swee"));
+  EXPECT_TRUE(glob_match("fig*", "fig3_slack_sweep"));
+  EXPECT_TRUE(glob_match("*sweep", "fig3_slack_sweep"));
+  EXPECT_TRUE(glob_match("*slack*", "fig3_slack_sweep"));
+  EXPECT_TRUE(glob_match("fig?_slack_sweep", "fig3_slack_sweep"));
+  EXPECT_FALSE(glob_match("fig?_slack_sweep", "fig33_slack_sweep"));
+  EXPECT_TRUE(glob_match("*", "anything"));
+  EXPECT_TRUE(glob_match("*", ""));
+  EXPECT_FALSE(glob_match("?", ""));
+  // Multiple stars force the backtracking path.
+  EXPECT_TRUE(glob_match("*a*b*", "xxaxxbxx"));
+  EXPECT_FALSE(glob_match("*a*b*", "xxbxxaxx"));
+}
+
+TEST(Registry, KeepsExperimentsSortedByName) {
+  Registry registry;
+  EXPECT_TRUE(registry.add(make_experiment("zeta")));
+  EXPECT_TRUE(registry.add(make_experiment("alpha")));
+  EXPECT_TRUE(registry.add(make_experiment("mid")));
+  ASSERT_EQ(registry.experiments().size(), 3u);
+  EXPECT_EQ(registry.experiments()[0]->name(), "alpha");
+  EXPECT_EQ(registry.experiments()[1]->name(), "mid");
+  EXPECT_EQ(registry.experiments()[2]->name(), "zeta");
+}
+
+TEST(Registry, RejectsDuplicateNames) {
+  Registry registry;
+  EXPECT_TRUE(registry.add(make_experiment("dup")));
+  EXPECT_FALSE(registry.add(make_experiment("dup")));
+  EXPECT_EQ(registry.experiments().size(), 1u);
+  ASSERT_EQ(registry.errors().size(), 1u);
+  EXPECT_NE(registry.errors()[0].find("dup"), std::string::npos);
+}
+
+TEST(Registry, FindAndSelect) {
+  Registry registry;
+  ASSERT_TRUE(registry.add(make_experiment("fig1_thing", "figure")));
+  ASSERT_TRUE(registry.add(make_experiment("fig2_other", "figure")));
+  ASSERT_TRUE(registry.add(make_experiment("table1_thing", "table")));
+
+  EXPECT_NE(registry.find("fig1_thing"), nullptr);
+  EXPECT_EQ(registry.find("missing"), nullptr);
+
+  // No selectors = the whole fleet.
+  EXPECT_EQ(registry.select({}, {}).size(), 3u);
+  // Glob over names.
+  EXPECT_EQ(registry.select({"fig*"}, {}).size(), 2u);
+  // Tag filter.
+  ASSERT_EQ(registry.select({}, {"table"}).size(), 1u);
+  EXPECT_EQ(registry.select({}, {"table"})[0]->name(), "table1_thing");
+  // Pattern AND tag must both hold.
+  EXPECT_EQ(registry.select({"fig*"}, {"table"}).size(), 0u);
+  // Pre-harness binary names (leading bench_) keep selecting.
+  ASSERT_EQ(registry.select({"bench_fig1_thing"}, {}).size(), 1u);
+  EXPECT_EQ(registry.select({"bench_fig1_thing"}, {})[0]->name(), "fig1_thing");
+}
+
+TEST(Registry, TagsCsvSplitsIntoMultipleTags) {
+  Registry registry;
+  ASSERT_TRUE(registry.add(make_experiment("multi", "figure,proxy")));
+  EXPECT_EQ(registry.select({}, {"proxy"}).size(), 1u);
+  EXPECT_EQ(registry.select({}, {"figure"}).size(), 1u);
+  EXPECT_EQ(registry.select({}, {"table"}).size(), 0u);
+}
+
+// The statically-registered fleet: the whole paper reproduction.
+TEST(GlobalRegistry, FleetIsCompleteAndWellFormed) {
+  const Registry& registry = Registry::global();
+  EXPECT_TRUE(registry.errors().empty());
+  EXPECT_GE(registry.experiments().size(), 26u);
+
+  const std::vector<std::string> known_tags{"figure", "table",     "text",
+                                            "ablation", "extension", "micro"};
+  std::string prev;
+  for (const auto& e : registry.experiments()) {
+    EXPECT_LT(prev, e->name());  // strictly sorted = unique
+    prev = e->name();
+    EXPECT_FALSE(e->description().empty());
+    ASSERT_FALSE(e->tags().empty());
+    for (const auto& tag : e->tags()) {
+      EXPECT_NE(std::find(known_tags.begin(), known_tags.end(), tag), known_tags.end())
+          << e->name() << " carries unknown tag " << tag;
+    }
+  }
+
+  // Every paper artifact the roadmap promises is registered.
+  for (const char* name :
+       {"table1_lammps_baseline", "fig2_lammps_scaling", "fig3_slack_sweep",
+        "fig4_kernel_durations", "fig5_memcpy_sizes", "table2_proxy_calibration",
+        "table3_transfer_binning", "table4_slack_penalty", "model_validation",
+        "micro_substrates"}) {
+    EXPECT_NE(registry.find(name), nullptr) << name;
+  }
+}
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("line1\nline2"), "line1\\nline2");
+  EXPECT_EQ(json_escape("a\tb\rc\bd\fe"), "a\\tb\\rc\\bd\\fe");
+  EXPECT_EQ(json_escape(std::string{"x\x01y"}), "x\\u0001y");
+  EXPECT_EQ(json_escape(std::string{"\x1f"}), "\\u001f");
+}
+
+TEST(Manifest, RecordsOutcomesAndOmitsNonFiniteWallClock) {
+  RunSummary summary;
+  summary.threads = 2;
+  summary.results_dir = "/tmp/results";
+
+  ExperimentOutcome ok;
+  ok.name = "good";
+  ok.tags = {"figure"};
+  ok.ok = true;
+  ok.wall_s = 1.25;
+  ok.csv_paths = {"/tmp/results/good.csv"};
+  summary.outcomes.push_back(ok);
+
+  ExperimentOutcome bad;
+  bad.name = "broken";
+  bad.tags = {"table"};
+  bad.ok = false;
+  bad.error = "exploded:\n\"badly\"";
+  bad.wall_s = std::nan("");
+  summary.outcomes.push_back(bad);
+
+  EXPECT_FALSE(summary.all_ok());
+  const std::string json = manifest_json(summary);
+  EXPECT_NE(json.find("\"schema\": \"rsd-bench-manifest-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"good\""), std::string::npos);
+  EXPECT_NE(json.find("\"status\": \"ok\""), std::string::npos);
+  EXPECT_NE(json.find("\"wall_s\": 1.25"), std::string::npos);
+  EXPECT_NE(json.find("\"status\": \"failed\""), std::string::npos);
+  // The failed outcome's NaN wall clock must not appear anywhere.
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  // Its error is escaped, not raw.
+  EXPECT_NE(json.find("exploded:\\n\\\"badly\\\""), std::string::npos);
+
+  summary.outcomes.pop_back();
+  EXPECT_TRUE(summary.all_ok());
+}
+
+TEST(Cli, ListIsStableAndEnumeratesTheFleet) {
+  std::string first;
+  std::string second;
+  EXPECT_EQ(cli({"--list"}, &first), 0);
+  EXPECT_EQ(cli({"--list"}, &second), 0);
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find("fig3_slack_sweep"), std::string::npos);
+  EXPECT_NE(first.find("table4_slack_penalty"), std::string::npos);
+  EXPECT_NE(first.find("micro_substrates"), std::string::npos);
+  EXPECT_NE(first.find("experiment(s)"), std::string::npos);
+}
+
+TEST(Cli, ListHonoursTagAndPatternSelection) {
+  std::string text;
+  EXPECT_EQ(cli({"--list", "--tags", "table"}, &text), 0);
+  EXPECT_NE(text.find("table1_lammps_baseline"), std::string::npos);
+  EXPECT_EQ(text.find("fig3_slack_sweep"), std::string::npos);
+
+  // The pre-harness binary name still selects its experiment.
+  EXPECT_EQ(cli({"--list", "bench_fig3_slack_sweep"}, &text), 0);
+  EXPECT_NE(text.find("fig3_slack_sweep"), std::string::npos);
+  EXPECT_NE(text.find("1 experiment(s)"), std::string::npos);
+}
+
+TEST(Cli, UnknownNameIsACleanError) {
+  std::string out;
+  std::string err;
+  EXPECT_EQ(cli({"no_such_experiment"}, &out, &err), 2);
+  EXPECT_NE(err.find("no_such_experiment"), std::string::npos);
+  EXPECT_NE(err.find("--list"), std::string::npos);
+}
+
+TEST(Cli, UnknownFlagIsAUsageError) {
+  std::string out;
+  std::string err;
+  EXPECT_EQ(cli({"--frobnicate"}, &out, &err), 2);
+  EXPECT_NE(err.find("--frobnicate"), std::string::npos);
+}
+
+TEST(Cli, RunsAnExperimentEndToEnd) {
+  const fs::path dir = fresh_temp_dir("rsd_cli_e2e");
+  std::string out;
+  EXPECT_EQ(cli({"discussion_composition", "--results-dir", dir.string(), "--threads", "1"},
+                &out),
+            0);
+  EXPECT_NE(out.find("=== discussion_composition ==="), std::string::npos);
+  EXPECT_TRUE(fs::exists(dir / "discussion_composition.csv"));
+  ASSERT_TRUE(fs::exists(dir / "run_manifest.json"));
+
+  std::ifstream in{dir / "run_manifest.json"};
+  std::stringstream manifest;
+  manifest << in.rdbuf();
+  EXPECT_NE(manifest.str().find("\"name\": \"discussion_composition\""), std::string::npos);
+  EXPECT_NE(manifest.str().find("\"status\": \"ok\""), std::string::npos);
+  EXPECT_NE(manifest.str().find("discussion_composition.csv"), std::string::npos);
+}
+
+// The tentpole's perf claim: every consumer of the Figure-3 response
+// surface inside one invocation shares one computation.
+TEST(Context, SurfaceComputedOncePerInvocation) {
+  const fs::path dir = fresh_temp_dir("rsd_shared_surface");
+  ExperimentContext::Options options;
+  options.results_dir = dir;
+  options.threads = 1;
+  std::ostringstream sink;
+  options.out = &sink;
+  ExperimentContext ctx{options};
+
+  const Registry& registry = Registry::global();
+  const Experiment* fig3 = registry.find("fig3_slack_sweep");
+  const Experiment* table4 = registry.find("table4_slack_penalty");
+  ASSERT_NE(fig3, nullptr);
+  ASSERT_NE(table4, nullptr);
+
+  fig3->run(ctx);
+  EXPECT_EQ(ctx.sweep_cache().sweeps_computed(), 1u);
+  table4->run(ctx);  // same default sweep grid -> memory hit, no recompute
+  EXPECT_EQ(ctx.sweep_cache().sweeps_computed(), 1u);
+  EXPECT_GE(ctx.sweep_cache().memory_hits(), 1u);
+  EXPECT_EQ(ctx.sweep_cache().disk_loads(), 0u);
+}
+
+}  // namespace
