@@ -3,6 +3,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
+
+#include "obs/tracer.hpp"
 
 namespace rsd {
 
@@ -41,6 +44,11 @@ Logger& Logger::instance() {
 
 void Logger::write(LogLevel level, const std::string& message) {
   if (!enabled(level)) return;
+  if (obs::Tracer::enabled()) {
+    obs::Tracer::instance().instant("log", message,
+                                    {obs::Arg::s("level", level_tag(level))});
+  }
+  std::lock_guard<std::mutex> lk(write_m_);
   std::fprintf(stderr, "[%s] %s\n", level_tag(level), message.c_str());
 }
 

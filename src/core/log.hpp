@@ -1,8 +1,15 @@
 // Leveled logging. Experiments run quiet by default; RSD_LOG_LEVEL=debug in
 // the environment (or set_level) turns on narration of simulator events.
+//
+// Thread-safe: the level is atomic (pool workers log while the harness
+// adjusts verbosity) and stderr writes are serialized so concurrent log
+// lines never interleave mid-line. When the obs tracer is enabled, every
+// emitted line is also recorded as a timeline instant event.
 #pragma once
 
+#include <atomic>
 #include <iosfwd>
+#include <mutex>
 #include <sstream>
 #include <string>
 
@@ -15,15 +22,16 @@ class Logger {
   /// Process-wide logger. Reads RSD_LOG_LEVEL on first use.
   static Logger& instance();
 
-  void set_level(LogLevel level) { level_ = level; }
-  [[nodiscard]] LogLevel level() const { return level_; }
-  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+  void set_level(LogLevel level) { level_.store(level, std::memory_order_relaxed); }
+  [[nodiscard]] LogLevel level() const { return level_.load(std::memory_order_relaxed); }
+  [[nodiscard]] bool enabled(LogLevel level) const { return level >= this->level(); }
 
   void write(LogLevel level, const std::string& message);
 
  private:
   Logger();
-  LogLevel level_ = LogLevel::kWarn;
+  std::atomic<LogLevel> level_{LogLevel::kWarn};
+  std::mutex write_m_;
 };
 
 namespace detail {

@@ -1,10 +1,15 @@
 #include "exec/pool.hpp"
 
 #include <algorithm>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 
 namespace rsd::exec {
 
 Pool::Pool(int threads) : size_(std::max(1, threads)) {
+  obs::Registry::global().gauge("exec.pool_size").set(static_cast<double>(size_));
   // The caller participates in every batch it submits, so spawn size-1
   // workers; a pool of size 1 owns no threads at all.
   workers_.reserve(static_cast<std::size_t>(size_ - 1));
@@ -31,7 +36,21 @@ void Pool::help(Batch& batch) {
   for (;;) {
     const std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
     if (i >= batch.count) return;
-    (*batch.run)(i);
+    if (obs::Tracer::enabled()) {
+      auto& tracer = obs::Tracer::instance();
+      const std::int64_t t0 = tracer.wall_now_ns();
+      (*batch.run)(i);
+      obs::Event e;
+      e.phase = obs::Phase::kComplete;
+      e.ts_ns = t0;
+      e.dur_ns = tracer.wall_now_ns() - t0;
+      e.category = "exec";
+      e.name = "task";
+      e.args.push_back(obs::Arg::n("index", static_cast<double>(i)));
+      tracer.emit(std::move(e));
+    } else {
+      (*batch.run)(i);
+    }
     if (batch.done.fetch_add(1, std::memory_order_acq_rel) + 1 == batch.count) {
       // Hold the mutex so the waiter cannot miss the notify between its
       // predicate check and its wait.
@@ -43,6 +62,12 @@ void Pool::help(Batch& batch) {
 
 void Pool::run_batch(std::size_t count, const std::function<void(std::size_t)>& run) {
   if (count == 0) return;
+  {
+    auto& reg = obs::Registry::global();
+    reg.counter("exec.batches").add(1);
+    reg.counter("exec.items").add(static_cast<std::int64_t>(count));
+  }
+  obs::Span span{"exec", "batch", {obs::Arg::n("items", static_cast<double>(count))}};
   auto batch = std::make_shared<Batch>();
   batch->run = &run;
   batch->count = count;

@@ -1,5 +1,7 @@
 #include "gpusim/context.hpp"
 
+#include "obs/tracer.hpp"
+
 namespace rsd::gpu {
 
 sim::Task<DeviceBuffer> Context::dmalloc(Bytes bytes) {
@@ -50,7 +52,14 @@ sim::Task<> Context::run_op(Device& device, std::shared_ptr<sim::Event> prev,
 sim::Task<> Context::begin_api() {
   if (slack_ != nullptr && slack_position_ == SlackPosition::kBeforeCall) {
     const SimDuration slack = slack_->on_api_call();
-    if (slack > SimDuration::zero()) co_await sim::delay(slack);
+    if (slack > SimDuration::zero()) {
+      if (const std::int32_t trace_id = device_.trace_id(); trace_id >= 0) {
+        obs::Tracer::instance().complete_sim(trace_id, obs::kTrackSlack, sched_.now().ns(),
+                                             slack.ns(), "slack", "slack_before",
+                                             {obs::Arg::n("context", id_)});
+      }
+      co_await sim::delay(slack);
+    }
   }
 }
 
@@ -67,6 +76,15 @@ sim::Task<> Context::finish_api(const char* name, SimTime start) {
   }
   api.slack_after = slack;
   if (auto* sink = device_.record_sink(); sink != nullptr) sink->on_api(api);
+  if (const std::int32_t trace_id = device_.trace_id(); trace_id >= 0) {
+    auto& tracer = obs::Tracer::instance();
+    tracer.complete_sim(trace_id, obs::kTrackApiBase + id_, start.ns(), (api.end - start).ns(),
+                        "gpu.api", name);
+    if (slack > SimDuration::zero()) {
+      tracer.complete_sim(trace_id, obs::kTrackSlack, api.end.ns(), slack.ns(), "slack",
+                          "slack", {obs::Arg::n("context", id_)});
+    }
+  }
   if (slack > SimDuration::zero()) co_await sim::delay(slack);
 }
 

@@ -1,6 +1,9 @@
 #include "gpusim/device.hpp"
 
 #include <algorithm>
+#include <utility>
+
+#include "obs/tracer.hpp"
 
 namespace rsd::gpu {
 
@@ -31,7 +34,14 @@ sim::Task<> Engine::execute(OpRecord& rec, SimDuration service) {
   // Pipelining: the setup overhead is exposed only when the engine had no
   // work at arrival (nothing to hide it behind).
   const bool exposed = (queued_ == 0);
+  queue_depth_.observe(queued_);
+  const SimTime arrival = sched_.now();
   ++queued_;
+  const std::int32_t trace_id = device_.trace_id();
+  if (trace_id >= 0) {
+    obs::Tracer::instance().counter_sim(trace_id, track_, arrival.ns(), "gpu",
+                                        name_ + ".queue", static_cast<double>(queued_));
+  }
   co_await server_.acquire();
   sim::SemaphoreGuard guard{server_};
 
@@ -52,9 +62,42 @@ sim::Task<> Engine::execute(OpRecord& rec, SimDuration service) {
   co_await sim::delay(service);
   rec.end = sched_.now();
   busy_time_ += rec.end - rec.start;
+  ++ops_;
+  if (exposed) {
+    ++exposed_count_;
+    exposed_total_ += setup_;
+  }
 
   device_.end_op();
   --queued_;
+  if (trace_id >= 0) {
+    auto& tracer = obs::Tracer::instance();
+    std::vector<obs::Arg> args;
+    // submit/context ride along so trace::from_timeline can rebuild the
+    // full OpRecord (ns values < 2^53 are exact in a double).
+    args.push_back(obs::Arg::n("submit_ns", static_cast<double>(rec.submit.ns())));
+    args.push_back(obs::Arg::n("context", static_cast<double>(rec.context_id)));
+    if (rec.bytes > 0) args.push_back(obs::Arg::n("bytes", static_cast<double>(rec.bytes)));
+    if (exposed) args.push_back(obs::Arg::n("exposed_us", setup_.seconds() * 1e6));
+    if (wake > SimDuration::zero()) {
+      args.push_back(obs::Arg::n("wake_us", wake.seconds() * 1e6));
+    }
+    if (switch_cost > SimDuration::zero()) {
+      args.push_back(obs::Arg::n("switch_us", switch_cost.seconds() * 1e6));
+    }
+    tracer.complete_sim(trace_id, track_, rec.start.ns(), (rec.end - rec.start).ns(), "gpu",
+                        rec.name, std::move(args));
+    if (exposed) {
+      tracer.instant_sim(trace_id, track_, arrival.ns(), "gpu", "exposed_launch",
+                         {obs::Arg::n("ns", static_cast<double>(setup_.ns()))});
+    }
+    if (wake > SimDuration::zero()) {
+      tracer.instant_sim(trace_id, track_, rec.start.ns(), "gpu", "wake_penalty",
+                         {obs::Arg::n("ns", static_cast<double>(wake.ns()))});
+    }
+    tracer.counter_sim(trace_id, track_, rec.end.ns(), "gpu", name_ + ".queue",
+                       static_cast<double>(queued_));
+  }
 }
 
 Device::Device(sim::Scheduler& sched, DeviceParams params, interconnect::Link link)
@@ -62,9 +105,36 @@ Device::Device(sim::Scheduler& sched, DeviceParams params, interconnect::Link li
       params_(std::move(params)),
       link_(std::move(link)),
       memory_(params_.memory_capacity),
-      compute_(sched, *this, "compute", params_.kernel_setup, /*charges_process_switch=*/true),
-      h2d_(sched, *this, "copy-h2d", params_.copy_setup),
-      d2h_(sched, *this, "copy-d2h", params_.copy_setup) {}
+      compute_(sched, *this, "compute", obs::kTrackCompute, params_.kernel_setup,
+               /*charges_process_switch=*/true),
+      h2d_(sched, *this, "copy-h2d", obs::kTrackCopyH2D, params_.copy_setup),
+      d2h_(sched, *this, "copy-d2h", obs::kTrackCopyD2H, params_.copy_setup) {
+  if (obs::Tracer::enabled()) trace_id_ = obs::Tracer::instance().acquire_sim_id();
+}
+
+Device::~Device() {
+  const std::int64_t ops = compute_.ops_ + h2d_.ops_ + d2h_.ops_;
+  if (ops == 0) return;
+  auto& reg = obs::Registry::global();
+  reg.counter("gpusim.devices").add(1);
+  reg.counter("gpusim.ops").add(ops);
+  reg.counter("gpusim.exposed_launches")
+      .add(compute_.exposed_count_ + h2d_.exposed_count_ + d2h_.exposed_count_);
+  reg.counter("gpusim.exposed_launch_ns")
+      .add((compute_.exposed_total_ + h2d_.exposed_total_ + d2h_.exposed_total_).ns());
+  reg.counter("gpusim.wake_events").add(wake_count_);
+  reg.counter("gpusim.wake_penalty_ns").add(total_wake_.ns());
+  reg.counter("gpusim.engine_busy_ns")
+      .add((compute_.busy_time_ + h2d_.busy_time_ + d2h_.busy_time_).ns());
+  auto& depth = reg.histogram("gpusim.queue_depth");
+  depth.merge(compute_.queue_depth_);
+  depth.merge(h2d_.queue_depth_);
+  depth.merge(d2h_.queue_depth_);
+  const SimTime now = sched_.now();
+  if (now.ns() > 0) {
+    reg.gauge("gpusim.compute_utilization").set(compute_.busy_time_.seconds() / now.seconds());
+  }
+}
 
 Engine& Device::engine_for(OpKind kind) {
   switch (kind) {

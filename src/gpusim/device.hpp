@@ -30,6 +30,7 @@
 #include "core/units.hpp"
 #include "gpusim/records.hpp"
 #include "interconnect/link.hpp"
+#include "obs/metrics.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
@@ -100,10 +101,10 @@ class Device;
 /// server with launch-pipelining semantics.
 class Engine {
  public:
-  Engine(sim::Scheduler& sched, Device& device, std::string name, SimDuration setup_overhead,
-         bool charges_process_switch = false)
-      : sched_(sched), device_(device), name_(std::move(name)), setup_(setup_overhead),
-        charges_switch_(charges_process_switch), server_(sched, 1) {}
+  Engine(sim::Scheduler& sched, Device& device, std::string name, std::int32_t trace_track,
+         SimDuration setup_overhead, bool charges_process_switch = false)
+      : sched_(sched), device_(device), name_(std::move(name)), track_(trace_track),
+        setup_(setup_overhead), charges_switch_(charges_process_switch), server_(sched, 1) {}
 
   /// Execute one op of the given service duration. Fills the record's
   /// start/end/exposed/wake fields. Resumes when the op completes.
@@ -114,21 +115,36 @@ class Engine {
   [[nodiscard]] SimDuration busy_time() const { return busy_time_; }
 
  private:
+  friend class Device;  ///< Metrics flush at device teardown.
+
   sim::Scheduler& sched_;
   Device& device_;
   std::string name_;
+  std::int32_t track_;  ///< SimTrack row in the obs timeline.
   SimDuration setup_;
   bool charges_switch_;
   sim::Semaphore server_;
   std::int64_t queued_ = 0;
   int last_process_ = -1;
   SimDuration busy_time_ = SimDuration::zero();
+  // Local tallies flushed into obs::Registry by ~Device (no per-op atomics).
+  std::int64_t ops_ = 0;
+  std::int64_t exposed_count_ = 0;
+  SimDuration exposed_total_ = SimDuration::zero();
+  obs::HistogramData queue_depth_;  ///< Depth seen by each arriving op.
 };
 
 /// The simulated GPU.
 class Device {
  public:
   Device(sim::Scheduler& sched, DeviceParams params, interconnect::Link link);
+
+  /// Flushes the accumulated engine/wake tallies into the global metrics
+  /// registry (the per-run quiesce point of the obs design).
+  ~Device();
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
 
   [[nodiscard]] const DeviceParams& params() const { return params_; }
   [[nodiscard]] const interconnect::Link& link() const { return link_; }
@@ -143,6 +159,11 @@ class Device {
 
   void set_record_sink(RecordSink* sink) { sink_ = sink; }
   [[nodiscard]] RecordSink* record_sink() const { return sink_; }
+
+  /// Simulated-timeline id in the obs tracer, or -1 when tracing was off at
+  /// construction. Instrumentation sites branch on this cached value, so a
+  /// disabled tracer costs one member load per site.
+  [[nodiscard]] std::int32_t trace_id() const { return trace_id_; }
 
   /// Duration of an n x n x n single-precision matmul kernel on this device.
   [[nodiscard]] SimDuration matmul_kernel_duration(std::int64_t n) const;
@@ -183,6 +204,7 @@ class Device {
   Engine h2d_;
   Engine d2h_;
   RecordSink* sink_ = nullptr;
+  std::int32_t trace_id_ = -1;
 
   int busy_ops_ = 0;
   bool warmed_up_ = false;  ///< First-ever op pays no wake (device starts warm).

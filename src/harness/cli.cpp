@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <cstdlib>
+#include <fstream>
 #include <iomanip>
 #include <optional>
 #include <ostream>
@@ -9,10 +10,13 @@
 #include <string>
 #include <vector>
 
+#include "core/csv.hpp"
 #include "core/paths.hpp"
 #include "harness/context.hpp"
 #include "harness/registry.hpp"
 #include "harness/runner.hpp"
+#include "obs/tracer.hpp"
+#include "trace/timeline.hpp"
 
 namespace rsd::harness {
 
@@ -32,6 +36,10 @@ constexpr const char* kUsage =
     "  --results-dir DIR  where CSVs/cache/manifest go (default: the\n"
     "                     canonical bench_results/; RSD_RESULTS_DIR works too)\n"
     "  --manifest FILE    manifest path (default: <results>/run_manifest.json)\n"
+    "  --trace DIR        enable the obs timeline tracer and export trace.json\n"
+    "                     (Chrome/Perfetto) + trace_ops.csv (NSys-style, re-\n"
+    "                     importable via trace::import) into DIR; RSD_TRACE=DIR\n"
+    "                     in the environment does the same\n"
     "  --help             this text\n"
     "\n"
     "Name globs use * and ?; a leading 'bench_' is ignored, so old binary\n"
@@ -146,6 +154,10 @@ int run_cli(int argc, const char* const* argv, std::ostream& out, std::ostream& 
       const auto v = value("--manifest");
       if (!v) return 2;
       manifest_path = *v;
+    } else if (arg == "--trace") {
+      const auto v = value("--trace");
+      if (!v) return 2;
+      options.trace_dir = *v;
     } else if (!arg.empty() && arg[0] == '-') {
       err << "rsd_bench: unknown option '" << arg << "'\n" << kUsage;
       return 2;
@@ -179,10 +191,36 @@ int run_cli(int argc, const char* const* argv, std::ostream& out, std::ostream& 
   // Route `results_dir()` too, so library-internal consumers (e.g. a
   // default-constructed SweepCache) agree with the context.
   if (!options.results_dir.empty()) rsd::set_results_dir(options.results_dir);
+  if (options.trace_dir.empty()) {
+    if (const char* env = std::getenv("RSD_TRACE"); env != nullptr && env[0] != '\0') {
+      options.trace_dir = env;
+    }
+  }
   options.out = &out;
   ExperimentContext ctx{options};
 
   const RunSummary summary = run_experiments(selected, ctx);
+
+  if (ctx.tracing()) {
+    const auto snapshot = obs::Tracer::instance().snapshot();
+    obs::Tracer::instance().disable();
+    std::filesystem::create_directories(ctx.trace_dir());
+    const auto json_path = ctx.trace_dir() / "trace.json";
+    obs::write_chrome_trace(json_path.string(), snapshot);
+    out << "[trace] " << json_path.string() << " (" << snapshot.events.size() << " events";
+    if (snapshot.dropped > 0) out << ", " << snapshot.dropped << " dropped";
+    out << ")\n";
+    // NSys-style per-simulation ops CSVs, re-importable via trace::import.
+    const auto sim_ids = trace::timeline_sim_ids(snapshot);
+    if (!sim_ids.empty()) {
+      const auto csv_path = ctx.trace_dir() / "trace_ops.csv";
+      const trace::Trace first = trace::from_timeline(snapshot, sim_ids.front());
+      std::ofstream ops{csv_path, std::ios::trunc};
+      ops << first.ops_to_csv();
+      out << "[trace] " << csv_path.string() << " (sim " << sim_ids.front() << " of "
+          << sim_ids.size() << " traced simulations)\n";
+    }
+  }
 
   const std::filesystem::path manifest =
       manifest_path ? std::filesystem::path{*manifest_path}

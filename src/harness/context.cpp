@@ -2,6 +2,7 @@
 
 #include "core/csv.hpp"
 #include "core/paths.hpp"
+#include "obs/tracer.hpp"
 
 namespace rsd::harness {
 
@@ -15,11 +16,16 @@ std::filesystem::path resolve_results_dir(const ExperimentContext::Options& opti
 
 ExperimentContext::ExperimentContext(Options options)
     : results_dir_(resolve_results_dir(options)),
+      trace_dir_(options.trace_dir),
       runs_(options.runs >= 1 ? options.runs : 1),
       seed_(options.seed),
       out_(options.out != nullptr ? options.out : &std::cout),
       pool_(options.threads >= 1 ? options.threads : exec::default_thread_count()),
-      sweep_cache_(results_dir_ / ".cache") {}
+      sweep_cache_(results_dir_ / ".cache") {
+  // Enabled before any experiment runs, so every gpu::Device constructed
+  // under this invocation acquires a simulated-timeline id.
+  if (!trace_dir_.empty()) obs::Tracer::instance().enable();
+}
 
 void ExperimentContext::save_csv(const std::string& name, const CsvWriter& csv) {
   std::filesystem::create_directories(results_dir_);

@@ -28,6 +28,9 @@ class ExperimentContext {
     int runs = 5;                       ///< The paper's repetition protocol.
     std::uint64_t seed = 1;             ///< Base seed for seeded repetitions.
     std::ostream* out = &std::cout;
+    /// Non-empty enables the obs timeline tracer for the invocation; the
+    /// CLI exports trace.json / trace_ops.csv here afterwards.
+    std::filesystem::path trace_dir;
   };
 
   ExperimentContext() : ExperimentContext(Options{}) {}
@@ -45,6 +48,10 @@ class ExperimentContext {
   [[nodiscard]] int runs() const { return runs_; }
   [[nodiscard]] std::uint64_t seed() const { return seed_; }
 
+  /// Where the timeline export goes; empty when tracing is off.
+  [[nodiscard]] const std::filesystem::path& trace_dir() const { return trace_dir_; }
+  [[nodiscard]] bool tracing() const { return !trace_dir_.empty(); }
+
   /// Where experiment tables/narration go (std::cout under the CLI, a
   /// capture buffer under tests).
   [[nodiscard]] std::ostream& out() { return *out_; }
@@ -59,6 +66,7 @@ class ExperimentContext {
 
  private:
   std::filesystem::path results_dir_;
+  std::filesystem::path trace_dir_;
   int runs_;
   std::uint64_t seed_;
   std::ostream* out_;

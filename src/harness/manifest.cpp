@@ -56,11 +56,14 @@ void append_string_array(std::ostringstream& out, const std::vector<std::string>
 std::string manifest_json(const RunSummary& summary) {
   std::ostringstream out;
   out << "{\n";
-  out << "  \"schema\": \"rsd-bench-manifest-v1\",\n";
+  out << "  \"schema\": \"rsd-bench-manifest-v2\",\n";
   out << "  \"threads\": " << summary.threads << ",\n";
   out << "  \"runs\": " << summary.runs << ",\n";
   out << "  \"seed\": " << summary.seed << ",\n";
   out << "  \"results_dir\": \"" << json_escape(summary.results_dir) << "\",\n";
+  if (!summary.trace_dir.empty()) {
+    out << "  \"trace_dir\": \"" << json_escape(summary.trace_dir) << "\",\n";
+  }
   out << "  \"experiments\": [";
   for (std::size_t i = 0; i < summary.outcomes.size(); ++i) {
     const ExperimentOutcome& o = summary.outcomes[i];
@@ -73,6 +76,7 @@ std::string manifest_json(const RunSummary& summary) {
     if (std::isfinite(o.wall_s)) out << ", \"wall_s\": " << o.wall_s;
     out << ", \"csv\": ";
     append_string_array(out, o.csv_paths);
+    out << ", \"metrics\": " << obs::metrics_json(o.metrics);
     out << '}';
   }
   if (!summary.outcomes.empty()) out << "\n  ";

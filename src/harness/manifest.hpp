@@ -11,6 +11,8 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace rsd::harness {
 
 /// JSON string-literal escaping. Quotes and backslashes are
@@ -26,6 +28,9 @@ struct ExperimentOutcome {
   std::string error;  ///< Non-empty iff !ok.
   double wall_s = 0.0;
   std::vector<std::string> csv_paths;
+  /// Global-registry activity attributed to this experiment (the delta of
+  /// snapshots taken around its run). Serialized under "metrics".
+  obs::MetricsSnapshot metrics;
 };
 
 struct RunSummary {
@@ -33,6 +38,7 @@ struct RunSummary {
   int runs = 5;
   std::uint64_t seed = 1;
   std::string results_dir;
+  std::string trace_dir;  ///< Empty when the obs tracer was off.
   std::vector<ExperimentOutcome> outcomes;
 
   [[nodiscard]] bool all_ok() const;

@@ -6,6 +6,8 @@
 
 #include "harness/context.hpp"
 #include "harness/experiment.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 
 namespace rsd::harness {
 
@@ -16,6 +18,7 @@ RunSummary run_experiments(const std::vector<const Experiment*>& selected,
   summary.runs = ctx.runs();
   summary.seed = ctx.seed();
   summary.results_dir = ctx.results_dir().string();
+  summary.trace_dir = ctx.trace_dir().string();
 
   for (const Experiment* e : selected) {
     ctx.out() << "\n=== " << e->name() << " ===\n" << e->description() << "\n\n";
@@ -23,8 +26,10 @@ RunSummary run_experiments(const std::vector<const Experiment*>& selected,
     ExperimentOutcome outcome;
     outcome.name = e->name();
     outcome.tags = e->tags();
+    const obs::MetricsSnapshot before = obs::Registry::global().snapshot();
     const auto start = std::chrono::steady_clock::now();
     try {
+      obs::Span span{"harness", "experiment:" + e->name()};
       e->run(ctx);
       outcome.ok = true;
     } catch (const std::exception& ex) {
@@ -34,6 +39,7 @@ RunSummary run_experiments(const std::vector<const Experiment*>& selected,
     }
     outcome.wall_s =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    outcome.metrics = obs::metrics_delta(before, obs::Registry::global().snapshot());
     outcome.csv_paths = ctx.drain_csv_paths();
     if (!outcome.ok) {
       ctx.out() << "[failed] " << e->name() << ": " << outcome.error << "\n";

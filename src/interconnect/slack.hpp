@@ -12,6 +12,7 @@
 
 #include "core/rng.hpp"
 #include "core/units.hpp"
+#include "obs/metrics.hpp"
 
 namespace rsd::interconnect {
 
@@ -26,6 +27,20 @@ class SlackInjector {
   /// analysis does (it cannot know the overshoot).
   SlackInjector(SimDuration per_call, double noise_sigma, std::uint64_t seed)
       : per_call_(per_call), noise_sigma_(noise_sigma), rng_(seed) {}
+
+  /// Non-copyable so the destructor's metrics flush counts each injector's
+  /// activity exactly once.
+  SlackInjector(const SlackInjector&) = delete;
+  SlackInjector& operator=(const SlackInjector&) = delete;
+
+  /// Flush this injector's lifetime tallies into the global metrics
+  /// registry (the per-run quiesce point — no per-call atomics).
+  ~SlackInjector() {
+    if (calls_delayed_ == 0) return;
+    auto& reg = obs::Registry::global();
+    reg.counter("slack.calls_delayed").add(calls_delayed_);
+    reg.counter("slack.injected_ns").add(total_injected_.ns());
+  }
 
   void set_slack(SimDuration per_call) { per_call_ = per_call; }
   [[nodiscard]] SimDuration slack_per_call() const { return per_call_; }

@@ -1,0 +1,205 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "obs/tracer.hpp"  // json_escape
+
+namespace rsd::obs {
+
+namespace {
+
+void atomic_min(std::atomic<std::int64_t>& slot, std::int64_t v) {
+  std::int64_t cur = slot.load(std::memory_order_relaxed);
+  while (v < cur && !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<std::int64_t>& slot, std::int64_t v) {
+  std::int64_t cur = slot.load(std::memory_order_relaxed);
+  while (v > cur && !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  return std::string{buf};
+}
+
+}  // namespace
+
+int HistogramData::bucket_index(std::int64_t v) {
+  if (v <= 0) return 0;
+  const int width = std::bit_width(static_cast<std::uint64_t>(v));
+  return std::min(width, kHistogramBuckets - 1);
+}
+
+void HistogramData::observe(std::int64_t v) {
+  ++count;
+  sum += v;
+  min = std::min(min, v);
+  max = std::max(max, v);
+  ++buckets[static_cast<std::size_t>(bucket_index(v))];
+}
+
+void Histogram::observe(std::int64_t v) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  atomic_min(min_, v);
+  atomic_max(max_, v);
+  buckets_[static_cast<std::size_t>(HistogramData::bucket_index(v))].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+void Histogram::merge(const HistogramData& d) {
+  if (d.count == 0) return;
+  count_.fetch_add(d.count, std::memory_order_relaxed);
+  sum_.fetch_add(d.sum, std::memory_order_relaxed);
+  atomic_min(min_, d.min);
+  atomic_max(max_, d.max);
+  for (int i = 0; i < kHistogramBuckets; ++i) {
+    if (d.buckets[static_cast<std::size_t>(i)] != 0) {
+      buckets_[static_cast<std::size_t>(i)].fetch_add(d.buckets[static_cast<std::size_t>(i)],
+                                                      std::memory_order_relaxed);
+    }
+  }
+}
+
+HistogramData Histogram::data() const {
+  HistogramData d;
+  d.count = count_.load(std::memory_order_relaxed);
+  d.sum = sum_.load(std::memory_order_relaxed);
+  d.min = min_.load(std::memory_order_relaxed);
+  d.max = max_.load(std::memory_order_relaxed);
+  for (int i = 0; i < kHistogramBuckets; ++i) {
+    d.buckets[static_cast<std::size_t>(i)] =
+        buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+  }
+  return d;
+}
+
+const MetricSample* MetricsSnapshot::find(std::string_view name) const {
+  const auto it = std::lower_bound(
+      samples.begin(), samples.end(), name,
+      [](const MetricSample& s, std::string_view n) { return s.name < n; });
+  return (it != samples.end() && it->name == name) ? &*it : nullptr;
+}
+
+MetricsSnapshot metrics_delta(const MetricsSnapshot& before, const MetricsSnapshot& after) {
+  MetricsSnapshot out;
+  out.samples.reserve(after.samples.size());
+  for (const MetricSample& a : after.samples) {
+    MetricSample d = a;
+    if (const MetricSample* b = before.find(a.name); b != nullptr && b->kind == a.kind) {
+      switch (a.kind) {
+        case MetricKind::kCounter:
+          d.count = a.count - b->count;
+          break;
+        case MetricKind::kGauge:
+          break;  // latest value stands
+        case MetricKind::kHistogram:
+          d.count = a.count - b->count;
+          d.sum = a.sum - b->sum;
+          d.value = d.count > 0 ? static_cast<double>(d.sum) / static_cast<double>(d.count)
+                                : 0.0;
+          break;
+      }
+    }
+    out.samples.push_back(std::move(d));
+  }
+  return out;
+}
+
+std::string metrics_json(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  out << '{';
+  bool first = true;
+  for (const MetricSample& s : snapshot.samples) {
+    if (s.kind != MetricKind::kGauge && s.count == 0) continue;
+    if (!first) out << ", ";
+    first = false;
+    out << '"' << json_escape(s.name) << "\": ";
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        out << s.count;
+        break;
+      case MetricKind::kGauge:
+        out << json_number(s.value);
+        break;
+      case MetricKind::kHistogram:
+        out << "{\"count\": " << s.count << ", \"sum\": " << s.sum
+            << ", \"mean\": " << json_number(s.value) << ", \"min\": " << s.min
+            << ", \"max\": " << s.max << '}';
+        break;
+    }
+  }
+  out << '}';
+  return out.str();
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lk(m_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lk(m_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lk(m_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lk(m_);
+  for (const auto& [name, c] : counters_) {
+    MetricSample s;
+    s.name = name;
+    s.kind = MetricKind::kCounter;
+    s.count = c->value();
+    snap.samples.push_back(std::move(s));
+  }
+  for (const auto& [name, g] : gauges_) {
+    MetricSample s;
+    s.name = name;
+    s.kind = MetricKind::kGauge;
+    s.value = g->value();
+    snap.samples.push_back(std::move(s));
+  }
+  for (const auto& [name, h] : histograms_) {
+    const HistogramData d = h->data();
+    MetricSample s;
+    s.name = name;
+    s.kind = MetricKind::kHistogram;
+    s.count = d.count;
+    s.sum = d.sum;
+    s.value = d.mean();
+    s.min = d.count > 0 ? d.min : 0;
+    s.max = d.count > 0 ? d.max : 0;
+    snap.samples.push_back(std::move(s));
+  }
+  std::sort(snap.samples.begin(), snap.samples.end(),
+            [](const MetricSample& a, const MetricSample& b) { return a.name < b.name; });
+  return snap;
+}
+
+}  // namespace rsd::obs

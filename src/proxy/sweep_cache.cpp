@@ -9,10 +9,19 @@
 
 #include "core/paths.hpp"
 #include "exec/pool.hpp"
+#include "obs/tracer.hpp"
 
 namespace rsd::proxy {
 
 namespace {
+
+/// Count a cache outcome: per-instance counter, global registry mirror, and
+/// a timeline instant when tracing is on.
+void record_outcome(obs::Counter& local, const char* metric, const char* event) {
+  local.add(1);
+  obs::Registry::global().counter(metric).add(1);
+  if (obs::Tracer::enabled()) obs::Tracer::instance().instant("proxy", event);
+}
 
 namespace fs = std::filesystem;
 
@@ -111,7 +120,7 @@ std::vector<SweepPoint> SweepCache::get_or_run(const ProxyRunner& runner,
   {
     std::lock_guard<std::mutex> lk(m_);
     if (const auto it = memory_.find(fp); it != memory_.end()) {
-      ++memory_hits_;
+      record_outcome(memory_hits_, "sweep_cache.memory_hits", "sweep_cache.memory_hit");
       return it->second;
     }
   }
@@ -152,7 +161,7 @@ std::vector<SweepPoint> SweepCache::get_or_run(const ProxyRunner& runner,
     }
     if (ok) {
       std::lock_guard<std::mutex> lk(m_);
-      ++disk_loads_;
+      record_outcome(disk_loads_, "sweep_cache.disk_loads", "sweep_cache.disk_load");
       return memory_.try_emplace(fp, std::move(points)).first->second;
     }
     // Unreadable/stale entry: fall through and rebuild it.
@@ -182,28 +191,13 @@ std::vector<SweepPoint> SweepCache::get_or_run(const ProxyRunner& runner,
   }
 
   std::lock_guard<std::mutex> lk(m_);
-  ++sweeps_computed_;
+  record_outcome(sweeps_computed_, "sweep_cache.sweeps_computed", "sweep_cache.sweep_computed");
   return memory_.try_emplace(fp, std::move(points)).first->second;
 }
 
 void SweepCache::clear_memory() {
   std::lock_guard<std::mutex> lk(m_);
   memory_.clear();
-}
-
-std::size_t SweepCache::memory_hits() const {
-  std::lock_guard<std::mutex> lk(m_);
-  return memory_hits_;
-}
-
-std::size_t SweepCache::disk_loads() const {
-  std::lock_guard<std::mutex> lk(m_);
-  return disk_loads_;
-}
-
-std::size_t SweepCache::sweeps_computed() const {
-  std::lock_guard<std::mutex> lk(m_);
-  return sweeps_computed_;
 }
 
 }  // namespace rsd::proxy

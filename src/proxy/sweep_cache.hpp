@@ -19,6 +19,7 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "proxy/proxy.hpp"
 
 namespace rsd::proxy {
@@ -52,18 +53,26 @@ class SweepCache {
 
   /// Observability for the harness: how the `get_or_run` calls so far
   /// were served. `sweeps_computed()` staying at 1 across a whole
-  /// rsd_bench invocation is the "surface built once" guarantee.
-  [[nodiscard]] std::size_t memory_hits() const;
-  [[nodiscard]] std::size_t disk_loads() const;
-  [[nodiscard]] std::size_t sweeps_computed() const;
+  /// rsd_bench invocation is the "surface built once" guarantee. These are
+  /// thin wrappers over per-instance `obs::Counter`s; every increment is
+  /// also mirrored into the global metrics registry (`sweep_cache.*`).
+  [[nodiscard]] std::size_t memory_hits() const {
+    return static_cast<std::size_t>(memory_hits_.value());
+  }
+  [[nodiscard]] std::size_t disk_loads() const {
+    return static_cast<std::size_t>(disk_loads_.value());
+  }
+  [[nodiscard]] std::size_t sweeps_computed() const {
+    return static_cast<std::size_t>(sweeps_computed_.value());
+  }
 
  private:
   std::filesystem::path dir_;
   mutable std::mutex m_;
   std::map<std::uint64_t, std::vector<SweepPoint>> memory_;
-  std::size_t memory_hits_ = 0;
-  std::size_t disk_loads_ = 0;
-  std::size_t sweeps_computed_ = 0;
+  obs::Counter memory_hits_;
+  obs::Counter disk_loads_;
+  obs::Counter sweeps_computed_;
 };
 
 }  // namespace rsd::proxy

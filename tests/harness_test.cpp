@@ -175,7 +175,7 @@ TEST(Manifest, RecordsOutcomesAndOmitsNonFiniteWallClock) {
 
   EXPECT_FALSE(summary.all_ok());
   const std::string json = manifest_json(summary);
-  EXPECT_NE(json.find("\"schema\": \"rsd-bench-manifest-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\": \"rsd-bench-manifest-v2\""), std::string::npos);
   EXPECT_NE(json.find("\"name\": \"good\""), std::string::npos);
   EXPECT_NE(json.find("\"status\": \"ok\""), std::string::npos);
   EXPECT_NE(json.find("\"wall_s\": 1.25"), std::string::npos);
@@ -184,6 +184,13 @@ TEST(Manifest, RecordsOutcomesAndOmitsNonFiniteWallClock) {
   EXPECT_EQ(json.find("nan"), std::string::npos);
   // Its error is escaped, not raw.
   EXPECT_NE(json.find("exploded:\\n\\\"badly\\\""), std::string::npos);
+
+  // v2 additions: every experiment entry carries a metrics object, and
+  // trace_dir appears only when the tracer was on.
+  EXPECT_NE(json.find("\"metrics\": {}"), std::string::npos);
+  EXPECT_EQ(json.find("\"trace_dir\""), std::string::npos);
+  summary.trace_dir = "/tmp/trace";
+  EXPECT_NE(manifest_json(summary).find("\"trace_dir\": \"/tmp/trace\""), std::string::npos);
 
   summary.outcomes.pop_back();
   EXPECT_TRUE(summary.all_ok());
@@ -244,6 +251,41 @@ TEST(Cli, RunsAnExperimentEndToEnd) {
   EXPECT_NE(manifest.str().find("\"name\": \"discussion_composition\""), std::string::npos);
   EXPECT_NE(manifest.str().find("\"status\": \"ok\""), std::string::npos);
   EXPECT_NE(manifest.str().find("discussion_composition.csv"), std::string::npos);
+}
+
+TEST(Cli, TraceFlagExportsTimelineAndMetrics) {
+  const fs::path dir = fresh_temp_dir("rsd_cli_trace");
+  const fs::path trace_dir = dir / "trace";
+  std::string out;
+  EXPECT_EQ(cli({"table2_proxy_calibration", "--results-dir", dir.string(), "--threads", "1",
+                 "--trace", trace_dir.string()},
+                &out),
+            0);
+
+  // Chrome trace: well-formed enough to end in the traceEvents envelope and
+  // name the simulator's engine tracks.
+  ASSERT_TRUE(fs::exists(trace_dir / "trace.json"));
+  std::ifstream jin{trace_dir / "trace.json"};
+  std::stringstream json;
+  json << jin.rdbuf();
+  EXPECT_NE(json.str().find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"compute\""), std::string::npos);
+
+  // NSys-style ops CSV with the trace::import schema.
+  ASSERT_TRUE(fs::exists(trace_dir / "trace_ops.csv"));
+  std::ifstream cin{trace_dir / "trace_ops.csv"};
+  std::string header;
+  ASSERT_TRUE(std::getline(cin, header));
+  EXPECT_NE(header.find("kind"), std::string::npos);
+  EXPECT_NE(header.find("submit_us"), std::string::npos);
+
+  // Manifest v2 records the trace dir and per-experiment gpusim metrics.
+  std::ifstream min{dir / "run_manifest.json"};
+  std::stringstream manifest;
+  manifest << min.rdbuf();
+  EXPECT_NE(manifest.str().find("\"schema\": \"rsd-bench-manifest-v2\""), std::string::npos);
+  EXPECT_NE(manifest.str().find("\"trace_dir\""), std::string::npos);
+  EXPECT_NE(manifest.str().find("\"gpusim.ops\""), std::string::npos);
 }
 
 // The tentpole's perf claim: every consumer of the Figure-3 response

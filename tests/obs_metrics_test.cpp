@@ -1,0 +1,127 @@
+// Metrics registry unit tests: counter/gauge/histogram semantics, local
+// tally merging, snapshot deltas, and the manifest JSON serialization.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace {
+
+using namespace rsd::obs;
+
+TEST(Metrics, CounterAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42);
+}
+
+TEST(Metrics, GaugeIsLastWriteWins) {
+  Gauge g;
+  g.set(1.5);
+  g.set(-2.5);
+  EXPECT_DOUBLE_EQ(g.value(), -2.5);
+}
+
+TEST(Metrics, HistogramBucketIndexIsBitWidth) {
+  EXPECT_EQ(HistogramData::bucket_index(-5), 0);
+  EXPECT_EQ(HistogramData::bucket_index(0), 0);
+  EXPECT_EQ(HistogramData::bucket_index(1), 1);
+  EXPECT_EQ(HistogramData::bucket_index(2), 2);
+  EXPECT_EQ(HistogramData::bucket_index(3), 2);
+  EXPECT_EQ(HistogramData::bucket_index(4), 3);
+  // Saturates at the last bucket.
+  EXPECT_EQ(HistogramData::bucket_index(std::int64_t{1} << 62), kHistogramBuckets - 1);
+}
+
+TEST(Metrics, HistogramObserveAndMergeAgree) {
+  HistogramData local;
+  local.observe(1);
+  local.observe(10);
+  local.observe(100);
+  EXPECT_EQ(local.count, 3);
+  EXPECT_EQ(local.sum, 111);
+  EXPECT_EQ(local.min, 1);
+  EXPECT_EQ(local.max, 100);
+  EXPECT_DOUBLE_EQ(local.mean(), 37.0);
+
+  Histogram shared;
+  shared.observe(1000);
+  shared.merge(local);
+  const HistogramData d = shared.data();
+  EXPECT_EQ(d.count, 4);
+  EXPECT_EQ(d.sum, 1111);
+  EXPECT_EQ(d.min, 1);
+  EXPECT_EQ(d.max, 1000);
+}
+
+TEST(Metrics, RegistrySnapshotIsSortedAndFindable) {
+  Registry reg;
+  reg.counter("z.last").add(3);
+  reg.counter("a.first").add(1);
+  reg.gauge("m.mid").set(0.5);
+  reg.histogram("h.hist").observe(8);
+
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.samples.size(), 4u);
+  for (std::size_t i = 1; i < snap.samples.size(); ++i) {
+    EXPECT_LT(snap.samples[i - 1].name, snap.samples[i].name);
+  }
+  const MetricSample* c = snap.find("a.first");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->kind, MetricKind::kCounter);
+  EXPECT_EQ(c->count, 1);
+  const MetricSample* h = snap.find("h.hist");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->kind, MetricKind::kHistogram);
+  EXPECT_EQ(h->count, 1);
+  EXPECT_EQ(h->sum, 8);
+  EXPECT_EQ(snap.find("missing"), nullptr);
+}
+
+TEST(Metrics, DeltaAttributesOnlyIntervalActivity) {
+  Registry reg;
+  reg.counter("runs").add(10);
+  reg.histogram("ns").observe(100);
+  const MetricsSnapshot before = reg.snapshot();
+
+  reg.counter("runs").add(5);
+  reg.histogram("ns").observe(300);
+  reg.counter("born.later").add(2);
+  reg.gauge("util").set(0.75);
+  const MetricsSnapshot after = reg.snapshot();
+
+  const MetricsSnapshot delta = metrics_delta(before, after);
+  EXPECT_EQ(delta.find("runs")->count, 5);
+  EXPECT_EQ(delta.find("ns")->count, 1);
+  EXPECT_EQ(delta.find("ns")->sum, 300);
+  EXPECT_DOUBLE_EQ(delta.find("ns")->value, 300.0);
+  // A metric born inside the interval keeps its full value.
+  EXPECT_EQ(delta.find("born.later")->count, 2);
+  // Gauges report the latest value.
+  EXPECT_DOUBLE_EQ(delta.find("util")->value, 0.75);
+}
+
+TEST(Metrics, JsonSkipsZeroCountSamplesAndEscapesNames) {
+  Registry reg;
+  reg.counter("active").add(3);
+  (void)reg.counter("idle");  // Never incremented: must not appear.
+  reg.gauge("util").set(0.5);
+  reg.histogram("lat").observe(7);
+
+  const std::string json = metrics_json(reg.snapshot());
+  EXPECT_NE(json.find("\"active\": 3"), std::string::npos);
+  EXPECT_EQ(json.find("idle"), std::string::npos);
+  EXPECT_NE(json.find("\"util\": 0.5"), std::string::npos);
+  EXPECT_NE(json.find("\"lat\": {\"count\": 1, \"sum\": 7"), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(Metrics, EmptySnapshotSerializesToEmptyObject) {
+  EXPECT_EQ(metrics_json(MetricsSnapshot{}), "{}");
+}
+
+}  // namespace

@@ -1,0 +1,184 @@
+// Tracer unit tests: ring-buffer semantics, snapshot ordering, span
+// pairing, JSON escaping, and Chrome trace_event well-formedness.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/tracer.hpp"
+
+namespace {
+
+using namespace rsd::obs;
+
+/// Every test runs against the process-wide tracer, so each one starts
+/// from a clean enabled state and disables on exit.
+class TracerTest : public testing::Test {
+ protected:
+  void SetUp() override { Tracer::instance().enable(kCapacity); }
+  void TearDown() override { Tracer::instance().disable(); }
+
+  static constexpr std::size_t kCapacity = 64;
+};
+
+Event sim_complete(std::int32_t sim, std::int32_t track, std::int64_t ts, std::int64_t dur,
+                   std::string name) {
+  Event e;
+  e.phase = Phase::kComplete;
+  e.sim_id = sim;
+  e.track = track;
+  e.ts_ns = ts;
+  e.dur_ns = dur;
+  e.category = "gpu";
+  e.name = std::move(name);
+  return e;
+}
+
+TEST_F(TracerTest, DisabledTracerDropsEventsSilently) {
+  Tracer::instance().disable();
+  EXPECT_FALSE(Tracer::enabled());
+  Tracer::instance().instant("test", "ignored");
+  Tracer::instance().enable(kCapacity);
+  EXPECT_EQ(Tracer::instance().snapshot().events.size(), 0u);
+}
+
+TEST_F(TracerTest, CapturesInstantAndCounterEvents) {
+  Tracer::instance().instant("test", "marker", {Arg::n("x", 7)});
+  Tracer::instance().counter("test", "depth", 3.0);
+  const auto snap = Tracer::instance().snapshot();
+  ASSERT_EQ(snap.events.size(), 2u);
+  EXPECT_EQ(snap.dropped, 0u);
+  // Wall events are stamped with a non-decreasing wall clock.
+  EXPECT_GE(snap.events[1].ts_ns, snap.events[0].ts_ns);
+}
+
+TEST_F(TracerTest, RingOverwritesOldestAndCountsDrops) {
+  for (std::size_t i = 0; i < kCapacity + 10; ++i) {
+    Tracer::instance().instant_sim(0, 0, static_cast<std::int64_t>(i), "test",
+                                   "e" + std::to_string(i));
+  }
+  const auto snap = Tracer::instance().snapshot();
+  EXPECT_EQ(snap.events.size(), kCapacity);
+  EXPECT_EQ(snap.dropped, 10u);
+  // The survivors are the newest kCapacity events.
+  EXPECT_EQ(snap.events.front().name, "e10");
+  EXPECT_EQ(snap.events.back().name, "e" + std::to_string(kCapacity + 9));
+}
+
+TEST_F(TracerTest, SnapshotSortsByTimelineTrackAndTime) {
+  Tracer::instance().emit(sim_complete(1, 0, 500, 10, "late"));
+  Tracer::instance().emit(sim_complete(0, 1, 100, 10, "copy"));
+  Tracer::instance().emit(sim_complete(0, 0, 300, 10, "k2"));
+  Tracer::instance().emit(sim_complete(0, 0, 200, 10, "k1"));
+  const auto snap = Tracer::instance().snapshot();
+  ASSERT_EQ(snap.events.size(), 4u);
+  EXPECT_EQ(snap.events[0].name, "k1");
+  EXPECT_EQ(snap.events[1].name, "k2");
+  EXPECT_EQ(snap.events[2].name, "copy");
+  EXPECT_EQ(snap.events[3].name, "late");
+}
+
+TEST_F(TracerTest, EnableResetsCapturedEventsAndSimIds) {
+  Tracer::instance().instant("test", "before");
+  const std::int32_t first = Tracer::instance().acquire_sim_id();
+  Tracer::instance().enable(kCapacity);
+  EXPECT_EQ(Tracer::instance().snapshot().events.size(), 0u);
+  // Sim ids restart, so a fresh trace starts at timeline zero again.
+  EXPECT_EQ(Tracer::instance().acquire_sim_id(), 0);
+  (void)first;
+}
+
+TEST_F(TracerTest, SpanEmitsMatchedBeginEnd) {
+  {
+    Span span{"test", "phase", {Arg::s("tag", "a")}};
+    Tracer::instance().instant("test", "inside");
+  }
+  const auto snap = Tracer::instance().snapshot();
+  ASSERT_EQ(snap.events.size(), 3u);
+  std::size_t begins = 0;
+  std::size_t ends = 0;
+  for (const Event& e : snap.events) {
+    if (e.phase == Phase::kBegin) ++begins;
+    if (e.phase == Phase::kEnd) ++ends;
+  }
+  EXPECT_EQ(begins, 1u);
+  EXPECT_EQ(ends, 1u);
+}
+
+TEST_F(TracerTest, SpanConstructedWhileDisabledNeverEmits) {
+  Tracer::instance().disable();
+  {
+    Span span{"test", "phase"};
+    // Re-enabling mid-span must not produce an orphan kEnd.
+    Tracer::instance().enable(kCapacity);
+  }
+  EXPECT_EQ(Tracer::instance().snapshot().events.size(), 0u);
+}
+
+TEST(JsonEscapeObs, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(json_escape("l1\nl2\tt"), "l1\\nl2\\tt");
+  EXPECT_EQ(json_escape(std::string{"x\x01y"}), "x\\u0001y");
+}
+
+TEST_F(TracerTest, ChromeExportIsWellFormed) {
+  Tracer::instance().emit(sim_complete(0, 0, 100, 50, "sgemm_\"quoted\""));
+  Tracer::instance().counter_sim(0, 0, 150, "gpu", "compute.queue", 2.0);
+  Tracer::instance().instant_sim(0, 0, 120, "gpu", "wake_penalty", {Arg::n("ns", 10)});
+  {
+    Span span{"harness", "experiment:test"};
+  }
+  const std::string json = chrome_trace_json(Tracer::instance().snapshot());
+
+  // Envelope + metadata naming both clock domains.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("sim-0"), std::string::npos);
+  EXPECT_NE(json.find("host"), std::string::npos);
+  // The quoted kernel name is escaped, not raw.
+  EXPECT_NE(json.find("sgemm_\\\"quoted\\\""), std::string::npos);
+  EXPECT_EQ(json.find("sgemm_\"quoted\""), std::string::npos);
+  // Matched B/E pairs.
+  std::size_t begins = 0;
+  std::size_t ends = 0;
+  for (std::size_t pos = 0; (pos = json.find("\"ph\":\"B\"", pos)) != std::string::npos;
+       ++pos) {
+    ++begins;
+  }
+  for (std::size_t pos = 0; (pos = json.find("\"ph\":\"E\"", pos)) != std::string::npos;
+       ++pos) {
+    ++ends;
+  }
+  EXPECT_EQ(begins, 1u);
+  EXPECT_EQ(ends, 1u);
+  // Complete events carry a duration; counters carry their value.
+  EXPECT_NE(json.find("\"dur\""), std::string::npos);
+  EXPECT_NE(json.find("\"compute.queue\""), std::string::npos);
+}
+
+TEST_F(TracerTest, ChromeExportSkipsOrphanEnds) {
+  // An E whose B fell out of the ring (simulated by emitting E directly).
+  Event orphan;
+  orphan.phase = Phase::kEnd;
+  orphan.category = "test";
+  orphan.name = "orphan";
+  Tracer::instance().emit(std::move(orphan));
+  const std::string json = chrome_trace_json(Tracer::instance().snapshot());
+  EXPECT_EQ(json.find("\"ph\":\"E\""), std::string::npos);
+}
+
+TEST_F(TracerTest, ChromeExportTimestampsAreMonotonicPerTrack) {
+  Tracer::instance().emit(sim_complete(0, 0, 300, 10, "b"));
+  Tracer::instance().emit(sim_complete(0, 0, 100, 10, "a"));
+  const auto snap = Tracer::instance().snapshot();
+  // Snapshot ordering is the export ordering: per (sim, track) ts ascends.
+  std::int64_t last = -1;
+  for (const Event& e : snap.events) {
+    EXPECT_GE(e.ts_ns, last);
+    last = e.ts_ns;
+  }
+}
+
+}  // namespace

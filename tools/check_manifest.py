@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Validate a rsd_bench run manifest against the rsd-bench-manifest-v2 schema.
+
+Usage: check_manifest.py MANIFEST.json
+
+Checks (exit 0 on success, 1 with a diagnostic on the first violation):
+  * the file is valid JSON with schema "rsd-bench-manifest-v2";
+  * top-level run parameters (threads/runs/seed/results_dir) are present
+    and well-typed; trace_dir, when present, is a non-empty string;
+  * every experiment entry has a name, a tag list, an "ok"/"failed"
+    status (with an error string when failed), finite wall_s when
+    present, a csv path list, and a metrics object;
+  * metrics values are either numbers (counters/gauges) or histogram
+    objects with count/sum/mean/min/max, all finite.
+"""
+
+import json
+import math
+import sys
+
+
+def fail(msg):
+    print(f"check_manifest: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_finite_number(value, where):
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        fail(f"{where}: expected a number, got {type(value).__name__}")
+    if not math.isfinite(value):
+        fail(f"{where}: non-finite value {value!r}")
+
+
+def check_metrics(metrics, where):
+    if not isinstance(metrics, dict):
+        fail(f"{where}: metrics must be an object")
+    for name, value in metrics.items():
+        if not name:
+            fail(f"{where}: empty metric name")
+        if isinstance(value, dict):
+            for key in ("count", "sum", "mean", "min", "max"):
+                if key not in value:
+                    fail(f"{where}: histogram {name!r} missing {key!r}")
+                check_finite_number(value[key], f"{where}: {name}.{key}")
+            if value["count"] < 0 or value["min"] > value["max"]:
+                fail(f"{where}: histogram {name!r} is inconsistent")
+        else:
+            check_finite_number(value, f"{where}: {name}")
+
+
+def check_experiment(entry, index):
+    where = f"experiments[{index}]"
+    if not isinstance(entry, dict):
+        fail(f"{where}: expected an object")
+    name = entry.get("name")
+    if not isinstance(name, str) or not name:
+        fail(f"{where}: missing experiment name")
+    where = f"experiments[{index}] ({name})"
+    tags = entry.get("tags")
+    if not isinstance(tags, list) or not all(isinstance(t, str) for t in tags):
+        fail(f"{where}: tags must be a list of strings")
+    status = entry.get("status")
+    if status not in ("ok", "failed"):
+        fail(f"{where}: status must be 'ok' or 'failed', got {status!r}")
+    if status == "failed" and not isinstance(entry.get("error"), str):
+        fail(f"{where}: failed entry must carry an error string")
+    if "wall_s" in entry:
+        check_finite_number(entry["wall_s"], f"{where}: wall_s")
+        if entry["wall_s"] < 0:
+            fail(f"{where}: negative wall_s")
+    csv = entry.get("csv")
+    if not isinstance(csv, list) or not all(isinstance(p, str) for p in csv):
+        fail(f"{where}: csv must be a list of path strings")
+    if "metrics" not in entry:
+        fail(f"{where}: missing metrics object (manifest-v2 requires one)")
+    check_metrics(entry["metrics"], where)
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: check_manifest.py MANIFEST.json")
+    try:
+        with open(sys.argv[1], encoding="utf-8") as fh:
+            manifest = json.load(fh)
+    except OSError as err:
+        fail(f"cannot read {sys.argv[1]}: {err}")
+    except json.JSONDecodeError as err:
+        fail(f"{sys.argv[1]} is not valid JSON: {err}")
+
+    if not isinstance(manifest, dict):
+        fail("top level must be an object")
+    schema = manifest.get("schema")
+    if schema != "rsd-bench-manifest-v2":
+        fail(f"unexpected schema {schema!r} (want rsd-bench-manifest-v2)")
+    for key in ("threads", "runs"):
+        value = manifest.get(key)
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            fail(f"{key} must be a non-negative integer, got {value!r}")
+    if "seed" not in manifest:
+        fail("missing seed")
+    if not isinstance(manifest.get("results_dir"), str):
+        fail("results_dir must be a string")
+    if "trace_dir" in manifest:
+        trace_dir = manifest["trace_dir"]
+        if not isinstance(trace_dir, str) or not trace_dir:
+            fail("trace_dir, when present, must be a non-empty string")
+    experiments = manifest.get("experiments")
+    if not isinstance(experiments, list):
+        fail("experiments must be a list")
+    for i, entry in enumerate(experiments):
+        check_experiment(entry, i)
+
+    print(f"check_manifest: OK ({len(experiments)} experiments, schema {schema})")
+
+
+if __name__ == "__main__":
+    main()
