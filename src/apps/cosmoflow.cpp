@@ -49,6 +49,10 @@ SimDuration flops_to_duration(double flops, const CosmoflowCalibration& cal) {
 std::vector<CosmoflowKernel> cosmoflow_step_kernels(const CosmoflowCalibration& cal,
                                                     int batch) {
   std::vector<CosmoflowKernel> kernels;
+  const auto add = [&kernels](std::string name, SimDuration d) {
+    NameRef ref{name};
+    kernels.push_back({std::move(name), d, ref});
+  };
   const auto stages = cosmoflow_stages();
   int idx = 1;
   for (const auto& s : stages) {
@@ -56,22 +60,21 @@ std::vector<CosmoflowKernel> cosmoflow_step_kernels(const CosmoflowCalibration& 
     const double fwd_flops =
         2.0 * batch * voxels * static_cast<double>(s.out_ch) * s.in_ch * 27.0;
     const std::string tag = "conv" + std::to_string(idx);
-    kernels.push_back({tag + "_fwd", flops_to_duration(fwd_flops, cal)});
-    kernels.push_back({tag + "_pool", flops_to_duration(batch * voxels * s.out_ch, cal)});
-    kernels.push_back({tag + "_bwd_data", flops_to_duration(fwd_flops, cal)});
-    kernels.push_back({tag + "_bwd_filter", flops_to_duration(fwd_flops, cal)});
+    add(tag + "_fwd", flops_to_duration(fwd_flops, cal));
+    add(tag + "_pool", flops_to_duration(batch * voxels * s.out_ch, cal));
+    add(tag + "_bwd_data", flops_to_duration(fwd_flops, cal));
+    add(tag + "_bwd_filter", flops_to_duration(fwd_flops, cal));
     ++idx;
   }
   // Dense heads (256 -> 128 -> 64 -> 4) + loss + optimizer + Horovod
   // gradient exchange staging.
   const double dense_flops = 2.0 * batch * (256.0 * 128 + 128.0 * 64 + 64.0 * 4);
-  kernels.push_back({"dense_fwd", flops_to_duration(dense_flops, cal)});
-  kernels.push_back({"dense_bwd", flops_to_duration(2.0 * dense_flops, cal)});
-  kernels.push_back({"mse_loss", flops_to_duration(batch * 64.0, cal)});
-  kernels.push_back({"sgd_update", flops_to_duration(3.0e6, cal)});
+  add("dense_fwd", flops_to_duration(dense_flops, cal));
+  add("dense_bwd", flops_to_duration(2.0 * dense_flops, cal));
+  add("mse_loss", flops_to_duration(batch * 64.0, cal));
+  add("sgd_update", flops_to_duration(3.0e6, cal));
   for (int chunk = 0; chunk < 4; ++chunk) {
-    kernels.push_back(
-        {"allreduce_pack_" + std::to_string(chunk), flops_to_duration(1.5e6, cal)});
+    add("allreduce_pack_" + std::to_string(chunk), flops_to_duration(1.5e6, cal));
   }
   return kernels;
 }
@@ -105,6 +108,12 @@ sim::Task<> cosmoflow_driver(gpu::Device& device, interconnect::SlackInjector& s
   const int val_steps_per_epoch = cfg.validation_items / cfg.batch;
   const int steps_per_prefetch = std::max(1, cal.samples_per_prefetch / cfg.batch);
 
+  // Transfer names, interned once for the whole run.
+  const NameRef prefetch_name{"h2d_prefetch"};
+  const NameRef control_name{"d2h_control"};
+  const NameRef weight_sync_name{"h2d_weight_sync"};
+  const NameRef checkpoint_name{"d2h_checkpoint"};
+
   for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
     int weight_syncs_done = 0;
     int checkpoints_done = 0;
@@ -115,7 +124,7 @@ sim::Task<> cosmoflow_driver(gpu::Device& device, interconnect::SlackInjector& s
 
       // Prefetch a chunk of samples (large H2D, Table III's biggest bin).
       if (step % steps_per_prefetch == 0) {
-        co_await ctx.memcpy_h2d(staging, "h2d_prefetch");
+        co_await ctx.memcpy_h2d(staging, prefetch_name);
       }
 
       // A starved input pipeline (fewer cores than the pipeline needs)
@@ -136,12 +145,12 @@ sim::Task<> cosmoflow_driver(gpu::Device& device, interconnect::SlackInjector& s
         }
         const double jitter = rng.lognormal(0.0, 0.1);
         co_await sim::delay(submit_cost);
-        co_await ctx.launch(k.name, k.duration * jitter);
+        co_await ctx.launch(k.ref, k.duration * jitter);
       }
 
       // Control-plane readbacks (loss, metrics).
       for (int i = 0; i < cal.small_transfers_per_step; ++i) {
-        co_await ctx.memcpy_d2h(control, "d2h_control");
+        co_await ctx.memcpy_d2h(control, control_name);
       }
 
       // Interleave periodic weight syncs / checkpoints through the epoch.
@@ -150,14 +159,14 @@ sim::Task<> cosmoflow_driver(gpu::Device& device, interconnect::SlackInjector& s
             static_cast<int>(static_cast<std::int64_t>(cal.weight_syncs_per_epoch) *
                              (step + 1) / train_steps_per_epoch);
         while (weight_syncs_done < due_syncs) {
-          co_await ctx.memcpy_h2d(weights, "h2d_weight_sync");
+          co_await ctx.memcpy_h2d(weights, weight_sync_name);
           ++weight_syncs_done;
         }
         const int due_ckpt =
             static_cast<int>(static_cast<std::int64_t>(cal.checkpoint_transfers_per_epoch) *
                              (step + 1) / train_steps_per_epoch);
         while (checkpoints_done < due_ckpt) {
-          co_await ctx.memcpy_d2h(checkpoint, "d2h_checkpoint");
+          co_await ctx.memcpy_d2h(checkpoint, checkpoint_name);
           ++checkpoints_done;
         }
       }
@@ -187,11 +196,12 @@ sim::Task<> multi_gpu_worker(gpu::Chassis& chassis, int rank, int steps,
   gpu::DeviceBuffer staging = co_await ctx.dmalloc(
       static_cast<Bytes>(cal.samples_per_prefetch) * cal.bytes_per_sample);
 
+  const NameRef shard_name{"h2d_shard"};
   for (int step = 0; step < steps; ++step) {
-    co_await ctx.memcpy_h2d(staging, "h2d_shard");
+    co_await ctx.memcpy_h2d(staging, shard_name);
     for (const auto& k : kernels) {
       co_await sim::delay(cal.submit_cost);
-      co_await ctx.launch(k.name, k.duration);
+      co_await ctx.launch(k.ref, k.duration);
     }
     co_await ctx.synchronize();
     co_await barrier.arrive_and_wait();

@@ -20,6 +20,7 @@
 
 #include "apps/calibration.hpp"
 #include "apps/lammps.hpp"  // AppRunResult
+#include "core/names.hpp"
 #include "core/units.hpp"
 #include "gpusim/collective.hpp"
 #include "gpusim/device.hpp"
@@ -36,10 +37,13 @@ struct CosmoflowConfig {
   bool capture_trace = false;
 };
 
-/// One kernel of the per-step sequence, with its duration model.
+/// One kernel of the per-step sequence, with its duration model. `ref` is
+/// the interned form of `name`, built once so the per-step launch loop
+/// pays no interning cost.
 struct CosmoflowKernel {
   std::string name;
   SimDuration duration;
+  NameRef ref;
 };
 
 /// The per-training-step kernel sequence (forward + backward + optimizer),

@@ -84,6 +84,15 @@ sim::Task<> lammps_rank(gpu::Device& device, interconnect::SlackInjector& slack,
       cal.neighbor_kernel_ns_per_atom * static_cast<double>(lammps_atoms(cfg.box)) /
       cfg.procs));
 
+  // Op names interned once per rank, not once per step.
+  const NameRef neighbor_meta_name{"h2d_neighbor_meta"};
+  const NameRef neighbor_build_name{"neighbor_build"};
+  const NameRef positions_name{"h2d_positions"};
+  const NameRef pack_name{"pack_atoms"};
+  const NameRef force_name{"lj_force"};
+  const NameRef unpack_name{"unpack_forces"};
+  const NameRef forces_name{"d2h_forces"};
+
   for (int step = 0; step < cfg.steps; ++step) {
     const bool reneighbor = (step % cal.reneighbor_every) == 0;
 
@@ -99,14 +108,14 @@ sim::Task<> lammps_rank(gpu::Device& device, interconnect::SlackInjector& slack,
     }
 
     if (reneighbor) {
-      co_await ctx.memcpy_h2d(neighbor_meta, "h2d_neighbor_meta");
-      co_await ctx.launch("neighbor_build", neighbor_kernel * jitter());
+      co_await ctx.memcpy_h2d(neighbor_meta, neighbor_meta_name);
+      co_await ctx.launch(neighbor_build_name, neighbor_kernel * jitter());
     }
-    co_await ctx.memcpy_h2d(positions, "h2d_positions");
-    co_await ctx.launch("pack_atoms", cal.pack_kernel * jitter());
-    co_await ctx.launch_sync("lj_force", costs.kernel * jitter());
-    co_await ctx.launch("unpack_forces", cal.unpack_kernel * jitter());
-    co_await ctx.memcpy_d2h(forces, "d2h_forces");
+    co_await ctx.memcpy_h2d(positions, positions_name);
+    co_await ctx.launch(pack_name, cal.pack_kernel * jitter());
+    co_await ctx.launch_sync(force_name, costs.kernel * jitter());
+    co_await ctx.launch(unpack_name, cal.unpack_kernel * jitter());
+    co_await ctx.memcpy_d2h(forces, forces_name);
     co_await ctx.synchronize();
   }
 

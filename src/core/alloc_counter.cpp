@@ -1,0 +1,75 @@
+#include "core/alloc_counter.hpp"
+
+#include <atomic>
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+std::atomic<std::int64_t> g_allocs{0};
+std::atomic<std::int64_t> g_frees{0};
+
+void* counted_alloc(std::size_t size, std::size_t align) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) size = 1;
+  void* p = align > alignof(std::max_align_t) ? std::aligned_alloc(align, (size + align - 1) / align * align)
+                                              : std::malloc(size);
+  return p;
+}
+
+void counted_free(void* p) {
+  if (p == nullptr) return;
+  g_frees.fetch_add(1, std::memory_order_relaxed);
+  std::free(p);
+}
+
+}  // namespace
+
+namespace rsd::alloc {
+
+std::int64_t allocation_count() { return g_allocs.load(std::memory_order_relaxed); }
+std::int64_t deallocation_count() { return g_frees.load(std::memory_order_relaxed); }
+
+}  // namespace rsd::alloc
+
+// Replacement global allocation functions ([new.delete.single] set). Only
+// linked into binaries that reference rsd::alloc — see the header.
+
+void* operator new(std::size_t size) {
+  void* p = counted_alloc(size, alignof(std::max_align_t));
+  if (p == nullptr) throw std::bad_alloc{};
+  return p;
+}
+void* operator new[](std::size_t size) {
+  void* p = counted_alloc(size, alignof(std::max_align_t));
+  if (p == nullptr) throw std::bad_alloc{};
+  return p;
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = counted_alloc(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc{};
+  return p;
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  void* p = counted_alloc(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc{};
+  return p;
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size, alignof(std::max_align_t));
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size, alignof(std::max_align_t));
+}
+
+void operator delete(void* p) noexcept { counted_free(p); }
+void operator delete[](void* p) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { counted_free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { counted_free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { counted_free(p); }

@@ -1,0 +1,26 @@
+// Interposable heap-allocation counter for the perf harness.
+//
+// Linking a binary against any of these accessors pulls in replacement
+// global `operator new`/`operator delete` definitions (alloc_counter.cpp)
+// that count every heap allocation with one relaxed atomic increment.
+// That is the hook `perf_sim_core` and the sim-core regression tests use
+// to assert the proxy loop performs ZERO mallocs per op in steady state —
+// a recorded artifact, not a claim. Binaries that never reference these
+// symbols keep the toolchain's default allocator (the archive member is
+// simply not linked).
+//
+// The counting allocator composes with sanitizers: the replacement
+// operators delegate to malloc/free, which ASan/TSan intercept as usual.
+#pragma once
+
+#include <cstdint>
+
+namespace rsd::alloc {
+
+/// Heap allocations (operator new calls) since process start.
+[[nodiscard]] std::int64_t allocation_count();
+
+/// Heap deallocations (operator delete calls of a non-null pointer).
+[[nodiscard]] std::int64_t deallocation_count();
+
+}  // namespace rsd::alloc

@@ -7,6 +7,7 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <type_traits>
 #include <vector>
 
@@ -46,6 +47,8 @@ class CsvWriter {
  private:
   static std::string to_cell(const std::string& s) { return s; }
   static std::string to_cell(const char* s) { return s; }
+  /// Also accepts anything convertible to a view (e.g. an interned NameRef).
+  static std::string to_cell(std::string_view s) { return std::string{s}; }
   static std::string to_cell(double v) {
     std::ostringstream oss;
     oss.precision(12);

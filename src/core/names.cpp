@@ -1,0 +1,65 @@
+#include "core/names.hpp"
+
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace rsd {
+
+struct NameTable::Impl {
+  mutable std::shared_mutex m;
+  /// Keys view into `storage` entries, which are stable (unique_ptr) and
+  /// never removed.
+  std::unordered_map<std::string_view, std::uint32_t> ids;
+  std::vector<std::unique_ptr<const std::string>> storage;
+};
+
+NameTable::NameTable() : impl_(new Impl) {
+  impl_->storage.push_back(std::make_unique<const std::string>());
+  impl_->ids.emplace(std::string_view{*impl_->storage.front()}, 0);
+}
+
+NameTable& NameTable::global() {
+  // Leaked (never destroyed) so NameRef views stay valid during static
+  // destruction of traces/metrics that may still print names.
+  static NameTable* table = new NameTable;
+  return *table;
+}
+
+NameRef NameTable::intern(std::string_view s) {
+  {
+    std::shared_lock lock{impl_->m};
+    if (const auto it = impl_->ids.find(s); it != impl_->ids.end()) {
+      return NameRef{it->second, std::string_view{*impl_->storage[it->second]}};
+    }
+  }
+  std::unique_lock lock{impl_->m};
+  if (const auto it = impl_->ids.find(s); it != impl_->ids.end()) {
+    return NameRef{it->second, std::string_view{*impl_->storage[it->second]}};
+  }
+  const auto id = static_cast<std::uint32_t>(impl_->storage.size());
+  impl_->storage.push_back(std::make_unique<const std::string>(s));
+  const std::string_view stable{*impl_->storage.back()};
+  impl_->ids.emplace(stable, id);
+  return NameRef{id, stable};
+}
+
+std::string_view NameTable::view(std::uint32_t id) const {
+  std::shared_lock lock{impl_->m};
+  if (id >= impl_->storage.size()) return {};
+  return std::string_view{*impl_->storage[id]};
+}
+
+std::size_t NameTable::size() const {
+  std::shared_lock lock{impl_->m};
+  return impl_->storage.size();
+}
+
+NameRef::NameRef(std::string_view s) : NameRef(NameTable::global().intern(s)) {}
+
+std::ostream& operator<<(std::ostream& os, const NameRef& name) { return os << name.view(); }
+
+}  // namespace rsd

@@ -1,0 +1,94 @@
+// Interned op names (`NameRef`): the hot-path contract between workload
+// code and the simulator.
+//
+// Every simulated op used to carry a `std::string` name, heap-allocated
+// and copied at each `gpu::Context` call — millions of times per Figure-3
+// surface. A `NameRef` is a 16-byte value: an id into the process-wide
+// append-only `NameTable` plus a cached `std::string_view` into the
+// interned storage, so resolving a name back to text is free and needs no
+// lock. Interning happens once per distinct string; constructing a
+// `NameRef` from text costs one hash lookup (shared lock), so hot loops
+// hoist the construction out of the loop and pay nothing per iteration.
+//
+// Interned strings are never freed: a `NameRef`'s view stays valid for the
+// life of the process, which is what lets `OpRecord`/`ApiRecord` be
+// trivially copyable and traces outlive the simulation that produced them.
+//
+// Determinism contract: ids are assigned in first-intern order, which
+// varies across `exec::Pool` widths — never order anything observable by
+// id. Ordered containers key on the text (`NameRef::operator<` compares
+// lexicographically) so outputs stay byte-identical at any thread count.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace rsd {
+
+class NameTable;
+
+/// A cheap handle to an interned string (id + view). Implicitly
+/// constructible from text so call sites read naturally; hoist the
+/// conversion out of hot loops.
+class NameRef {
+ public:
+  /// The empty name (id 0).
+  constexpr NameRef() noexcept = default;
+  NameRef(std::string_view s);                                   // NOLINT(google-explicit-*)
+  NameRef(const char* s) : NameRef(std::string_view{s}) {}       // NOLINT
+  NameRef(const std::string& s) : NameRef(std::string_view{s}) {}  // NOLINT
+
+  [[nodiscard]] std::uint32_t id() const noexcept { return id_; }
+  [[nodiscard]] std::string_view view() const noexcept { return sv_; }
+  [[nodiscard]] std::string str() const { return std::string{sv_}; }
+  [[nodiscard]] bool empty() const noexcept { return sv_.empty(); }
+
+  operator std::string_view() const noexcept { return sv_; }  // NOLINT
+
+  friend bool operator==(const NameRef& a, const NameRef& b) noexcept {
+    return a.id_ == b.id_;
+  }
+  friend bool operator==(const NameRef& a, std::string_view b) noexcept { return a.sv_ == b; }
+  friend bool operator==(const NameRef& a, const char* b) noexcept {
+    return a.sv_ == std::string_view{b};
+  }
+  /// Lexicographic, NOT id order — id order is pool-width dependent.
+  friend bool operator<(const NameRef& a, const NameRef& b) noexcept { return a.sv_ < b.sv_; }
+
+ private:
+  friend class NameTable;
+  constexpr NameRef(std::uint32_t id, std::string_view sv) noexcept : id_(id), sv_(sv) {}
+
+  std::uint32_t id_ = 0;
+  std::string_view sv_;
+};
+
+std::ostream& operator<<(std::ostream& os, const NameRef& name);
+
+/// Process-wide append-only interner. Thread-safe; lookups of
+/// already-interned names take a shared lock only.
+class NameTable {
+ public:
+  [[nodiscard]] static NameTable& global();
+
+  NameTable(const NameTable&) = delete;
+  NameTable& operator=(const NameTable&) = delete;
+
+  /// Intern `s` (idempotent) and return its ref.
+  [[nodiscard]] NameRef intern(std::string_view s);
+
+  /// Resolve an id produced by this table. Out-of-range ids yield "".
+  [[nodiscard]] std::string_view view(std::uint32_t id) const;
+
+  /// Number of distinct names interned so far (>= 1: "" is id 0).
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  NameTable();
+  struct Impl;
+  Impl* impl_;  ///< Leaked on purpose: views must outlive static teardown.
+};
+
+}  // namespace rsd

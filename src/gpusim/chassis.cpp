@@ -8,15 +8,16 @@ namespace {
 
 /// One directed chunk transfer: occupies the sender's D2H engine and the
 /// receiver's H2D engine for the duration (both ends of a fabric DMA).
+/// Names are interned once per phase by the caller, not per transfer.
 sim::Task<> fabric_transfer(Device& src, Device& dst, Bytes bytes, SimDuration duration,
-                            const std::string& name, int phase, sim::WaitGroup& wg) {
+                            NameRef send_name, NameRef recv_name, sim::WaitGroup& wg) {
   OpRecord send;
   send.kind = OpKind::kMemcpyD2H;
-  send.name = name + "_send_p" + std::to_string(phase);
+  send.name = send_name;
   send.bytes = bytes;
   OpRecord recv;
   recv.kind = OpKind::kMemcpyH2D;
-  recv.name = name + "_recv_p" + std::to_string(phase);
+  recv.name = recv_name;
   recv.bytes = bytes;
 
   sim::WaitGroup pair{src.scheduler()};
@@ -55,7 +56,7 @@ void Chassis::set_record_sink(RecordSink* sink) {
   for (auto& d : devices_) d->set_record_sink(sink);
 }
 
-sim::Task<> Chassis::ring_allreduce(Bytes bytes_per_gpu, int participants, std::string name) {
+sim::Task<> Chassis::ring_allreduce(Bytes bytes_per_gpu, int participants, NameRef name) {
   RSD_ASSERT(participants >= 1);
   RSD_ASSERT(participants <= size());
   if (participants == 1) co_return;
@@ -71,12 +72,15 @@ sim::Task<> Chassis::ring_allreduce(Bytes bytes_per_gpu, int participants, std::
   // next phase starts (ring neighbors exchange in lockstep).
   const int phases = 2 * (participants - 1);
   for (int phase = 0; phase < phases; ++phase) {
+    const std::string phase_tag = "_p" + std::to_string(phase);
+    const NameRef send_name{name.str() + "_send" + phase_tag};
+    const NameRef recv_name{name.str() + "_recv" + phase_tag};
     sim::WaitGroup wg{sched_};
     wg.add(participants);
     for (int i = 0; i < participants; ++i) {
       Device& src = device(i);
       Device& dst = device((i + 1) % participants);
-      sched_.spawn(fabric_transfer(src, dst, chunk, per_transfer, name, phase, wg));
+      sched_.spawn(fabric_transfer(src, dst, chunk, per_transfer, send_name, recv_name, wg));
     }
     co_await wg.wait();
   }

@@ -40,7 +40,7 @@ class Chassis {
   /// sender's D2H and the receiver's H2D engine for the fabric transfer
   /// time. Resumes when the collective completes on every device.
   sim::Task<> ring_allreduce(Bytes bytes_per_gpu, int participants,
-                             std::string name = "allreduce");
+                             NameRef name = NameRef{"allreduce"});
 
  private:
   sim::Scheduler& sched_;

@@ -3,6 +3,20 @@
 #include "obs/tracer.hpp"
 
 namespace rsd::gpu {
+namespace {
+
+// Host API call names, interned once per process instead of constructing a
+// std::string per call (several exceed SSO capacity).
+const NameRef kApiMemcpyH2D{"cudaMemcpyH2D"};
+const NameRef kApiMemcpyD2H{"cudaMemcpyD2H"};
+const NameRef kApiLaunchKernel{"cudaLaunchKernel"};
+const NameRef kApiLaunchKernelSync{"cudaLaunchKernelSync"};
+const NameRef kApiMemcpyAsyncH2D{"cudaMemcpyAsyncH2D"};
+const NameRef kApiMemcpyAsyncD2H{"cudaMemcpyAsyncD2H"};
+const NameRef kApiStreamWaitEvent{"cudaStreamWaitEvent"};
+const NameRef kApiDeviceSynchronize{"cudaDeviceSynchronize"};
+
+}  // namespace
 
 sim::Task<DeviceBuffer> Context::dmalloc(Bytes bytes) {
   co_await sim::delay(kApiSubmitCost);
@@ -18,18 +32,18 @@ sim::Task<> Context::dfree(DeviceBuffer& buffer) {
   }
 }
 
-std::shared_ptr<sim::Event> Context::submit_op(OpKind kind, std::string name, Bytes bytes,
+std::shared_ptr<sim::Event> Context::submit_op(OpKind kind, NameRef name, Bytes bytes,
                                                SimDuration service) {
-  auto rec = std::make_shared<OpRecord>();
-  rec->kind = kind;
-  rec->name = std::move(name);
-  rec->context_id = id_;
-  rec->process_id = process_id_;
-  rec->bytes = bytes;
-  rec->submit = sched_.now();
+  OpRecord rec;
+  rec.kind = kind;
+  rec.name = name;
+  rec.context_id = id_;
+  rec.process_id = process_id_;
+  rec.bytes = bytes;
+  rec.submit = sched_.now();
 
-  auto done = std::make_shared<sim::Event>(sched_);
-  sched_.spawn(run_op(device_, tail_, std::move(pending_dep_), done, std::move(rec), service,
+  auto done = sim::make_event(sched_);
+  sched_.spawn(run_op(device_, tail_, std::move(pending_dep_), done, rec, service,
                       path_.submit_latency));
   tail_ = done;
   return done;
@@ -37,15 +51,15 @@ std::shared_ptr<sim::Event> Context::submit_op(OpKind kind, std::string name, By
 
 sim::Task<> Context::run_op(Device& device, std::shared_ptr<sim::Event> prev,
                             std::shared_ptr<sim::Event> dep, std::shared_ptr<sim::Event> done,
-                            std::shared_ptr<OpRecord> rec, SimDuration service,
+                            OpRecord rec, SimDuration service,
                             SimDuration command_travel) {
   // Command flight overlaps with earlier ops' execution (in-order arrival
   // is preserved because every command of this stream has equal travel).
   if (command_travel > SimDuration::zero()) co_await sim::delay(command_travel);
   if (prev) co_await prev->wait();
   if (dep) co_await dep->wait();
-  co_await device.engine_for(rec->kind).execute(*rec, service);
-  if (auto* sink = device.record_sink(); sink != nullptr) sink->on_op(*rec);
+  co_await device.engine_for(rec.kind).execute(rec, service);
+  if (auto* sink = device.record_sink(); sink != nullptr) sink->on_op(rec);
   done->trigger();
 }
 
@@ -63,7 +77,7 @@ sim::Task<> Context::begin_api() {
   }
 }
 
-sim::Task<> Context::finish_api(const char* name, SimTime start) {
+sim::Task<> Context::finish_api(NameRef name, SimTime start) {
   ApiRecord api;
   api.name = name;
   api.context_id = id_;
@@ -79,7 +93,7 @@ sim::Task<> Context::finish_api(const char* name, SimTime start) {
   if (const std::int32_t trace_id = device_.trace_id(); trace_id >= 0) {
     auto& tracer = obs::Tracer::instance();
     tracer.complete_sim(trace_id, obs::kTrackApiBase + id_, start.ns(), (api.end - start).ns(),
-                        "gpu.api", name);
+                        "gpu.api", name.str());
     if (slack > SimDuration::zero()) {
       tracer.complete_sim(trace_id, obs::kTrackSlack, api.end.ns(), slack.ns(), "slack",
                           "slack", {obs::Arg::n("context", id_)});
@@ -88,59 +102,59 @@ sim::Task<> Context::finish_api(const char* name, SimTime start) {
   if (slack > SimDuration::zero()) co_await sim::delay(slack);
 }
 
-sim::Task<> Context::memcpy_h2d(const DeviceBuffer& dst, std::string name) {
+sim::Task<> Context::memcpy_h2d(const DeviceBuffer& dst, NameRef name) {
   co_await begin_api();
   const SimTime start = sched_.now();
   co_await sim::delay(kApiSubmitCost);
   const SimDuration service = device_.link().transfer_time(dst.bytes);
-  const auto done = submit_op(OpKind::kMemcpyH2D, std::move(name), dst.bytes, service);
+  const auto done = submit_op(OpKind::kMemcpyH2D, name, dst.bytes, service);
   co_await done->wait();
   if (path_.completion_latency > SimDuration::zero()) {
     co_await sim::delay(path_.completion_latency);
   }
-  co_await finish_api("cudaMemcpyH2D", start);
+  co_await finish_api(kApiMemcpyH2D, start);
 }
 
-sim::Task<> Context::memcpy_d2h(const DeviceBuffer& src, std::string name) {
+sim::Task<> Context::memcpy_d2h(const DeviceBuffer& src, NameRef name) {
   co_await begin_api();
   const SimTime start = sched_.now();
   co_await sim::delay(kApiSubmitCost);
   const SimDuration service = device_.link().transfer_time(src.bytes);
-  const auto done = submit_op(OpKind::kMemcpyD2H, std::move(name), src.bytes, service);
+  const auto done = submit_op(OpKind::kMemcpyD2H, name, src.bytes, service);
   co_await done->wait();
   if (path_.completion_latency > SimDuration::zero()) {
     co_await sim::delay(path_.completion_latency);
   }
-  co_await finish_api("cudaMemcpyD2H", start);
+  co_await finish_api(kApiMemcpyD2H, start);
 }
 
-sim::Task<> Context::launch(std::string name, SimDuration kernel_duration) {
+sim::Task<> Context::launch(NameRef name, SimDuration kernel_duration) {
   co_await begin_api();
   const SimTime start = sched_.now();
   co_await sim::delay(kApiSubmitCost);
-  submit_op(OpKind::kKernel, std::move(name), 0, kernel_duration);
-  co_await finish_api("cudaLaunchKernel", start);
+  submit_op(OpKind::kKernel, name, 0, kernel_duration);
+  co_await finish_api(kApiLaunchKernel, start);
 }
 
 sim::Task<std::shared_ptr<sim::Event>> Context::memcpy_h2d_async(const DeviceBuffer& dst,
-                                                                 std::string name) {
+                                                                 NameRef name) {
   co_await begin_api();
   const SimTime start = sched_.now();
   co_await sim::delay(kApiSubmitCost);
   const SimDuration service = device_.link().transfer_time(dst.bytes);
-  auto done = submit_op(OpKind::kMemcpyH2D, std::move(name), dst.bytes, service);
-  co_await finish_api("cudaMemcpyAsyncH2D", start);
+  auto done = submit_op(OpKind::kMemcpyH2D, name, dst.bytes, service);
+  co_await finish_api(kApiMemcpyAsyncH2D, start);
   co_return done;
 }
 
 sim::Task<std::shared_ptr<sim::Event>> Context::memcpy_d2h_async(const DeviceBuffer& src,
-                                                                 std::string name) {
+                                                                 NameRef name) {
   co_await begin_api();
   const SimTime start = sched_.now();
   co_await sim::delay(kApiSubmitCost);
   const SimDuration service = device_.link().transfer_time(src.bytes);
-  auto done = submit_op(OpKind::kMemcpyD2H, std::move(name), src.bytes, service);
-  co_await finish_api("cudaMemcpyAsyncD2H", start);
+  auto done = submit_op(OpKind::kMemcpyD2H, name, src.bytes, service);
+  co_await finish_api(kApiMemcpyAsyncD2H, start);
   co_return done;
 }
 
@@ -149,19 +163,19 @@ sim::Task<> Context::stream_wait(std::shared_ptr<sim::Event> event) {
   const SimTime start = sched_.now();
   co_await sim::delay(kApiSubmitCost);
   pending_dep_ = std::move(event);
-  co_await finish_api("cudaStreamWaitEvent", start);
+  co_await finish_api(kApiStreamWaitEvent, start);
 }
 
-sim::Task<> Context::launch_sync(std::string name, SimDuration kernel_duration) {
+sim::Task<> Context::launch_sync(NameRef name, SimDuration kernel_duration) {
   co_await begin_api();
   const SimTime start = sched_.now();
   co_await sim::delay(kApiSubmitCost);
-  const auto done = submit_op(OpKind::kKernel, std::move(name), 0, kernel_duration);
+  const auto done = submit_op(OpKind::kKernel, name, 0, kernel_duration);
   co_await done->wait();
   if (path_.completion_latency > SimDuration::zero()) {
     co_await sim::delay(path_.completion_latency);
   }
-  co_await finish_api("cudaLaunchKernelSync", start);
+  co_await finish_api(kApiLaunchKernelSync, start);
 }
 
 sim::Task<> Context::synchronize() {
@@ -172,7 +186,7 @@ sim::Task<> Context::synchronize() {
   if (path_.completion_latency > SimDuration::zero()) {
     co_await sim::delay(path_.completion_latency);
   }
-  co_await finish_api("cudaDeviceSynchronize", start);
+  co_await finish_api(kApiDeviceSynchronize, start);
 }
 
 }  // namespace rsd::gpu

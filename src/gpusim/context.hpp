@@ -37,6 +37,11 @@ namespace rsd::gpu {
 /// Host-side cost of pushing one command to the driver/device queue.
 inline constexpr SimDuration kApiSubmitCost = duration::microseconds(1.5);
 
+/// Default op names, interned once at static initialisation so call sites
+/// that rely on the defaults pay nothing per call.
+inline const NameRef kMemcpyH2DName{"memcpy_h2d"};
+inline const NameRef kMemcpyD2HName{"memcpy_d2h"};
+
 /// Command-path latencies for a *native* disaggregated deployment: every
 /// command crosses the network to reach the device, and every completion
 /// notification crosses it back. A traditional PCIe-local device uses the
@@ -92,11 +97,12 @@ class Context {
   sim::Task<> dfree(DeviceBuffer& buffer);
 
   /// Blocking host-to-device copy (cudaMemcpy H2D): resumes when the
-  /// transfer has completed on the device.
-  sim::Task<> memcpy_h2d(const DeviceBuffer& dst, std::string name = "memcpy_h2d");
+  /// transfer has completed on the device. Names are interned `NameRef`s:
+  /// hot loops hoist the ref once and pass it by value (no per-op string).
+  sim::Task<> memcpy_h2d(const DeviceBuffer& dst, NameRef name = kMemcpyH2DName);
 
   /// Blocking device-to-host copy (cudaMemcpy D2H).
-  sim::Task<> memcpy_d2h(const DeviceBuffer& src, std::string name = "memcpy_d2h");
+  sim::Task<> memcpy_d2h(const DeviceBuffer& src, NameRef name = kMemcpyD2HName);
 
   /// Asynchronous copies (cudaMemcpyAsync): resume after submission and
   /// return the op's completion event. Combined with a second Context as
@@ -104,9 +110,9 @@ class Context {
   /// pipelines the paper sets aside when it chooses the synchronous
   /// pessimistic case (Section III-B).
   sim::Task<std::shared_ptr<sim::Event>> memcpy_h2d_async(const DeviceBuffer& dst,
-                                                          std::string name = "memcpy_h2d");
+                                                          NameRef name = kMemcpyH2DName);
   sim::Task<std::shared_ptr<sim::Event>> memcpy_d2h_async(const DeviceBuffer& src,
-                                                          std::string name = "memcpy_d2h");
+                                                          NameRef name = kMemcpyD2HName);
 
   /// cudaStreamWaitEvent: the next op submitted through this context will
   /// not start on the device before `event` has triggered. Host-side cost
@@ -118,17 +124,18 @@ class Context {
 
   /// Asynchronous kernel launch: resumes after submission; the kernel
   /// executes on the device in stream order.
-  sim::Task<> launch(std::string name, SimDuration kernel_duration);
+  sim::Task<> launch(NameRef name, SimDuration kernel_duration);
 
   /// Synchronous kernel launch: one API call that resumes only when the
   /// kernel has completed. The paper's proxy runs its GPU-side operations
   /// synchronously "to capture the pessimistic case" (Section III-B).
-  sim::Task<> launch_sync(std::string name, SimDuration kernel_duration);
+  sim::Task<> launch_sync(NameRef name, SimDuration kernel_duration);
 
   /// Convenience: launch an n x n single-precision matmul kernel, with the
-  /// duration drawn from the device's cost model.
+  /// duration drawn from the device's cost model. Interns the name per call
+  /// — loops should hoist a NameRef and call launch() directly.
   sim::Task<> launch_matmul(std::int64_t n) {
-    return launch("sgemm_" + std::to_string(n), device_.matmul_kernel_duration(n));
+    return launch(NameRef{"sgemm_" + std::to_string(n)}, device_.matmul_kernel_duration(n));
   }
 
   /// Block until every op submitted through this context has completed
@@ -144,17 +151,19 @@ class Context {
   /// Enqueue a device op in stream order. Returns the completion event.
   /// The command spends `path_.submit_latency` in flight before it can
   /// start (overlapping with earlier ops' execution).
-  std::shared_ptr<sim::Event> submit_op(OpKind kind, std::string name, Bytes bytes,
+  std::shared_ptr<sim::Event> submit_op(OpKind kind, NameRef name, Bytes bytes,
                                         SimDuration service);
 
+  /// The OpRecord rides by value in run_op's (arena-recycled) coroutine
+  /// frame — no shared_ptr, no separate heap object per op.
   static sim::Task<> run_op(Device& device, std::shared_ptr<sim::Event> prev,
                             std::shared_ptr<sim::Event> dep,
                             std::shared_ptr<sim::Event> done,
-                            std::shared_ptr<OpRecord> rec, SimDuration service,
+                            OpRecord rec, SimDuration service,
                             SimDuration command_travel);
 
   /// Record the API call and apply injected slack (kAfterCall position).
-  sim::Task<> finish_api(const char* name, SimTime start);
+  sim::Task<> finish_api(NameRef name, SimTime start);
 
   /// Apply injected slack at call entry (kBeforeCall position).
   sim::Task<> begin_api();

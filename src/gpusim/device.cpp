@@ -16,18 +16,26 @@ MemoryPool::Handle MemoryPool::allocate(Bytes bytes) {
   }
   used_ += bytes;
   peak_ = std::max(peak_, used_);
-  const Handle h = next_++;
-  allocations_.emplace(h, bytes);
-  return h;
+  std::uint32_t idx;
+  if (!free_slots_.empty()) {
+    idx = free_slots_.back();
+    free_slots_.pop_back();
+    sizes_[idx] = bytes;
+  } else {
+    idx = static_cast<std::uint32_t>(sizes_.size());
+    sizes_.push_back(bytes);
+  }
+  return static_cast<Handle>(idx) + 1;
 }
 
 void MemoryPool::free(Handle handle) {
-  const auto it = allocations_.find(handle);
-  if (it == allocations_.end()) {
+  const std::size_t idx = static_cast<std::size_t>(handle) - 1;
+  if (handle == 0 || idx >= sizes_.size() || sizes_[idx] == 0) {
     throw Error{ErrorCode::kNotFound, "free of unknown device allocation"};
   }
-  used_ -= it->second;
-  allocations_.erase(it);
+  used_ -= sizes_[idx];
+  sizes_[idx] = 0;
+  free_slots_.push_back(static_cast<std::uint32_t>(idx));
 }
 
 sim::Task<> Engine::execute(OpRecord& rec, SimDuration service) {
@@ -86,7 +94,7 @@ sim::Task<> Engine::execute(OpRecord& rec, SimDuration service) {
       args.push_back(obs::Arg::n("switch_us", switch_cost.seconds() * 1e6));
     }
     tracer.complete_sim(trace_id, track_, rec.start.ns(), (rec.end - rec.start).ns(), "gpu",
-                        rec.name, std::move(args));
+                        rec.name.str(), std::move(args));
     if (exposed) {
       tracer.instant_sim(trace_id, track_, arrival.ns(), "gpu", "exposed_launch",
                          {obs::Arg::n("ns", static_cast<double>(setup_.ns()))});

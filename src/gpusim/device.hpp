@@ -22,9 +22,9 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/error.hpp"
 #include "core/units.hpp"
@@ -72,6 +72,12 @@ struct DeviceParams {
 /// Device memory accounting: byte-granular with capacity enforcement.
 /// (Fragmentation is not modelled; the paper's exclusions are pure-capacity:
 /// 3 x 4 GiB matrices x 4 threads > 40 GiB.)
+///
+/// Handles index a flat size array with a recycled-slot free list, so
+/// allocate/free are O(1) with no node allocation — the former `std::map`
+/// cost one red-black node per cudaMalloc. A handle is `slot index + 1`
+/// (0 stays an invalid sentinel); `sizes_[idx] == 0` marks a free slot,
+/// which is unambiguous because zero-byte allocations are rejected.
 class MemoryPool {
  public:
   explicit MemoryPool(Bytes capacity) : capacity_(capacity) {}
@@ -85,14 +91,16 @@ class MemoryPool {
   [[nodiscard]] Bytes capacity() const { return capacity_; }
   [[nodiscard]] Bytes used() const { return used_; }
   [[nodiscard]] Bytes peak() const { return peak_; }
-  [[nodiscard]] std::size_t allocation_count() const { return allocations_.size(); }
+  [[nodiscard]] std::size_t allocation_count() const {
+    return sizes_.size() - free_slots_.size();
+  }
 
  private:
   Bytes capacity_;
   Bytes used_ = 0;
   Bytes peak_ = 0;
-  Handle next_ = 1;
-  std::map<Handle, Bytes> allocations_;
+  std::vector<Bytes> sizes_;               ///< Per-slot live size; 0 = free.
+  std::vector<std::uint32_t> free_slots_;  ///< Recycled slot indices (LIFO).
 };
 
 class Device;

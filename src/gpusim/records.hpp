@@ -4,8 +4,8 @@
 #pragma once
 
 #include <cstdint>
-#include <string>
 
+#include "core/names.hpp"
 #include "core/units.hpp"
 
 namespace rsd::gpu {
@@ -26,9 +26,13 @@ enum class OpKind : std::uint8_t {
 }
 
 /// One device-side operation (kernel execution or DMA transfer).
+///
+/// `name` is an interned `NameRef`: callers on the hot path pass a
+/// pre-interned ref (constant-time copy, no string allocation per op);
+/// consumers read the text through `name.view()`.
 struct OpRecord {
   OpKind kind = OpKind::kKernel;
-  std::string name;
+  NameRef name;
   int context_id = 0;             ///< Which host thread / stream submitted it.
   int process_id = 0;             ///< Owning OS process (MPI rank). Threads of
                                   ///< one process share a CUDA context; ranks
@@ -47,7 +51,7 @@ struct OpRecord {
 
 /// One host-side API call (the unit slack is injected after).
 struct ApiRecord {
-  std::string name;
+  NameRef name;
   int context_id = 0;
   SimTime start;
   SimTime end;                    ///< Includes blocking wait, excludes slack.

@@ -4,14 +4,15 @@
 // schedule.
 #pragma once
 
+#include <algorithm>
 #include <coroutine>
 #include <cstdint>
 #include <exception>
-#include <queue>
 #include <vector>
 
 #include "core/error.hpp"
 #include "core/units.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/task.hpp"
 
 namespace rsd::sim {
@@ -31,7 +32,7 @@ class Scheduler {
     task.handle_.promise().sched = this;
     schedule_at(task.handle_, now_);
     roots_.push_back(std::move(task));
-    if (roots_.size() >= kRootSweepThreshold) sweep_finished_roots();
+    if (roots_.size() >= sweep_threshold_) sweep_finished_roots();
   }
 
   /// Enqueue a coroutine to resume after `delay` of simulated time.
@@ -42,17 +43,19 @@ class Scheduler {
   /// Enqueue a coroutine to resume at absolute time `t` (>= now).
   void schedule_at(std::coroutine_handle<> h, SimTime t) {
     RSD_ASSERT(t >= now_);
-    queue_.push(QueueItem{t, seq_++, h});
+    queue_.push(t, seq_++, h);
   }
 
   /// Run one event: advance the clock and resume one coroutine.
   /// Returns false when the event queue is empty.
   bool step() {
     if (queue_.empty()) return false;
-    const QueueItem item = queue_.top();
-    queue_.pop();
+    const auto& item = queue_.top();
     now_ = item.at;
-    item.handle.resume();
+    const std::coroutine_handle<> handle = item.payload;
+    queue_.pop();
+    ++executed_events_;
+    handle.resume();
     return true;
   }
 
@@ -88,18 +91,17 @@ class Scheduler {
 
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
 
+  /// Events resumed by this scheduler so far (perf_sim_core's numerator).
+  [[nodiscard]] std::uint64_t executed_events() const { return executed_events_; }
+
+  /// Sweep diagnostics for the root-compaction regression tests: number of
+  /// sweeps run, total root slots scanned across them, and the current
+  /// backing capacity of the root list.
+  [[nodiscard]] std::uint64_t sweep_count() const { return sweep_count_; }
+  [[nodiscard]] std::uint64_t sweep_scanned() const { return sweep_scanned_; }
+  [[nodiscard]] std::size_t root_capacity() const { return roots_.capacity(); }
+
  private:
-  struct QueueItem {
-    SimTime at;
-    std::uint64_t seq;
-    std::coroutine_handle<> handle;
-
-    [[nodiscard]] bool operator>(const QueueItem& other) const {
-      if (at != other.at) return at > other.at;
-      return seq > other.seq;
-    }
-  };
-
   void finish_roots() {
     if (!pending_exceptions_.empty()) {
       std::rethrow_exception(pending_exceptions_.front());
@@ -110,14 +112,21 @@ class Scheduler {
   }
 
   /// Reclaim completed root frames so long simulations (hundreds of
-  /// thousands of spawned ops) stay bounded in memory. Stored exceptions
-  /// are preserved for finish_roots().
+  /// thousands of spawned ops) stay bounded in memory. Compacts in place —
+  /// no fresh vector — preserving the relative order of live tasks; each
+  /// finished frame is destroyed by the move-assignment that overwrites
+  /// its slot or by the final erase. Stored exceptions are preserved for
+  /// finish_roots(). The threshold doubles with the live population so a
+  /// long-lived fleet of N tasks costs O(total spawns) sweep work overall,
+  /// not O(spawns * N).
   void sweep_finished_roots() {
-    std::vector<Task<>> live;
-    live.reserve(roots_.size() / 2);
+    ++sweep_count_;
+    sweep_scanned_ += roots_.size();
+    auto out = roots_.begin();
     for (auto& t : roots_) {
       if (!t.done()) {
-        live.push_back(std::move(t));
+        if (&t != &*out) *out = std::move(t);
+        ++out;
         continue;
       }
       try {
@@ -126,16 +135,21 @@ class Scheduler {
         pending_exceptions_.push_back(std::current_exception());
       }
     }
-    roots_.swap(live);
+    roots_.erase(out, roots_.end());
+    sweep_threshold_ = std::max(kRootSweepThreshold, roots_.size() * 2);
   }
 
   static constexpr std::size_t kRootSweepThreshold = 4096;
 
-  std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>> queue_;
+  TimedQueue<std::coroutine_handle<>> queue_;
   std::vector<Task<>> roots_;
   std::vector<std::exception_ptr> pending_exceptions_;
   SimTime now_ = SimTime::zero();
   std::uint64_t seq_ = 0;
+  std::uint64_t executed_events_ = 0;
+  std::size_t sweep_threshold_ = kRootSweepThreshold;
+  std::uint64_t sweep_count_ = 0;
+  std::uint64_t sweep_scanned_ = 0;
 };
 
 /// Awaitable that suspends the current process for `d` of simulated time.

@@ -22,12 +22,18 @@
 #include "sim/task.hpp"
 
 #include "core/error.hpp"
+#include "sim/arena.hpp"
 #include "sim/scheduler.hpp"
 
 namespace rsd::sim {
 
 /// One-shot broadcast event. After trigger(), all current and future waiters
 /// proceed immediately.
+///
+/// Waiters are kept on an intrusive FIFO list whose nodes live inside the
+/// awaiting coroutines' (arena-recycled) frames, so an Event — constructed
+/// per simulated op for completion signalling — performs no heap
+/// allocation of its own.
 class Event {
  public:
   explicit Event(Scheduler& sched) : sched_(sched) {}
@@ -39,27 +45,58 @@ class Event {
   void trigger() {
     if (triggered_) return;
     triggered_ = true;
-    for (const auto h : waiters_) sched_.schedule(h, SimDuration::zero());
-    waiters_.clear();
+    // Wake in arrival (FIFO) order. Nodes stay valid while we walk: the
+    // scheduler only enqueues the handles; resumption happens later.
+    for (WaitNode* n = head_; n != nullptr;) {
+      WaitNode* next = n->next;
+      sched_.schedule(n->handle, SimDuration::zero());
+      n = next;
+    }
+    head_ = tail_ = nullptr;
   }
 
   [[nodiscard]] auto wait() {
     struct Awaiter {
       Event& ev;
+      WaitNode node;
       [[nodiscard]] bool await_ready() const noexcept { return ev.triggered_; }
-      void await_suspend(std::coroutine_handle<> h) { ev.waiters_.push_back(h); }
+      void await_suspend(std::coroutine_handle<> h) {
+        node.handle = h;
+        node.next = nullptr;
+        if (ev.tail_ != nullptr) {
+          ev.tail_->next = &node;
+        } else {
+          ev.head_ = &node;
+        }
+        ev.tail_ = &node;
+      }
       void await_resume() const noexcept {}
     };
-    return Awaiter{*this};
+    return Awaiter{*this, {}};
   }
 
  private:
+  struct WaitNode {
+    std::coroutine_handle<> handle;
+    WaitNode* next = nullptr;
+  };
+
   Scheduler& sched_;
   bool triggered_ = false;
-  std::deque<std::coroutine_handle<>> waiters_;
+  WaitNode* head_ = nullptr;
+  WaitNode* tail_ = nullptr;
 };
 
-/// FIFO counting semaphore with permit-transfer wakeups.
+/// Allocate a shared completion event from the thread-local frame arena
+/// (zero general-heap cost per op in steady state). Use wherever a fresh
+/// `std::shared_ptr<Event>` per op/generation is needed.
+[[nodiscard]] inline std::shared_ptr<Event> make_event(Scheduler& sched) {
+  return std::allocate_shared<Event>(ArenaAllocator<Event>{}, sched);
+}
+
+/// FIFO counting semaphore with permit-transfer wakeups. Like Event, the
+/// waiter queue is intrusive: each AcquireAwaiter already lives in its
+/// coroutine's frame, so waiting allocates nothing.
 class Semaphore {
  public:
   Semaphore(Scheduler& sched, std::int64_t initial)
@@ -70,20 +107,28 @@ class Semaphore {
   Semaphore& operator=(const Semaphore&) = delete;
 
   [[nodiscard]] std::int64_t available() const { return count_; }
-  [[nodiscard]] std::size_t waiting() const { return waiters_.size(); }
+  [[nodiscard]] std::size_t waiting() const { return waiting_; }
 
   struct [[nodiscard]] AcquireAwaiter {
     Semaphore& sem;
     std::coroutine_handle<> handle;
+    AcquireAwaiter* next = nullptr;
 
     [[nodiscard]] bool await_ready() const noexcept { return false; }
     bool await_suspend(std::coroutine_handle<> h) {
-      if (sem.waiters_.empty() && sem.count_ > 0) {
+      if (sem.head_ == nullptr && sem.count_ > 0) {
         --sem.count_;
         return false;  // permit taken, continue without suspending
       }
       handle = h;
-      sem.waiters_.push_back(this);
+      next = nullptr;
+      if (sem.tail_ != nullptr) {
+        sem.tail_->next = this;
+      } else {
+        sem.head_ = this;
+      }
+      sem.tail_ = this;
+      ++sem.waiting_;
       return true;
     }
     void await_resume() const noexcept {}
@@ -92,9 +137,11 @@ class Semaphore {
   [[nodiscard]] AcquireAwaiter acquire() { return AcquireAwaiter{*this, {}}; }
 
   void release() {
-    if (!waiters_.empty()) {
-      AcquireAwaiter* w = waiters_.front();
-      waiters_.pop_front();
+    if (head_ != nullptr) {
+      AcquireAwaiter* w = head_;
+      head_ = w->next;
+      if (head_ == nullptr) tail_ = nullptr;
+      --waiting_;
       sched_.schedule(w->handle, SimDuration::zero());  // permit transferred
     } else {
       ++count_;
@@ -104,7 +151,9 @@ class Semaphore {
  private:
   Scheduler& sched_;
   std::int64_t count_;
-  std::deque<AcquireAwaiter*> waiters_;
+  AcquireAwaiter* head_ = nullptr;
+  AcquireAwaiter* tail_ = nullptr;
+  std::size_t waiting_ = 0;
 };
 
 /// RAII permit for Semaphore; released on destruction.
@@ -174,7 +223,7 @@ class Barrier {
       arrived_ = 0;
       ++generation_;
       gate_->trigger();
-      auto fresh = std::make_shared<Event>(sched_);
+      auto fresh = make_event(sched_);
       gate_.swap(fresh);
       co_return;
     }
@@ -194,7 +243,7 @@ class Barrier {
   int parties_;
   int arrived_ = 0;
   std::int64_t generation_ = 0;
-  std::shared_ptr<Event> gate_ = std::make_shared<Event>(sched_);
+  std::shared_ptr<Event> gate_ = make_event(sched_);
 };
 
 /// Unbounded FIFO channel. put() never blocks; get() suspends while empty.

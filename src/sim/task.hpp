@@ -13,6 +13,7 @@
 #include <utility>
 
 #include "core/error.hpp"
+#include "sim/arena.hpp"
 
 namespace rsd::sim {
 
@@ -22,10 +23,21 @@ namespace detail {
 
 /// State shared by all task promises: which scheduler the coroutine runs on,
 /// who to resume when it finishes, and any escaped exception.
+///
+/// Frames are recycled through the thread-local FrameArena (inherited
+/// operator new/delete below), so steady-state task churn — one task per
+/// simulated op — performs no general heap allocation. See arena.hpp for
+/// the lifetime rules this relies on.
 struct PromiseBase {
   Scheduler* sched = nullptr;
   std::coroutine_handle<> continuation;
   std::exception_ptr exception;
+
+  static void* operator new(std::size_t size) { return FrameArena::local().allocate(size); }
+  static void operator delete(void* p) noexcept { FrameArena::local().deallocate(p); }
+  static void operator delete(void* p, std::size_t) noexcept {
+    FrameArena::local().deallocate(p);
+  }
 
   struct FinalAwaiter {
     [[nodiscard]] bool await_ready() const noexcept { return false; }

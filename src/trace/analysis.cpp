@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <map>
+#include <string>
+#include <string_view>
 #include <utility>
 
 namespace rsd::trace {
@@ -9,15 +11,20 @@ namespace rsd::trace {
 namespace {
 
 /// Per-kernel-name duration samples plus total time, ordered by total time.
+/// Grouping keys on the name *text* (interned views are stable for the
+/// process lifetime), never the interned id — id order varies with thread
+/// count, text order does not.
 std::vector<std::pair<std::string, SampleSet>> kernel_groups_by_total_time(const Trace& trace) {
-  std::map<std::string, SampleSet> groups;
+  std::map<std::string_view, SampleSet> groups;
   for (const auto& op : trace.ops()) {
     if (op.kind != gpu::OpKind::kKernel) continue;
-    groups[op.name].add(op.duration().us());
+    groups[op.name.view()].add(op.duration().us());
   }
   std::vector<std::pair<std::string, SampleSet>> ordered;
   ordered.reserve(groups.size());
-  for (auto& [name, samples] : groups) ordered.emplace_back(name, std::move(samples));
+  for (auto& [name, samples] : groups) {
+    ordered.emplace_back(std::string{name}, std::move(samples));
+  }
   std::sort(ordered.begin(), ordered.end(),
             [](const auto& a, const auto& b) { return a.second.sum() > b.second.sum(); });
   return ordered;

@@ -55,7 +55,7 @@ TEST(Cosmoflow, TraceHasManyDistinctKernels) {
   const AppRunResult r = run_cosmoflow(cfg);
   std::set<std::string> names;
   for (const auto& op : r.trace.ops()) {
-    if (op.kind == gpu::OpKind::kKernel) names.insert(op.name);
+    if (op.kind == gpu::OpKind::kKernel) names.insert(op.name.str());
   }
   // The paper: CosmoFlow executes dozens of different kernels.
   EXPECT_GE(names.size(), 30u);
@@ -163,7 +163,7 @@ TEST(CosmoflowMultiGpu, TraceCapturesAllRanks) {
   std::set<int> ranks;
   for (const auto& op : r.trace.ops()) {
     ranks.insert(op.context_id);
-    if (op.name.find("horovod_allreduce") != std::string::npos) saw_allreduce = true;
+    if (op.name.view().find("horovod_allreduce") != std::string_view::npos) saw_allreduce = true;
   }
   EXPECT_TRUE(saw_allreduce);
   EXPECT_GE(ranks.size(), 2u);

@@ -5,6 +5,7 @@
 // refactor keep every tracked bench_results/*.csv unchanged.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -41,6 +42,49 @@ std::string standalone_fig3_csv() {
     csv.row(p.matrix_n, p.threads, p.slack.us(), p.normalized_runtime);
   }
   return csv.str();
+}
+
+std::string run_fig3_csv(int threads) {
+  const fs::path dir = fs::path{testing::TempDir()} / "rsd_fig3_golden";
+  fs::remove_all(dir);
+
+  harness::ExperimentContext::Options options;
+  options.results_dir = dir;
+  options.threads = threads;
+  std::ostringstream sink;
+  options.out = &sink;
+  harness::ExperimentContext ctx{options};
+
+  const harness::Experiment* fig3 = harness::Registry::global().find("fig3_slack_sweep");
+  if (fig3 == nullptr) return {};
+  fig3->run(ctx);
+  return read_file(dir / "fig3_slack_sweep.csv");
+}
+
+std::uint64_t fnv1a64(const std::string& bytes) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+// Golden fingerprint of bench_results/fig3_slack_sweep.csv as produced by
+// the seed implementation (std::priority_queue scheduler, std::string op
+// names, std::map memory pool). The allocation-free core must reproduce it
+// byte for byte at every pool width; any drift means the perf work changed
+// observable schedule order and must be rejected, not re-goldened blindly.
+constexpr std::uint64_t kFig3GoldenFnv1a = 0x266090334f7d1647ULL;
+constexpr std::size_t kFig3GoldenBytes = 1964;
+
+TEST(HarnessDeterminism, Fig3CsvMatchesGoldenHashAtAnyPoolWidth) {
+  for (const int threads : {1, 3}) {
+    const std::string bytes = run_fig3_csv(threads);
+    ASSERT_FALSE(bytes.empty()) << "fig3_slack_sweep produced no CSV";
+    EXPECT_EQ(bytes.size(), kFig3GoldenBytes) << "threads=" << threads;
+    EXPECT_EQ(fnv1a64(bytes), kFig3GoldenFnv1a) << "threads=" << threads;
+  }
 }
 
 TEST(HarnessDeterminism, Fig3CsvMatchesStandaloneComputation) {

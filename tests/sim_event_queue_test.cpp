@@ -1,0 +1,144 @@
+// TimedQueue (4-ary indexed heap) against the scheduler's previous
+// std::priority_queue-based binary heap: for any push/pop interleaving the
+// pop order must be IDENTICAL, because the (time, seq) key is a total
+// order. This is the property that makes swapping the queue implementation
+// invisible to every experiment CSV.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/units.hpp"
+#include "sim/event_queue.hpp"
+
+namespace {
+
+using namespace rsd;
+using sim::TimedQueue;
+
+/// The pre-PR implementation, kept here as the reference oracle: a binary
+/// max-heap (std::priority_queue) inverted by the comparator, exactly as
+/// Scheduler's QueueItem used to define it.
+class ReferenceQueue {
+ public:
+  struct Item {
+    SimTime at;
+    std::uint64_t seq = 0;
+    int payload = 0;
+
+    bool operator>(const Item& other) const {
+      if (at != other.at) return at > other.at;
+      return seq > other.seq;
+    }
+  };
+
+  void push(SimTime at, std::uint64_t seq, int payload) { q_.push(Item{at, seq, payload}); }
+  [[nodiscard]] const Item& top() const { return q_.top(); }
+  void pop() { q_.pop(); }
+  [[nodiscard]] bool empty() const { return q_.empty(); }
+  [[nodiscard]] std::size_t size() const { return q_.size(); }
+
+ private:
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> q_;
+};
+
+TEST(TimedQueue, PopsInTimeOrder) {
+  TimedQueue<int> q;
+  q.push(SimTime{30}, 0, 3);
+  q.push(SimTime{10}, 1, 1);
+  q.push(SimTime{20}, 2, 2);
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.top().payload, 1);
+  q.pop();
+  EXPECT_EQ(q.top().payload, 2);
+  q.pop();
+  EXPECT_EQ(q.top().payload, 3);
+  q.pop();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(TimedQueue, SeqBreaksTiesFifo) {
+  TimedQueue<int> q;
+  for (int i = 0; i < 100; ++i) q.push(SimTime{42}, static_cast<std::uint64_t>(i), i);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(q.top().payload, i);
+    EXPECT_EQ(q.top().seq, static_cast<std::uint64_t>(i));
+    q.pop();
+  }
+}
+
+TEST(TimedQueue, BinaryHeapArityMatchesDefault) {
+  // The template arity only changes layout, never order.
+  TimedQueue<int, 2> binary;
+  TimedQueue<int, 4> quad;
+  Rng rng{7};
+  std::uint64_t seq = 0;
+  for (int i = 0; i < 500; ++i) {
+    const SimTime t{static_cast<std::int64_t>(rng.uniform_index(50))};
+    binary.push(t, seq, static_cast<int>(seq));
+    quad.push(t, seq, static_cast<int>(seq));
+    ++seq;
+  }
+  while (!binary.empty()) {
+    ASSERT_FALSE(quad.empty());
+    EXPECT_EQ(binary.top().payload, quad.top().payload);
+    binary.pop();
+    quad.pop();
+  }
+  EXPECT_TRUE(quad.empty());
+}
+
+/// Randomized stress: feed the identical (time, seq) stream to the old
+/// binary heap and the new 4-ary queue, interleaving pushes and pops with
+/// near-monotonic times (the scheduler's actual access pattern: events
+/// schedule at now + small delay). Pop order must match element for element.
+TEST(TimedQueue, StressIdenticalPopOrderVsReferenceHeap) {
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL, 0xDEADBEEFULL}) {
+    TimedQueue<int> ours;
+    ReferenceQueue ref;
+    Rng rng{seed};
+    std::uint64_t seq = 0;
+    std::int64_t now = 0;
+
+    for (int round = 0; round < 20000; ++round) {
+      const bool do_push = ours.empty() || rng.uniform(0.0, 1.0) < 0.55;
+      if (do_push) {
+        // Mostly near-future events, occasional far-future and frequent
+        // exact ties (delay 0 == sim::yield()).
+        std::int64_t delay = 0;
+        const double r = rng.uniform(0.0, 1.0);
+        if (r < 0.3) {
+          delay = 0;
+        } else if (r < 0.95) {
+          delay = 1 + static_cast<std::int64_t>(rng.uniform_index(1000));
+        } else {
+          delay = 1000 + static_cast<std::int64_t>(rng.uniform_index(999000));
+        }
+        const SimTime t{now + delay};
+        ours.push(t, seq, static_cast<int>(seq));
+        ref.push(t, seq, static_cast<int>(seq));
+        ++seq;
+      } else {
+        ASSERT_EQ(ours.size(), ref.size());
+        ASSERT_EQ(ours.top().at, ref.top().at);
+        ASSERT_EQ(ours.top().seq, ref.top().seq);
+        ASSERT_EQ(ours.top().payload, ref.top().payload);
+        now = ours.top().at.ns();  // clock advances like Scheduler::step
+        ours.pop();
+        ref.pop();
+      }
+    }
+    while (!ours.empty()) {
+      ASSERT_FALSE(ref.empty());
+      ASSERT_EQ(ours.top().seq, ref.top().seq);
+      ours.pop();
+      ref.pop();
+    }
+    EXPECT_TRUE(ref.empty());
+  }
+}
+
+}  // namespace

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Compare two rsd_bench run manifests experiment by experiment.
+
+Usage: bench_compare.py BASELINE_MANIFEST.json CANDIDATE_MANIFEST.json
+
+Prints a per-experiment table of wall_s (baseline, candidate, speedup),
+then fleet totals. Experiments present in only one manifest are listed
+separately. Exit 0 on a clean comparison; exit 1 on malformed input or
+when --max-regression is given and any shared experiment slowed down by
+more than that factor (e.g. --max-regression 1.25 fails on >25% slower).
+
+This is how the BENCH_simcore.json before/after record was produced:
+run the fleet at a fixed commit into one results dir, at the candidate
+commit into another, then compare the two run_manifest.json files.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def fail(msg):
+    print(f"bench_compare: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_walls(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            manifest = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+    if manifest.get("schema") != "rsd-bench-manifest-v2":
+        fail(f"{path}: unexpected schema {manifest.get('schema')!r}")
+    walls = {}
+    for exp in manifest.get("experiments", []):
+        name = exp.get("name")
+        wall = exp.get("wall_s")
+        if not name or exp.get("status") != "ok":
+            continue
+        if not isinstance(wall, (int, float)) or not math.isfinite(wall):
+            fail(f"{path}: experiment {name!r} has no finite wall_s")
+        walls[name] = float(wall)
+    if not walls:
+        fail(f"{path}: no successful experiments")
+    return walls
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=None,
+        metavar="FACTOR",
+        help="fail (exit 1) if any shared experiment's candidate wall_s "
+        "exceeds baseline * FACTOR",
+    )
+    args = parser.parse_args()
+
+    base = load_walls(args.baseline)
+    cand = load_walls(args.candidate)
+    shared = sorted(set(base) & set(cand))
+    only_base = sorted(set(base) - set(cand))
+    only_cand = sorted(set(cand) - set(base))
+
+    name_w = max(len(n) for n in shared + only_base + only_cand)
+    header = f"{'experiment':<{name_w}}  {'base_s':>8}  {'cand_s':>8}  {'speedup':>7}"
+    print(header)
+    print("-" * len(header))
+    regressions = []
+    for name in shared:
+        b, c = base[name], cand[name]
+        speedup = b / c if c > 0 else math.inf
+        print(f"{name:<{name_w}}  {b:>8.3f}  {c:>8.3f}  {speedup:>6.2f}x")
+        if args.max_regression is not None and c > b * args.max_regression:
+            regressions.append(name)
+    for name in only_base:
+        print(f"{name:<{name_w}}  {base[name]:>8.3f}  {'-':>8}  {'-':>7}")
+    for name in only_cand:
+        print(f"{name:<{name_w}}  {'-':>8}  {cand[name]:>8.3f}  {'-':>7}")
+
+    total_b = sum(base[n] for n in shared)
+    total_c = sum(cand[n] for n in shared)
+    print("-" * len(header))
+    print(
+        f"{'TOTAL (shared)':<{name_w}}  {total_b:>8.3f}  {total_c:>8.3f}  "
+        f"{(total_b / total_c if total_c > 0 else math.inf):>6.2f}x"
+    )
+
+    if regressions:
+        fail(
+            f"{len(regressions)} experiment(s) regressed past "
+            f"{args.max_regression}x: {', '.join(regressions)}"
+        )
+
+
+if __name__ == "__main__":
+    main()
