@@ -2,16 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "core/error.hpp"
 #include "core/rng.hpp"
-#include "gpusim/chassis.hpp"
-#include "gpusim/context.hpp"
-#include "interconnect/link.hpp"
 #include "interconnect/slack.hpp"
-#include "sim/scheduler.hpp"
-#include "sim/sync.hpp"
-#include "sim/task.hpp"
+#include "wl/replay.hpp"
 
 namespace rsd::apps {
 
@@ -79,22 +75,10 @@ std::vector<CosmoflowKernel> cosmoflow_step_kernels(const CosmoflowCalibration& 
   return kernels;
 }
 
-namespace {
-
-sim::Task<> cosmoflow_driver(gpu::Device& device, interconnect::SlackInjector& slack,
-                             const CosmoflowConfig& cfg, const CosmoflowCalibration& cal,
-                             sim::WaitGroup& wg) {
-  gpu::Context ctx{device, 0, &slack, /*process_id=*/0};
+wl::Program build_cosmoflow_program(const CosmoflowConfig& cfg,
+                                    const CosmoflowCalibration& cal) {
   Rng rng{0xC05F10ULL};
-
   const auto train_kernels = cosmoflow_step_kernels(cal, cfg.batch);
-
-  const Bytes prefetch_bytes =
-      static_cast<Bytes>(cal.samples_per_prefetch) * cal.bytes_per_sample;
-  gpu::DeviceBuffer staging = co_await ctx.dmalloc(prefetch_bytes);
-  gpu::DeviceBuffer weights = co_await ctx.dmalloc(cal.weight_sync_bytes);
-  gpu::DeviceBuffer checkpoint = co_await ctx.dmalloc(cal.checkpoint_bytes);
-  gpu::DeviceBuffer control = co_await ctx.dmalloc(cal.small_transfer_bytes);
 
   // An input pipeline starved of cores slows every kernel submission; two
   // cores keep it fed, more add nothing (Section IV-A).
@@ -108,11 +92,20 @@ sim::Task<> cosmoflow_driver(gpu::Device& device, interconnect::SlackInjector& s
   const int val_steps_per_epoch = cfg.validation_items / cfg.batch;
   const int steps_per_prefetch = std::max(1, cal.samples_per_prefetch / cfg.batch);
 
-  // Transfer names, interned once for the whole run.
+  // Transfer names, interned once for the whole program.
   const NameRef prefetch_name{"h2d_prefetch"};
   const NameRef control_name{"d2h_control"};
   const NameRef weight_sync_name{"h2d_weight_sync"};
   const NameRef checkpoint_name{"d2h_checkpoint"};
+
+  wl::Program program;
+  wl::Lane& lane = program.lanes.emplace_back();
+  const Bytes prefetch_bytes =
+      static_cast<Bytes>(cal.samples_per_prefetch) * cal.bytes_per_sample;
+  const std::int32_t staging = lane.add_buffer(prefetch_bytes);
+  const std::int32_t weights = lane.add_buffer(cal.weight_sync_bytes);
+  const std::int32_t checkpoint = lane.add_buffer(cal.checkpoint_bytes);
+  const std::int32_t control = lane.add_buffer(cal.small_transfer_bytes);
 
   for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
     int weight_syncs_done = 0;
@@ -123,16 +116,12 @@ sim::Task<> cosmoflow_driver(gpu::Device& device, interconnect::SlackInjector& s
       const bool training = step < train_steps_per_epoch;
 
       // Prefetch a chunk of samples (large H2D, Table III's biggest bin).
-      if (step % steps_per_prefetch == 0) {
-        co_await ctx.memcpy_h2d(staging, prefetch_name);
-      }
+      if (step % steps_per_prefetch == 0) lane.h2d(staging, prefetch_name);
 
       // A starved input pipeline (fewer cores than the pipeline needs)
       // serialises sample preparation with submission; with enough cores
       // it overlaps the previous step's GPU work and costs nothing here.
-      if (cfg.cpu_cores < cal.required_cores) {
-        co_await sim::delay(cal.input_pipeline_work);
-      }
+      if (cfg.cpu_cores < cal.required_cores) lane.cpu(cal.input_pipeline_work);
 
       // Submit the kernel sequence in quick succession; 10% lognormal
       // jitter reproduces the duration spread NSys sees per kernel.
@@ -144,13 +133,13 @@ sim::Task<> cosmoflow_driver(gpu::Device& device, interconnect::SlackInjector& s
           continue;
         }
         const double jitter = rng.lognormal(0.0, 0.1);
-        co_await sim::delay(submit_cost);
-        co_await ctx.launch(k.ref, k.duration * jitter);
+        lane.cpu(submit_cost);
+        lane.kernel(k.ref, k.duration * jitter);
       }
 
       // Control-plane readbacks (loss, metrics).
       for (int i = 0; i < cal.small_transfers_per_step; ++i) {
-        co_await ctx.memcpy_d2h(control, control_name);
+        lane.d2h(control, control_name);
       }
 
       // Interleave periodic weight syncs / checkpoints through the epoch.
@@ -159,62 +148,61 @@ sim::Task<> cosmoflow_driver(gpu::Device& device, interconnect::SlackInjector& s
             static_cast<int>(static_cast<std::int64_t>(cal.weight_syncs_per_epoch) *
                              (step + 1) / train_steps_per_epoch);
         while (weight_syncs_done < due_syncs) {
-          co_await ctx.memcpy_h2d(weights, weight_sync_name);
+          lane.h2d(weights, weight_sync_name);
           ++weight_syncs_done;
         }
         const int due_ckpt =
             static_cast<int>(static_cast<std::int64_t>(cal.checkpoint_transfers_per_epoch) *
                              (step + 1) / train_steps_per_epoch);
         while (checkpoints_done < due_ckpt) {
-          co_await ctx.memcpy_d2h(checkpoint, checkpoint_name);
+          lane.d2h(checkpoint, checkpoint_name);
           ++checkpoints_done;
         }
       }
 
-      co_await ctx.synchronize();
+      lane.sync();
     }
   }
-
-  co_await ctx.dfree(staging);
-  co_await ctx.dfree(weights);
-  co_await ctx.dfree(checkpoint);
-  co_await ctx.dfree(control);
-  wg.done();
+  return program;
 }
 
-}  // namespace
-
-namespace {
-
-/// One data-parallel worker: runs its share of the kernel sequence each
-/// step, then joins the step barrier; rank 0 triggers the allreduce.
-sim::Task<> multi_gpu_worker(gpu::Chassis& chassis, int rank, int steps,
-                             const std::vector<CosmoflowKernel>& kernels,
-                             const CosmoflowCalibration& cal, Bytes gradient_bytes,
-                             int participants, sim::Barrier& barrier, sim::WaitGroup& wg) {
-  gpu::Context ctx{chassis.device(rank), rank, nullptr, /*process_id=*/rank};
-  gpu::DeviceBuffer staging = co_await ctx.dmalloc(
-      static_cast<Bytes>(cal.samples_per_prefetch) * cal.bytes_per_sample);
-
+wl::Program build_cosmoflow_multi_gpu_program(const MultiGpuCosmoflowConfig& config,
+                                              const CosmoflowCalibration& cal) {
+  const int global_steps = config.base.train_items / config.base.batch;
+  const int steps = std::max(1, global_steps / config.gpus) * config.base.epochs;
+  const auto kernels = cosmoflow_step_kernels(cal, config.base.batch);
   const NameRef shard_name{"h2d_shard"};
-  for (int step = 0; step < steps; ++step) {
-    co_await ctx.memcpy_h2d(staging, shard_name);
-    for (const auto& k : kernels) {
-      co_await sim::delay(cal.submit_cost);
-      co_await ctx.launch(k.ref, k.duration);
-    }
-    co_await ctx.synchronize();
-    co_await barrier.arrive_and_wait();
-    if (rank == 0) {
-      co_await chassis.ring_allreduce(gradient_bytes, participants, "horovod_allreduce");
-    }
-    co_await barrier.arrive_and_wait();  // all wait for the exchange
-  }
-  co_await ctx.dfree(staging);
-  wg.done();
-}
+  const NameRef allreduce_name{"horovod_allreduce"};
 
-}  // namespace
+  wl::Program program;
+  program.lanes.reserve(static_cast<std::size_t>(config.gpus));
+  for (int rank = 0; rank < config.gpus; ++rank) {
+    wl::Lane& lane = program.lanes.emplace_back();
+    lane.context_id = rank;
+    lane.process_id = rank;
+    lane.device = rank;
+    const std::int32_t staging = lane.add_buffer(
+        static_cast<Bytes>(cal.samples_per_prefetch) * cal.bytes_per_sample);
+
+    // Every step is identical (no jitter), so the program stays compact as
+    // a loop instead of unrolling: each worker runs its shard's kernel
+    // sequence, joins the step barrier, and rank 0 drives the allreduce.
+    lane.loop(steps);
+    lane.h2d(staging, shard_name);
+    for (const auto& k : kernels) {
+      lane.cpu(cal.submit_cost);
+      lane.kernel(k.ref, k.duration);
+    }
+    lane.sync();
+    lane.barrier();
+    if (rank == 0) {
+      lane.allreduce(config.gradient_bytes, config.gpus, allreduce_name);
+    }
+    lane.barrier();  // all wait for the exchange
+    lane.end_loop();
+  }
+  return program;
+}
 
 AppRunResult run_cosmoflow_multi_gpu(const MultiGpuCosmoflowConfig& config,
                                      const CosmoflowCalibration& cal) {
@@ -222,35 +210,20 @@ AppRunResult run_cosmoflow_multi_gpu(const MultiGpuCosmoflowConfig& config,
   const int global_steps = config.base.train_items / config.base.batch;
   const int steps = std::max(1, global_steps / config.gpus) * config.base.epochs;
 
-  sim::Scheduler sched;
-  gpu::ChassisParams chassis_params;
-  chassis_params.gpus = config.gpus;
-  chassis_params.fabric = config.fabric;
-  gpu::Chassis chassis{sched, chassis_params};
-  trace::TraceRecorder recorder;
-  if (config.base.capture_trace) chassis.set_record_sink(&recorder);
-
-  const auto kernels = cosmoflow_step_kernels(cal, config.base.batch);
-  sim::Barrier barrier{sched, config.gpus};
-  sim::WaitGroup wg{sched};
-  wg.add(config.gpus);
-  for (int rank = 0; rank < config.gpus; ++rank) {
-    sched.spawn(multi_gpu_worker(chassis, rank, steps, kernels, cal, config.gradient_bytes,
-                                 config.gpus, barrier, wg));
-  }
-
-  SimTime end{};
-  sched.spawn([](sim::Scheduler& s, sim::WaitGroup& group, SimTime& t) -> sim::Task<> {
-    co_await group.wait();
-    t = s.now();
-  }(sched, wg, end));
-  sched.run();
-  RSD_ASSERT(sched.unfinished_count() == 0);
+  wl::NodeParams node;
+  node.chassis_gpus = config.gpus;
+  node.fabric = config.fabric;
+  const wl::ReplayEngine engine{std::move(node)};
+  wl::ReplayOptions options;
+  options.inject_slack = false;  // the workers run with no injector attached
+  options.capture_trace = config.base.capture_trace;
+  wl::ReplayResult run =
+      engine.run(build_cosmoflow_multi_gpu_program(config, cal), options);
 
   AppRunResult result;
-  result.runtime = end - SimTime::zero();
+  result.runtime = run.runtime;
   result.steps = steps;
-  if (config.base.capture_trace) result.trace = std::move(recorder.trace());
+  if (config.base.capture_trace) result.trace = std::move(run.trace);
   return result;
 }
 
@@ -259,33 +232,21 @@ AppRunResult run_cosmoflow(const CosmoflowConfig& config, const CosmoflowCalibra
   RSD_ASSERT(config.epochs > 0 && config.batch > 0);
   RSD_ASSERT(config.train_items % config.batch == 0);
 
-  sim::Scheduler sched;
-  gpu::Device device{sched, device_params, interconnect::make_pcie_gen4_x16()};
-  trace::TraceRecorder recorder;
-  if (config.capture_trace) device.set_record_sink(&recorder);
-
-  interconnect::SlackInjector slack{config.slack};
-  sim::WaitGroup wg{sched};
-  wg.add(1);
-  sched.spawn(cosmoflow_driver(device, slack, config, cal, wg));
-
-  SimTime end{};
-  sched.spawn([](sim::Scheduler& s, sim::WaitGroup& group, SimTime& t) -> sim::Task<> {
-    co_await group.wait();
-    t = s.now();
-  }(sched, wg, end));
-
-  sched.run();
-  RSD_ASSERT(sched.unfinished_count() == 0);
+  const wl::ReplayEngine engine{wl::NodeParams{.device_params = device_params}};
+  wl::ReplayOptions options;
+  options.slack = config.slack;
+  options.capture_trace = config.capture_trace;
+  wl::ReplayResult run = engine.run(build_cosmoflow_program(config, cal), options);
 
   AppRunResult result;
-  result.runtime = end - SimTime::zero();
+  result.runtime = run.runtime;
   result.steps = static_cast<std::int64_t>(config.epochs) *
                  (config.train_items + config.validation_items) / config.batch;
-  result.cuda_calls = slack.calls_delayed();
-  result.no_slack_runtime = interconnect::equation1_no_slack_time(
-      result.runtime, slack.calls_delayed(), config.slack);
-  if (config.capture_trace) result.trace = std::move(recorder.trace());
+  result.cuda_calls = run.calls_delayed;
+  // One submitter: Equation 1 subtracts every injected call.
+  result.no_slack_runtime = interconnect::equation1_per_submitter(
+      result.runtime, run.calls_delayed, /*submitters=*/1, config.slack);
+  if (config.capture_trace) result.trace = std::move(run.trace);
   return result;
 }
 

@@ -24,6 +24,7 @@
 #include "core/units.hpp"
 #include "gpusim/collective.hpp"
 #include "gpusim/device.hpp"
+#include "wl/program.hpp"
 
 namespace rsd::apps {
 
@@ -51,6 +52,11 @@ struct CosmoflowKernel {
 [[nodiscard]] std::vector<CosmoflowKernel> cosmoflow_step_kernels(
     const CosmoflowCalibration& cal, int batch);
 
+/// Emit the training run as a single-lane op-stream program (the one
+/// TensorFlow submission thread), per-kernel jitter drawn at build time.
+[[nodiscard]] wl::Program build_cosmoflow_program(const CosmoflowConfig& config,
+                                                  const CosmoflowCalibration& cal = {});
+
 [[nodiscard]] AppRunResult run_cosmoflow(const CosmoflowConfig& config,
                                          const CosmoflowCalibration& cal = {},
                                          const gpu::DeviceParams& device_params = {});
@@ -66,6 +72,11 @@ struct MultiGpuCosmoflowConfig {
   gpu::GpuInterconnect fabric = gpu::make_nvlink();
   Bytes gradient_bytes = 32 * kMiB;  ///< Exchanged per step per GPU.
 };
+
+/// Emit the data-parallel run as one looped lane per GPU (identical steps,
+/// so the program uses the IR's repeat structure instead of unrolling).
+[[nodiscard]] wl::Program build_cosmoflow_multi_gpu_program(
+    const MultiGpuCosmoflowConfig& config, const CosmoflowCalibration& cal = {});
 
 [[nodiscard]] AppRunResult run_cosmoflow_multi_gpu(const MultiGpuCosmoflowConfig& config,
                                                    const CosmoflowCalibration& cal = {});

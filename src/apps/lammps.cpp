@@ -1,22 +1,17 @@
 #include "apps/lammps.hpp"
 
+#include <algorithm>
 #include <cmath>
-#include <memory>
+#include <utility>
 
 #include "core/error.hpp"
 #include "core/rng.hpp"
-#include "gpusim/context.hpp"
-#include "interconnect/link.hpp"
 #include "interconnect/slack.hpp"
-#include "sim/scheduler.hpp"
-#include "sim/sync.hpp"
-#include "sim/task.hpp"
+#include "wl/replay.hpp"
 
 namespace rsd::apps {
 
 namespace {
-
-using sim::Barrier;
 
 /// Effective parallel speedup of t OpenMP threads at efficiency e:
 /// 1 + e + e^2 + ... (diminishing returns, matching the paper's thread
@@ -66,25 +61,15 @@ StepCosts step_costs(const LammpsConfig& cfg, const LammpsCalibration& cal) {
   return c;
 }
 
-sim::Task<> lammps_rank(gpu::Device& device, interconnect::SlackInjector& slack, Barrier& barrier,
-                        const LammpsConfig& cfg, const LammpsCalibration& cal, int rank,
-                        sim::WaitGroup& wg) {
-  gpu::Context ctx{device, rank, &slack, /*process_id=*/rank};
+}  // namespace
+
+wl::Program build_lammps_program(const LammpsConfig& cfg, const LammpsCalibration& cal) {
   const StepCosts costs = step_costs(cfg, cal);
-  Rng rng = Rng{cal.seed}.split(static_cast<std::uint64_t>(rank));
-  // Mean-preserving lognormal jitter: E[exp(N(-s^2/2, s))] = 1.
-  const double sigma = cal.duration_jitter_sigma;
-  auto jitter = [&rng, sigma] { return rng.lognormal(-0.5 * sigma * sigma, sigma); };
-
-  gpu::DeviceBuffer positions = co_await ctx.dmalloc(std::max<Bytes>(costs.h2d_bytes, 1));
-  gpu::DeviceBuffer forces = co_await ctx.dmalloc(std::max<Bytes>(costs.d2h_bytes, 1));
-  gpu::DeviceBuffer neighbor_meta = co_await ctx.dmalloc(cal.reneighbor_bytes);
-
   const auto neighbor_kernel = duration::nanoseconds(static_cast<std::int64_t>(
       cal.neighbor_kernel_ns_per_atom * static_cast<double>(lammps_atoms(cfg.box)) /
       cfg.procs));
 
-  // Op names interned once per rank, not once per step.
+  // Op names interned once per program, not once per step.
   const NameRef neighbor_meta_name{"h2d_neighbor_meta"};
   const NameRef neighbor_build_name{"neighbor_build"};
   const NameRef positions_name{"h2d_positions"};
@@ -93,76 +78,71 @@ sim::Task<> lammps_rank(gpu::Device& device, interconnect::SlackInjector& slack,
   const NameRef unpack_name{"unpack_forces"};
   const NameRef forces_name{"d2h_forces"};
 
-  for (int step = 0; step < cfg.steps; ++step) {
-    const bool reneighbor = (step % cal.reneighbor_every) == 0;
+  wl::Program program;
+  program.lanes.reserve(static_cast<std::size_t>(cfg.procs));
+  for (int rank = 0; rank < cfg.procs; ++rank) {
+    // Ranks are separate OS processes: distinct process ids make their
+    // kernels pay the device's context-switch cost (Figure 2's mechanism).
+    wl::Lane& lane = program.lanes.emplace_back();
+    lane.context_id = rank;
+    lane.process_id = rank;
+    const std::int32_t positions = lane.add_buffer(std::max<Bytes>(costs.h2d_bytes, 1));
+    const std::int32_t forces = lane.add_buffer(std::max<Bytes>(costs.d2h_bytes, 1));
+    const std::int32_t neighbor_meta = lane.add_buffer(cal.reneighbor_bytes);
 
-    // CPU phase: integration, neighbor maintenance (OpenMP-parallel).
-    co_await sim::delay(
-        (costs.cpu + (reneighbor ? costs.cpu_reneighbor : SimDuration::zero())) * jitter());
+    // Mean-preserving lognormal jitter: E[exp(N(-s^2/2, s))] = 1. Drawn at
+    // build time in exactly the per-step order the submission loop used.
+    Rng rng = Rng{cal.seed}.split(static_cast<std::uint64_t>(rank));
+    const double sigma = cal.duration_jitter_sigma;
+    auto jitter = [&rng, sigma] { return rng.lognormal(-0.5 * sigma * sigma, sigma); };
 
-    // Halo exchange with rank neighbors, then the step barrier every rank
-    // hits before touching the device (MPI collectives synchronise ranks).
-    if (cfg.procs > 1) {
-      co_await sim::delay(costs.halo);
-      co_await barrier.arrive_and_wait();
+    for (int step = 0; step < cfg.steps; ++step) {
+      const bool reneighbor = (step % cal.reneighbor_every) == 0;
+
+      // CPU phase: integration, neighbor maintenance (OpenMP-parallel).
+      lane.cpu((costs.cpu + (reneighbor ? costs.cpu_reneighbor : SimDuration::zero())) *
+               jitter());
+
+      // Halo exchange with rank neighbors, then the step barrier every rank
+      // hits before touching the device (MPI collectives synchronise ranks).
+      if (cfg.procs > 1) {
+        lane.cpu(costs.halo);
+        lane.barrier();
+      }
+
+      if (reneighbor) {
+        lane.h2d(neighbor_meta, neighbor_meta_name);
+        lane.kernel(neighbor_build_name, neighbor_kernel * jitter());
+      }
+      lane.h2d(positions, positions_name);
+      lane.kernel(pack_name, cal.pack_kernel * jitter());
+      lane.kernel_sync(force_name, costs.kernel * jitter());
+      lane.kernel(unpack_name, cal.unpack_kernel * jitter());
+      lane.d2h(forces, forces_name);
+      lane.sync();
     }
-
-    if (reneighbor) {
-      co_await ctx.memcpy_h2d(neighbor_meta, neighbor_meta_name);
-      co_await ctx.launch(neighbor_build_name, neighbor_kernel * jitter());
-    }
-    co_await ctx.memcpy_h2d(positions, positions_name);
-    co_await ctx.launch(pack_name, cal.pack_kernel * jitter());
-    co_await ctx.launch_sync(force_name, costs.kernel * jitter());
-    co_await ctx.launch(unpack_name, cal.unpack_kernel * jitter());
-    co_await ctx.memcpy_d2h(forces, forces_name);
-    co_await ctx.synchronize();
   }
-
-  co_await ctx.dfree(positions);
-  co_await ctx.dfree(forces);
-  co_await ctx.dfree(neighbor_meta);
-  wg.done();
+  return program;
 }
-
-}  // namespace
 
 AppRunResult run_lammps(const LammpsConfig& config, const LammpsCalibration& cal,
                         const gpu::DeviceParams& device_params) {
   RSD_ASSERT(config.box > 0 && config.procs > 0 && config.threads > 0 && config.steps > 0);
 
-  sim::Scheduler sched;
-  gpu::Device device{sched, device_params, interconnect::make_pcie_gen4_x16()};
-  trace::TraceRecorder recorder;
-  if (config.capture_trace) device.set_record_sink(&recorder);
-
-  interconnect::SlackInjector slack{config.slack};
-  Barrier barrier{sched, config.procs};
-  sim::WaitGroup wg{sched};
-  wg.add(config.procs);
-
-  for (int rank = 0; rank < config.procs; ++rank) {
-    sched.spawn(lammps_rank(device, slack, barrier, config, cal, rank, wg));
-  }
-
-  SimTime end{};
-  sched.spawn([](sim::Scheduler& s, sim::WaitGroup& group, SimTime& t) -> sim::Task<> {
-    co_await group.wait();
-    t = s.now();
-  }(sched, wg, end));
-
-  sched.run();
-  RSD_ASSERT(sched.unfinished_count() == 0);
+  const wl::ReplayEngine engine{wl::NodeParams{.device_params = device_params}};
+  wl::ReplayOptions options;
+  options.slack = config.slack;
+  options.capture_trace = config.capture_trace;
+  wl::ReplayResult run = engine.run(build_lammps_program(config, cal), options);
 
   AppRunResult result;
-  result.runtime = end - SimTime::zero();
+  result.runtime = run.runtime;
   result.steps = config.steps;
-  result.cuda_calls = slack.calls_delayed();
+  result.cuda_calls = run.calls_delayed;
   // Equation 1 removes the per-rank injected slack from the critical path.
-  const std::int64_t calls_per_rank = slack.calls_delayed() / config.procs;
-  result.no_slack_runtime =
-      interconnect::equation1_no_slack_time(result.runtime, calls_per_rank, config.slack);
-  if (config.capture_trace) result.trace = std::move(recorder.trace());
+  result.no_slack_runtime = interconnect::equation1_per_submitter(
+      result.runtime, run.calls_delayed, config.procs, config.slack);
+  if (config.capture_trace) result.trace = std::move(run.trace);
   return result;
 }
 

@@ -24,6 +24,7 @@
 #include "core/units.hpp"
 #include "gpusim/device.hpp"
 #include "trace/trace.hpp"
+#include "wl/program.hpp"
 
 namespace rsd::apps {
 
@@ -48,7 +49,14 @@ struct AppRunResult {
   return std::int64_t{4} * box * box * box;
 }
 
-/// Run the workload on a fresh simulated node (one GPU, PCIe link).
+/// Emit the workload as an op-stream program: one lane per MPI rank, with
+/// the per-step duration jitter drawn at build time (same per-rank RNG
+/// sequence the submission loop used, so the program is deterministic).
+[[nodiscard]] wl::Program build_lammps_program(const LammpsConfig& config,
+                                               const LammpsCalibration& cal = {});
+
+/// Run the workload on a fresh simulated node (one GPU, PCIe link):
+/// build_lammps_program executed by the shared wl::ReplayEngine.
 [[nodiscard]] AppRunResult run_lammps(const LammpsConfig& config,
                                       const LammpsCalibration& cal = {},
                                       const gpu::DeviceParams& device_params = {});

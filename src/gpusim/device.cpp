@@ -153,11 +153,15 @@ Engine& Device::engine_for(OpKind kind) {
   RSD_ASSERT(false && "unreachable");
 }
 
-SimDuration Device::matmul_kernel_duration(std::int64_t n) const {
+SimDuration matmul_kernel_duration(const DeviceParams& params, std::int64_t n) {
   const double flops = 2.0 * static_cast<double>(n) * static_cast<double>(n) *
                        static_cast<double>(n);
-  const double seconds = flops / (params_.matmul_tflops * 1e12);
-  return params_.kernel_base + duration::seconds(seconds);
+  const double seconds = flops / (params.matmul_tflops * 1e12);
+  return params.kernel_base + duration::seconds(seconds);
+}
+
+SimDuration Device::matmul_kernel_duration(std::int64_t n) const {
+  return gpu::matmul_kernel_duration(params_, n);
 }
 
 SimDuration Device::wake_penalty(SimDuration gap) const {

@@ -69,6 +69,11 @@ struct DeviceParams {
   double powered_down_watts = 8.0;
 };
 
+/// Duration of an n x n x n single-precision matmul kernel under these
+/// params. Pure function of the params, so callers (proxy calibration,
+/// program builders) need not construct a Device to size kernels.
+[[nodiscard]] SimDuration matmul_kernel_duration(const DeviceParams& params, std::int64_t n);
+
 /// Device memory accounting: byte-granular with capacity enforcement.
 /// (Fragmentation is not modelled; the paper's exclusions are pure-capacity:
 /// 3 x 4 GiB matrices x 4 threads > 40 GiB.)

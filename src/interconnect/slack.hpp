@@ -84,4 +84,16 @@ class SlackInjector {
   return measured - slack_per_call * num_cuda_calls;
 }
 
+/// Equation 1 for a run with several concurrent submitters (MPI ranks,
+/// proxy threads): the injected delay lands on every submitter in
+/// parallel, so only one submitter's share of the total call count sits on
+/// the critical path. `submitters` = 1 reduces to equation1_no_slack_time.
+/// (Integer division, matching the paper's whole-call accounting.)
+[[nodiscard]] constexpr SimDuration equation1_per_submitter(SimDuration measured,
+                                                            std::int64_t total_cuda_calls,
+                                                            int submitters,
+                                                            SimDuration slack_per_call) {
+  return equation1_no_slack_time(measured, total_cuda_calls / submitters, slack_per_call);
+}
+
 }  // namespace rsd::interconnect

@@ -26,6 +26,13 @@ namespace rsd::model {
 struct PenaltyBounds {
   double lower = 0.0;  ///< Matrix-size equivalents rounded up (optimistic).
   double upper = 0.0;  ///< Rounded down (pessimistic).
+
+  /// True when `penalty` lands inside [lower - tolerance, upper + tolerance]
+  /// — the paper's validation criterion (a measured penalty between the
+  /// Equation 2 bounds), with an absolute widening for interpolation error.
+  [[nodiscard]] constexpr bool contains(double penalty, double tolerance = 0.0) const {
+    return penalty >= lower - tolerance && penalty <= upper + tolerance;
+  }
 };
 
 /// Count of application elements attributed to each proxy matrix size under

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <utility>
 
 #include "core/error.hpp"
 #include "exec/pool.hpp"
@@ -10,6 +11,7 @@
 #include "sim/scheduler.hpp"
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
+#include "wl/replay.hpp"
 
 namespace rsd::proxy {
 
@@ -18,43 +20,38 @@ namespace {
 using gpu::Context;
 using gpu::DeviceBuffer;
 
-/// One proxy host thread: allocate A/B/C, then run the main compute loop.
-/// Matrices are allocated up front (outside the timed loop, as in the
-/// paper's proxy) — an OOM here propagates out of the simulation.
-sim::Task<> proxy_thread(gpu::Device& device, interconnect::SlackInjector& slack, int id,
-                         std::int64_t n, std::int64_t iterations, SimDuration kernel_time,
-                         gpu::CommandPath path, gpu::SlackPosition slack_position,
-                         sim::WaitGroup& wg, sim::WaitGroup& ready, sim::Event& start_gate) {
-  Context ctx{device, id, &slack, /*process_id=*/0, path, slack_position};
+/// The paper's synchronous main compute loop as an op-stream program: one
+/// gated lane per host thread, each allocating its A/B/C matrices up front
+/// and looping {H2D A, H2D B, sync kernel, D2H C, synchronize}. All lanes
+/// share process 0 (OpenMP threads of one application, one CUDA context).
+wl::Program build_proxy_program(std::int64_t n, int threads, std::int64_t iterations,
+                                SimDuration kernel_time) {
   const Bytes matrix_bytes = static_cast<Bytes>(n) * static_cast<Bytes>(n) * sizeof(float);
-
-  DeviceBuffer a = co_await ctx.dmalloc(matrix_bytes);
-  DeviceBuffer b = co_await ctx.dmalloc(matrix_bytes);
-  DeviceBuffer c = co_await ctx.dmalloc(matrix_bytes);
-
-  // All threads begin the timed loop together (the paper found launch
-  // offsets between threads showed no correlation with the penalty).
-  ready.done();
-  co_await start_gate.wait();
-
-  // Op names are interned once outside the loop; each iteration passes
-  // 16-byte refs instead of building strings.
   const NameRef name_a{"memcpy_A"};
   const NameRef name_b{"memcpy_B"};
   const NameRef name_c{"memcpy_C"};
   const NameRef kernel_name{"sgemm_" + std::to_string(n)};
-  for (std::int64_t i = 0; i < iterations; ++i) {
-    co_await ctx.memcpy_h2d(a, name_a);
-    co_await ctx.memcpy_h2d(b, name_b);
-    co_await ctx.launch_sync(kernel_name, kernel_time);
-    co_await ctx.memcpy_d2h(c, name_c);
-    co_await ctx.synchronize();
-  }
 
-  co_await ctx.dfree(a);
-  co_await ctx.dfree(b);
-  co_await ctx.dfree(c);
-  wg.done();
+  wl::Program program;
+  // All threads begin the timed loop together (the paper found launch
+  // offsets between threads showed no correlation with the penalty).
+  program.gate = true;
+  program.lanes.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    wl::Lane& lane = program.lanes.emplace_back();
+    lane.context_id = t;
+    const std::int32_t a = lane.add_buffer(matrix_bytes);
+    const std::int32_t b = lane.add_buffer(matrix_bytes);
+    const std::int32_t c = lane.add_buffer(matrix_bytes);
+    lane.loop(iterations);
+    lane.h2d(a, name_a);
+    lane.h2d(b, name_b);
+    lane.kernel_sync(kernel_name, kernel_time);
+    lane.d2h(c, name_c);
+    lane.sync();
+    lane.end_loop();
+  }
+  return program;
 }
 
 /// Allocation gate: checks up-front whether T threads' matrices fit, so a
@@ -69,7 +66,9 @@ bool config_fits(const gpu::DeviceParams& params, std::int64_t n, int threads,
 
 /// The optimistic variant: a copy stream and a compute stream per thread,
 /// double-buffered, synchronised with events — the GPU is kept fed while
-/// the host sleeps its injected slack.
+/// the host sleeps its injected slack. Event-carrying cross-stream
+/// dependencies are beyond the lane-ordered IR, so this stays a bespoke
+/// coroutine.
 sim::Task<> async_proxy_thread(gpu::Device& device, interconnect::SlackInjector& slack, int id,
                                std::int64_t n, std::int64_t iterations, SimDuration kernel_time,
                                gpu::CommandPath path, gpu::SlackPosition slack_position,
@@ -119,6 +118,49 @@ sim::Task<> async_proxy_thread(gpu::Device& device, interconnect::SlackInjector&
   wg.done();
 }
 
+/// The async pipeline simulated directly (the IR path handles the
+/// synchronous loop).
+void run_async_pipeline(const ProxyConfig& config, const gpu::DeviceParams& device_params,
+                        const interconnect::LinkParams& link_params, ProxyResult& result) {
+  sim::Scheduler sched;
+  gpu::Device device{sched, device_params, interconnect::Link{link_params}};
+  trace::TraceRecorder recorder;
+  if (config.capture_trace) device.set_record_sink(&recorder);
+
+  interconnect::SlackInjector slack{config.slack, config.host_noise_sigma, config.seed};
+  sim::WaitGroup wg{sched};
+  sim::WaitGroup ready{sched};
+  sim::Event start_gate{sched};
+  wg.add(config.threads);
+  ready.add(config.threads);
+
+  for (int t = 0; t < config.threads; ++t) {
+    sched.spawn(async_proxy_thread(device, slack, t, config.matrix_n, result.iterations,
+                                   result.kernel_duration, config.command_path,
+                                   config.slack_position, wg, ready, start_gate));
+  }
+
+  SimTime loop_start{};
+  SimTime loop_end{};
+  sched.spawn([](sim::Scheduler& s, sim::WaitGroup& group, sim::WaitGroup& rdy,
+                 sim::Event& gate, SimTime& t0, SimTime& t1) -> sim::Task<> {
+    co_await rdy.wait();  // all threads allocated
+    t0 = s.now();
+    gate.trigger();
+    co_await group.wait();
+    t1 = s.now();
+  }(sched, wg, ready, start_gate, loop_start, loop_end));
+
+  sched.run();
+  RSD_ASSERT(sched.unfinished_count() == 0);
+
+  result.cuda_calls_per_thread = slack.calls_delayed() / config.threads;
+  result.loop_runtime = loop_end - loop_start;
+  result.no_slack_time = interconnect::equation1_per_submitter(
+      result.loop_runtime, slack.calls_delayed(), config.threads, config.slack);
+  if (config.capture_trace) result.trace = std::move(recorder.trace());
+}
+
 }  // namespace
 
 std::int64_t calibrate_iterations(SimDuration kernel_time, SimDuration target,
@@ -154,57 +196,39 @@ ProxyResult ProxyRunner::run(const ProxyConfig& config) const {
     return result;
   }
 
-  sim::Scheduler sched;
-  gpu::Device device{sched, device_params_, interconnect::Link{link_params_}};
-  trace::TraceRecorder recorder;
-  if (config.capture_trace) device.set_record_sink(&recorder);
-
-  // Preliminary kernel timing (the proxy's calibration step).
-  result.kernel_duration = device.matmul_kernel_duration(config.matrix_n);
+  // Preliminary kernel timing (the proxy's calibration step) — a pure
+  // function of the device params, no simulation needed.
+  result.kernel_duration = gpu::matmul_kernel_duration(device_params_, config.matrix_n);
   result.iterations = calibrate_iterations(result.kernel_duration, config.target_compute,
                                            config.min_iterations, config.max_iterations);
   result.cuda_calls_per_thread = kCudaCallsPerIteration * result.iterations;
 
-  interconnect::SlackInjector slack{config.slack, config.host_noise_sigma, config.seed};
-  sim::WaitGroup wg{sched};
-  sim::WaitGroup ready{sched};
-  sim::Event start_gate{sched};
-  wg.add(config.threads);
-  ready.add(config.threads);
-
-  for (int t = 0; t < config.threads; ++t) {
-    if (config.async_pipeline) {
-      sched.spawn(async_proxy_thread(device, slack, t, config.matrix_n, result.iterations,
-                                     result.kernel_duration, config.command_path,
-                                     config.slack_position, wg, ready, start_gate));
-    } else {
-      sched.spawn(proxy_thread(device, slack, t, config.matrix_n, result.iterations,
-                               result.kernel_duration, config.command_path,
-                               config.slack_position, wg, ready, start_gate));
-    }
+  if (config.async_pipeline) {
+    run_async_pipeline(config, device_params_, link_params_, result);
+    return result;
   }
 
-  SimTime loop_start{};
-  SimTime loop_end{};
-  sched.spawn([](sim::Scheduler& s, sim::WaitGroup& group, sim::WaitGroup& rdy,
-                 sim::Event& gate, SimTime& t0, SimTime& t1) -> sim::Task<> {
-    co_await rdy.wait();  // all threads allocated
-    t0 = s.now();
-    gate.trigger();
-    co_await group.wait();
-    t1 = s.now();
-  }(sched, wg, ready, start_gate, loop_start, loop_end));
+  const wl::ReplayEngine engine{
+      wl::NodeParams{.device_params = device_params_, .link = link_params_}};
+  wl::ReplayOptions options;
+  options.slack = config.slack;
+  options.host_noise_sigma = config.host_noise_sigma;
+  options.seed = config.seed;
+  options.command_path = config.command_path;
+  options.slack_position = config.slack_position;
+  options.capture_trace = config.capture_trace;
+  wl::ReplayResult run = engine.run(
+      build_proxy_program(config.matrix_n, config.threads, result.iterations,
+                          result.kernel_duration),
+      options);
 
-  sched.run();
-  RSD_ASSERT(sched.unfinished_count() == 0);
-
-  // Measured per-thread call count (the async pipeline issues a different
-  // number of calls per iteration than the synchronous loop's 5).
-  result.cuda_calls_per_thread = slack.calls_delayed() / config.threads;
-  result.loop_runtime = loop_end - loop_start;
-  result.no_slack_time = interconnect::equation1_no_slack_time(
-      result.loop_runtime, result.cuda_calls_per_thread, config.slack);
-  if (config.capture_trace) result.trace = std::move(recorder.trace());
+  // Measured per-thread call count (kept measured rather than derived so
+  // any future program shape change keeps Equation 1 honest).
+  result.cuda_calls_per_thread = run.calls_delayed / config.threads;
+  result.loop_runtime = run.timed_runtime;
+  result.no_slack_time = interconnect::equation1_per_submitter(
+      run.timed_runtime, run.calls_delayed, config.threads, config.slack);
+  if (config.capture_trace) result.trace = std::move(run.trace);
   return result;
 }
 

@@ -43,6 +43,12 @@ std::vector<std::string> split_csv_line(const std::string& line) {
   return cells;
 }
 
+/// Tools on Windows (and NSys exports moved through them) write CRLF line
+/// endings; std::getline leaves the '\r' on the last cell.
+void strip_cr(std::string& line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+}
+
 [[noreturn]] void fail(std::size_t line_no, const std::string& message) {
   throw Error{ErrorCode::kInvalidArgument,
               "trace CSV line " + std::to_string(line_no) + ": " + message};
@@ -74,7 +80,9 @@ Trace parse_ops_csv(std::istream& input) {
     throw Error{ErrorCode::kInvalidArgument, "trace CSV: empty input"};
   }
 
-  // Map required column names to indices (tolerating extra columns).
+  // Map required column names to indices (tolerating extra columns and any
+  // column order).
+  strip_cr(line);
   const auto header = split_csv_line(line);
   std::map<std::string, std::size_t> columns;
   for (std::size_t i = 0; i < header.size(); ++i) columns[header[i]] = i;
@@ -86,10 +94,15 @@ Trace parse_ops_csv(std::istream& input) {
     }
   }
 
+  // "process" is optional (older exports predate submitter identity; NSys
+  // traces of single-process applications may omit it).
+  const auto process_column = columns.find("process");
+
   Trace trace;
   std::size_t line_no = 1;
   while (std::getline(input, line)) {
     ++line_no;
+    strip_cr(line);
     if (line.empty()) continue;
     const auto cells = split_csv_line(line);
     if (cells.size() < header.size()) fail(line_no, "too few columns");
@@ -99,6 +112,10 @@ Trace parse_ops_csv(std::istream& input) {
     op.name = cells[columns["name"]];
     op.context_id =
         static_cast<int>(parse_double(cells[columns["context"]], line_no, "context"));
+    if (process_column != columns.end()) {
+      op.process_id =
+          static_cast<int>(parse_double(cells[process_column->second], line_no, "process"));
+    }
     op.submit = SimTime{static_cast<std::int64_t>(
         parse_double(cells[columns["submit_us"]], line_no, "submit_us") * 1e3)};
     op.start = SimTime{static_cast<std::int64_t>(

@@ -32,11 +32,11 @@ SimTime Trace::end() const {
 
 std::string Trace::ops_to_csv() const {
   CsvWriter csv;
-  csv.row("kind", "name", "context", "submit_us", "start_us", "end_us", "duration_us",
-          "bytes", "exposed_us", "wake_us");
+  csv.row("kind", "name", "context", "process", "submit_us", "start_us", "end_us",
+          "duration_us", "bytes", "exposed_us", "wake_us");
   for (const auto& op : ops_) {
-    csv.row(std::string{gpu::to_string(op.kind)}, op.name, op.context_id, op.submit.us(),
-            op.start.us(), op.end.us(), op.duration().us(), op.bytes,
+    csv.row(std::string{gpu::to_string(op.kind)}, op.name, op.context_id, op.process_id,
+            op.submit.us(), op.start.us(), op.end.us(), op.duration().us(), op.bytes,
             op.exposed_overhead.us(), op.wake_penalty.us());
   }
   return csv.str();

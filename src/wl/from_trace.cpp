@@ -1,0 +1,71 @@
+#include "wl/from_trace.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "gpusim/context.hpp"
+#include "gpusim/records.hpp"
+
+namespace rsd::wl {
+
+Program from_trace(const trace::Trace& trace) {
+  // Group ops by submitter identity. std::map keeps lane order
+  // deterministic (ascending process, then context) — which matches the
+  // spawn order of every workload this repo captures.
+  std::map<std::pair<int, int>, std::vector<const gpu::OpRecord*>> by_lane;
+  for (const gpu::OpRecord& op : trace.ops()) {
+    by_lane[{op.process_id, op.context_id}].push_back(&op);
+  }
+
+  Program program;
+  program.lanes.reserve(by_lane.size());
+  for (auto& [identity, ops] : by_lane) {
+    // Completion order in the trace is not submission order; each stream
+    // submits strictly monotonically, so sorting by submit restores it.
+    std::stable_sort(ops.begin(), ops.end(),
+                     [](const gpu::OpRecord* a, const gpu::OpRecord* b) {
+                       return a->submit < b->submit;
+                     });
+
+    Lane& lane = program.lanes.emplace_back();
+    lane.process_id = identity.first;
+    lane.context_id = identity.second;
+
+    // The host cursor: where the submitting thread is "now" on the
+    // simulated clock — right after the previous submit for async ops, at
+    // the previous op's end for blocking ones.
+    SimTime host = SimTime::zero();
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      const gpu::OpRecord& op = *ops[i];
+      const bool blocking = i + 1 >= ops.size() || ops[i + 1]->submit >= op.end;
+
+      const SimDuration think = op.submit - host - gpu::kApiSubmitCost;
+      if (think > SimDuration::zero()) lane.cpu(think);
+
+      switch (op.kind) {
+        case gpu::OpKind::kKernel:
+          if (blocking) {
+            lane.kernel_sync(op.name, op.duration());
+          } else {
+            lane.kernel(op.name, op.duration());
+          }
+          break;
+        case gpu::OpKind::kMemcpyH2D:
+          lane.h2d_bytes(op.bytes, op.name, /*async=*/!blocking);
+          break;
+        case gpu::OpKind::kMemcpyD2H:
+          lane.d2h_bytes(op.bytes, op.name, /*async=*/!blocking);
+          break;
+      }
+      host = blocking ? op.end : op.submit;
+    }
+    // Every workload drains its stream before exiting; the trace records
+    // no op for the final synchronize, so restore it explicitly.
+    lane.sync();
+  }
+  return program;
+}
+
+}  // namespace rsd::wl

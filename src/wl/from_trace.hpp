@@ -1,0 +1,33 @@
+// Trace -> program: make an imported NSys-schema trace *runnable*.
+//
+// The paper's method profiles arbitrary applications from their traces
+// alone. `from_trace` closes the loop: the same trace the Eq 2-3 model
+// consumes becomes a wl::Program the ReplayEngine can execute, so the
+// model's predicted slack penalty can be checked against a direct
+// simulation of the identical op stream (bench_extension_trace_replay).
+//
+// Reconstruction rules, per (process, context) lane, ops sorted by submit:
+//
+//   * an op is *blocking* when the next op's submit does not precede its
+//     end (the host waited for it); the last op of a lane counts as
+//     blocking, and the lane gains a trailing device synchronize;
+//   * blocking kernels become kKernelSync, blocking copies kH2D/kD2H;
+//     non-blocking ops become the async variants;
+//   * host think time between API calls is whatever gap the submit
+//     timestamps imply beyond the per-call submit cost, emitted as kCpu
+//     phases — absolute times are preserved, so a trace whose first submit
+//     is late replays with the same leading idle;
+//   * kernel service times are the recorded durations (the simulator
+//     records pure service; setup/wake overheads re-arise naturally on
+//     replay); copy times are recomputed from the recorded byte counts and
+//     the replay node's link.
+#pragma once
+
+#include "trace/trace.hpp"
+#include "wl/program.hpp"
+
+namespace rsd::wl {
+
+[[nodiscard]] Program from_trace(const trace::Trace& trace);
+
+}  // namespace rsd::wl

@@ -1,0 +1,159 @@
+#include "wl/program.hpp"
+
+#include <string>
+
+#include "core/error.hpp"
+
+namespace rsd::wl {
+
+const char* to_string(OpCode code) {
+  switch (code) {
+    case OpCode::kKernel: return "kernel";
+    case OpCode::kKernelSync: return "kernel_sync";
+    case OpCode::kH2D: return "h2d";
+    case OpCode::kD2H: return "d2h";
+    case OpCode::kH2DAsync: return "h2d_async";
+    case OpCode::kD2HAsync: return "d2h_async";
+    case OpCode::kSync: return "sync";
+    case OpCode::kBarrier: return "barrier";
+    case OpCode::kCpu: return "cpu";
+    case OpCode::kAllReduce: return "allreduce";
+    case OpCode::kLoopBegin: return "loop_begin";
+    case OpCode::kLoopEnd: return "loop_end";
+  }
+  return "?";
+}
+
+std::int32_t Lane::add_buffer(Bytes bytes) {
+  buffers.push_back(bytes);
+  return static_cast<std::int32_t>(buffers.size() - 1);
+}
+
+void Lane::kernel(NameRef name, SimDuration duration) {
+  ops.push_back(Op{.code = OpCode::kKernel, .name = name, .dur = duration});
+}
+
+void Lane::kernel_sync(NameRef name, SimDuration duration) {
+  ops.push_back(Op{.code = OpCode::kKernelSync, .name = name, .dur = duration});
+}
+
+void Lane::h2d(std::int32_t buffer, NameRef name) {
+  ops.push_back(Op{.code = OpCode::kH2D, .name = name, .buffer = buffer});
+}
+
+void Lane::d2h(std::int32_t buffer, NameRef name) {
+  ops.push_back(Op{.code = OpCode::kD2H, .name = name, .buffer = buffer});
+}
+
+void Lane::h2d_bytes(Bytes bytes, NameRef name, bool async) {
+  ops.push_back(Op{.code = async ? OpCode::kH2DAsync : OpCode::kH2D, .name = name,
+                   .bytes = bytes});
+}
+
+void Lane::d2h_bytes(Bytes bytes, NameRef name, bool async) {
+  ops.push_back(Op{.code = async ? OpCode::kD2HAsync : OpCode::kD2H, .name = name,
+                   .bytes = bytes});
+}
+
+void Lane::sync() { ops.push_back(Op{.code = OpCode::kSync}); }
+
+void Lane::barrier() { ops.push_back(Op{.code = OpCode::kBarrier}); }
+
+void Lane::cpu(SimDuration duration) {
+  ops.push_back(Op{.code = OpCode::kCpu, .dur = duration});
+}
+
+void Lane::allreduce(Bytes bytes_per_gpu, int participants, NameRef name) {
+  ops.push_back(Op{.code = OpCode::kAllReduce, .name = name, .bytes = bytes_per_gpu,
+                   .count = participants});
+}
+
+void Lane::loop(std::int64_t trips) {
+  open_loops_.push_back(static_cast<std::int32_t>(ops.size()));
+  ops.push_back(Op{.code = OpCode::kLoopBegin, .count = trips});
+}
+
+void Lane::end_loop() {
+  if (open_loops_.empty()) {
+    throw Error{ErrorCode::kInvalidArgument, "wl::Lane::end_loop without an open loop"};
+  }
+  const std::int32_t begin = open_loops_.back();
+  open_loops_.pop_back();
+  const auto end = static_cast<std::int32_t>(ops.size());
+  ops.push_back(Op{.code = OpCode::kLoopEnd, .match = begin});
+  ops[static_cast<std::size_t>(begin)].match = end;
+}
+
+std::int64_t Lane::api_call_count() const {
+  std::int64_t calls = 0;
+  std::vector<std::int64_t> multiplier{1};
+  for (const Op& op : ops) {
+    switch (op.code) {
+      case OpCode::kLoopBegin:
+        multiplier.push_back(multiplier.back() * op.count);
+        break;
+      case OpCode::kLoopEnd:
+        multiplier.pop_back();
+        break;
+      case OpCode::kCpu:
+      case OpCode::kBarrier:
+      case OpCode::kAllReduce:
+        break;  // not API calls through the lane's context
+      default:
+        calls += multiplier.back();
+        break;
+    }
+  }
+  return calls;
+}
+
+std::size_t Program::total_ops() const {
+  std::size_t n = 0;
+  for (const Lane& lane : lanes) n += lane.ops.size();
+  return n;
+}
+
+void Program::validate() const {
+  for (std::size_t l = 0; l < lanes.size(); ++l) {
+    const Lane& lane = lanes[l];
+    const auto fail = [l](const std::string& what) {
+      throw Error{ErrorCode::kInvalidArgument,
+                  "wl::Program lane " + std::to_string(l) + ": " + what};
+    };
+    std::int64_t depth = 0;
+    for (std::size_t i = 0; i < lane.ops.size(); ++i) {
+      const Op& op = lane.ops[i];
+      switch (op.code) {
+        case OpCode::kLoopBegin:
+          if (op.count < 0) fail("negative loop trip count");
+          if (op.match <= static_cast<std::int32_t>(i)) fail("unmatched loop begin");
+          ++depth;
+          break;
+        case OpCode::kLoopEnd:
+          if (op.match < 0 || op.match >= static_cast<std::int32_t>(i)) {
+            fail("unmatched loop end");
+          }
+          --depth;
+          if (depth < 0) fail("loop end without begin");
+          break;
+        case OpCode::kH2D:
+        case OpCode::kD2H:
+        case OpCode::kH2DAsync:
+        case OpCode::kD2HAsync:
+          if (op.buffer >= static_cast<std::int32_t>(lane.buffers.size())) {
+            fail("copy references buffer " + std::to_string(op.buffer) + " of " +
+                 std::to_string(lane.buffers.size()));
+          }
+          break;
+        case OpCode::kAllReduce:
+          if (op.count < 1) fail("allreduce with no participants");
+          break;
+        default:
+          break;
+      }
+    }
+    if (depth != 0) fail("unclosed loop");
+  }
+}
+
+}  // namespace rsd::wl

@@ -87,6 +87,38 @@ TEST(HarnessDeterminism, Fig3CsvMatchesGoldenHashAtAnyPoolWidth) {
   }
 }
 
+// The trace-replay loop (capture -> CSV export -> import -> reconstruct ->
+// replay) is pure DES end to end, so its CSV must also be pool-width
+// invariant: any drift means an IR or import stage picked up schedule- or
+// thread-order dependence.
+TEST(HarnessDeterminism, TraceReplayCsvIsPoolWidthInvariant) {
+  const harness::Experiment* replay = harness::Registry::global().find("extension_trace_replay");
+  ASSERT_NE(replay, nullptr);
+
+  std::string reference;
+  for (const int threads : {1, 3}) {
+    const fs::path dir =
+        fs::path{testing::TempDir()} / ("rsd_trace_replay_w" + std::to_string(threads));
+    fs::remove_all(dir);
+
+    harness::ExperimentContext::Options options;
+    options.results_dir = dir;
+    options.threads = threads;
+    std::ostringstream sink;
+    options.out = &sink;
+    harness::ExperimentContext ctx{options};
+    replay->run(ctx);
+
+    const std::string bytes = read_file(dir / "extension_trace_replay.csv");
+    ASSERT_FALSE(bytes.empty()) << "threads=" << threads;
+    if (reference.empty()) {
+      reference = bytes;
+    } else {
+      EXPECT_EQ(bytes, reference) << "threads=" << threads;
+    }
+  }
+}
+
 TEST(HarnessDeterminism, Fig3CsvMatchesStandaloneComputation) {
   const fs::path dir = fs::path{testing::TempDir()} / "rsd_fig3_determinism";
   fs::remove_all(dir);

@@ -95,5 +95,16 @@ TEST(Equation1, RemovesInjectedSlack) {
   EXPECT_EQ(equation1_no_slack_time(measured, 500, SimDuration::zero()), measured);
 }
 
+TEST(Equation1, PerSubmitterDividesCallsAcrossConcurrentSubmitters) {
+  // 4 submitters running concurrently: the wall clock extends by one
+  // submitter's share of the injected delay, not the total.
+  const SimDuration measured = 1_s + 500_us;
+  EXPECT_EQ(equation1_per_submitter(measured, 2000, 4, 1_us), 1_s);
+  // One submitter degenerates to plain Equation 1.
+  EXPECT_EQ(equation1_per_submitter(measured, 500, 1, 1_us),
+            equation1_no_slack_time(measured, 500, 1_us));
+  EXPECT_EQ(equation1_per_submitter(measured, 2000, 4, SimDuration::zero()), measured);
+}
+
 }  // namespace
 }  // namespace rsd::interconnect

@@ -146,6 +146,24 @@ TEST(Equation3, EmptyValuesGiveZero) {
   EXPECT_DOUBLE_EQ(bounds.upper, 0.0);
 }
 
+TEST(PenaltyBounds, ContainsWithAndWithoutTolerance) {
+  const PenaltyBounds bounds{.lower = 0.01, .upper = 0.05};
+  EXPECT_TRUE(bounds.contains(0.01));
+  EXPECT_TRUE(bounds.contains(0.03));
+  EXPECT_TRUE(bounds.contains(0.05));
+  EXPECT_FALSE(bounds.contains(0.0099));
+  EXPECT_FALSE(bounds.contains(0.051));
+  // Tolerance widens both ends symmetrically.
+  EXPECT_TRUE(bounds.contains(0.0099, 0.001));
+  EXPECT_TRUE(bounds.contains(0.0595, 0.01));
+  EXPECT_FALSE(bounds.contains(0.07, 0.01));
+  // Degenerate [0, 0] band (clamped predictions) admits only ~0.
+  const PenaltyBounds zero{};
+  EXPECT_TRUE(zero.contains(0.0));
+  EXPECT_TRUE(zero.contains(0.005, 0.01));
+  EXPECT_FALSE(zero.contains(0.02, 0.01));
+}
+
 TEST(Equation2, CombinesFractionsAndPenalties) {
   const SlackModel model{ResponseSurface::from_sweep(synthetic_sweep())};
   trace::Trace t;

@@ -29,6 +29,7 @@ Trace sample_trace() {
   m.start = SimTime{61'000};
   m.end = SimTime{161'000};
   m.bytes = 4 * kMiB;
+  m.process_id = 1;
   t.add_op(m);
   return t;
 }
@@ -49,6 +50,67 @@ TEST(TraceImport, RoundTripThroughCsv) {
     EXPECT_EQ(a.start, b.start);
     EXPECT_EQ(a.end, b.end);
     EXPECT_EQ(a.bytes, b.bytes);
+    EXPECT_EQ(a.process_id, b.process_id);
+  }
+}
+
+TEST(TraceImport, CrlfLineEndings) {
+  std::istringstream in{
+      "kind,name,context,submit_us,start_us,end_us,bytes\r\n"
+      "kernel,k,0,0,1,11,0\r\n"
+      "memcpy_h2d,copy,1,20,21,30,512\r\n"};
+  const Trace t = parse_ops_csv(in);
+  ASSERT_EQ(t.ops().size(), 2u);
+  // The '\r' must not leak into the last cell of any row.
+  EXPECT_EQ(t.ops()[0].bytes, Bytes{0});
+  EXPECT_EQ(t.ops()[1].bytes, Bytes{512});
+}
+
+TEST(TraceImport, ProcessColumnIsOptional) {
+  {
+    std::istringstream in{
+        "kind,name,context,process,submit_us,start_us,end_us,bytes\n"
+        "kernel,k,2,7,0,1,11,0\n"};
+    const Trace t = parse_ops_csv(in);
+    ASSERT_EQ(t.ops().size(), 1u);
+    EXPECT_EQ(t.ops()[0].context_id, 2);
+    EXPECT_EQ(t.ops()[0].process_id, 7);
+  }
+  {
+    // Pre-submitter-identity exports have no process column: default 0.
+    std::istringstream in{
+        "kind,name,context,submit_us,start_us,end_us,bytes\n"
+        "kernel,k,2,0,1,11,0\n"};
+    const Trace t = parse_ops_csv(in);
+    ASSERT_EQ(t.ops().size(), 1u);
+    EXPECT_EQ(t.ops()[0].process_id, 0);
+  }
+}
+
+TEST(TraceImport, TruncatedLineReportsLineNumber) {
+  std::istringstream in{
+      "kind,name,context,submit_us,start_us,end_us,bytes\n"
+      "kernel,k,0,0,1,11,0\n"
+      "kernel,k,0,0\n"};  // truncated mid-row
+  try {
+    (void)parse_ops_csv(in);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string{e.what()}.find("line 3"), std::string::npos) << e.what();
+  }
+}
+
+TEST(TraceImport, NonNumericFieldNamesFieldAndLine) {
+  std::istringstream in{
+      "kind,name,context,submit_us,start_us,end_us,bytes\n"
+      "kernel,k,0,0,nope,2,0\n"};
+  try {
+    (void)parse_ops_csv(in);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string what{e.what()};
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("start_us"), std::string::npos) << what;
   }
 }
 
