@@ -6,6 +6,7 @@
 
 #include "core/error.hpp"
 #include "core/rng.hpp"
+#include "gpusim/row.hpp"
 #include "interconnect/slack.hpp"
 #include "wl/replay.hpp"
 
@@ -224,6 +225,35 @@ AppRunResult run_cosmoflow_multi_gpu(const MultiGpuCosmoflowConfig& config,
   result.runtime = run.runtime;
   result.steps = steps;
   if (config.base.capture_trace) result.trace = std::move(run.trace);
+  return result;
+}
+
+RowCosmoflowResult run_cosmoflow_row(const RowCosmoflowConfig& config,
+                                     const CosmoflowCalibration& cal) {
+  RSD_ASSERT(config.gpus >= 1 && config.steps >= 1);
+
+  gpu::RowParams params;
+  params.gpus = config.gpus;
+  params.fabric = config.fabric;
+  params.sim_threads = config.sim_threads;
+  params.jitter_seed = config.jitter_seed;
+  gpu::PartitionedRow row{params};
+
+  gpu::RowTraining training;
+  for (const CosmoflowKernel& k : cosmoflow_step_kernels(cal, config.batch)) {
+    training.kernels.push_back(gpu::RowKernel{k.ref, k.duration});
+  }
+  training.submit_cost = cal.submit_cost;
+  training.gradient_bytes = config.gradient_bytes;
+  training.steps = config.steps;
+
+  const SimTime finish = row.run_training(training);
+
+  RowCosmoflowResult result;
+  result.runtime = finish - SimTime::zero();
+  result.digest = row.digest();
+  result.events = row.engine().executed_events();
+  result.messages = row.engine().messages_delivered();
   return result;
 }
 

@@ -81,4 +81,29 @@ struct MultiGpuCosmoflowConfig {
 [[nodiscard]] AppRunResult run_cosmoflow_multi_gpu(const MultiGpuCosmoflowConfig& config,
                                                    const CosmoflowCalibration& cal = {});
 
+/// Row-scale data-parallel CosmoFlow on the partitioned engine
+/// (gpu::PartitionedRow): one partition per GPU, the per-step kernel
+/// sequence partition-local, gradients ring-allreduced as cross-partition
+/// messages. This is the path that scales to hundreds of GPUs; the result
+/// digest is byte-identical at any `sim_threads`.
+struct RowCosmoflowConfig {
+  int gpus = 8;
+  int steps = 4;  ///< Training steps (full epochs are sweep material).
+  gpu::GpuInterconnect fabric = gpu::make_nvlink();
+  Bytes gradient_bytes = 32 * kMiB;
+  int batch = 4;
+  int sim_threads = 0;          ///< <= 0: RSD_SIM_THREADS, else 1.
+  std::uint64_t jitter_seed = 0;  ///< Worker-claim jitter (stress tests).
+};
+
+struct RowCosmoflowResult {
+  SimDuration runtime;      ///< Row finish time (max over ranks).
+  std::uint64_t digest;     ///< Per-rank step-completion fingerprint.
+  std::uint64_t events;     ///< Aggregate engine events executed.
+  std::uint64_t messages;   ///< Cross-partition chunks exchanged.
+};
+
+[[nodiscard]] RowCosmoflowResult run_cosmoflow_row(const RowCosmoflowConfig& config,
+                                                   const CosmoflowCalibration& cal = {});
+
 }  // namespace rsd::apps

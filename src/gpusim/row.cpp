@@ -1,0 +1,161 @@
+#include "gpusim/row.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+#include "interconnect/link.hpp"
+#include "sim/partition.hpp"
+#include "sim/sync.hpp"
+
+namespace rsd::gpu {
+
+/// Partition-local state of one rank. The Device and both semaphores
+/// belong to the rank's partition scheduler; nothing here is ever touched
+/// from another partition (the arrival message below runs *inside* the
+/// destination partition by construction).
+struct PartitionedRow::Rank {
+  Rank(sim::Scheduler& sched, const DeviceParams& params)
+      : dev(sched, params, interconnect::make_pcie_gen4_x16()), inbound(sched, 0) {}
+
+  Device dev;
+  /// One permit per inbound chunk whose H2D DMA has completed.
+  sim::Semaphore inbound;
+  SimTime finished = SimTime::zero();
+  std::vector<std::int64_t> step_ends;
+};
+
+/// Cross-partition payload: an allreduce chunk landing at `rank`. Runs in
+/// the destination partition at arrival time; occupies the H2D engine for
+/// the transfer duration, then posts an inbound permit.
+struct RowArrival {
+  PartitionedRow* row;
+  int rank;
+  Bytes chunk;
+  SimDuration transfer;
+  NameRef name;
+
+  void operator()() const {
+    PartitionedRow::Rank& r = *row->ranks_[static_cast<std::size_t>(rank)];
+    r.dev.scheduler().spawn([](PartitionedRow::Rank& rk, Bytes bytes, SimDuration dur,
+                               NameRef nm) -> sim::Task<> {
+      OpRecord rec;
+      rec.kind = OpKind::kMemcpyH2D;
+      rec.name = nm;
+      rec.bytes = bytes;
+      co_await rk.dev.h2d_engine().execute(rec, dur);
+      if (auto* sink = rk.dev.record_sink(); sink != nullptr) sink->on_op(rec);
+      rk.inbound.release();
+    }(r, chunk, transfer, name));
+  }
+};
+static_assert(sizeof(RowArrival) <= sim::CrossCall::kInlineBytes);
+
+PartitionedRow::PartitionedRow(RowParams params)
+    : params_(std::move(params)),
+      engine_(params_.gpus, {.threads = params_.sim_threads,
+                             .lookahead = params_.fabric.latency,
+                             .jitter_seed = params_.jitter_seed}) {
+  RSD_ASSERT(params_.gpus >= 1);
+  RSD_ASSERT(params_.fabric.latency.ns() > 0);  // the lookahead source
+  ranks_.reserve(static_cast<std::size_t>(params_.gpus));
+  for (int i = 0; i < params_.gpus; ++i) {
+    ranks_.emplace_back(
+        new Rank{engine_.partition(static_cast<sim::PartitionId>(i)).scheduler(),
+                 params_.device_params});
+  }
+}
+
+PartitionedRow::~PartitionedRow() = default;
+
+Device& PartitionedRow::device(int rank) {
+  return ranks_.at(static_cast<std::size_t>(rank))->dev;
+}
+
+SimTime PartitionedRow::rank_finish_time(int rank) const {
+  return ranks_.at(static_cast<std::size_t>(rank))->finished;
+}
+
+std::uint64_t PartitionedRow::digest() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::int64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= static_cast<std::uint64_t>(v >> (8 * i)) & 0xffULL;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  for (const auto& r : ranks_) {
+    mix(r->finished.ns());
+    for (const std::int64_t t : r->step_ends) mix(t);
+  }
+  return h;
+}
+
+sim::Task<> PartitionedRow::rank_loop(int rank, const RowTraining& training) {
+  Rank& self = *ranks_[static_cast<std::size_t>(rank)];
+  sim::Partition& part = engine_.partition(static_cast<sim::PartitionId>(rank));
+  sim::Scheduler& sched = part.scheduler();
+  const int ranks = size();
+  const int phases = 2 * (ranks - 1);
+  const auto next = static_cast<sim::PartitionId>((rank + 1) % ranks);
+  const NameRef send_name{"row_allreduce_send"};
+  const NameRef recv_name{"row_allreduce_recv"};
+
+  for (int step = 0; step < training.steps; ++step) {
+    // Host submission lane + compute: entirely partition-local.
+    for (const RowKernel& k : training.kernels) {
+      if (training.submit_cost.ns() > 0) co_await sim::delay(training.submit_cost);
+      OpRecord rec;
+      rec.kind = OpKind::kKernel;
+      rec.name = k.name;
+      rec.context_id = rank;
+      rec.process_id = rank;
+      co_await self.dev.compute_engine().execute(rec, k.duration);
+      if (auto* sink = self.dev.record_sink(); sink != nullptr) sink->on_op(rec);
+    }
+
+    // Ring allreduce as message exchange. Each phase: start the outbound
+    // DMA, post the chunk to the ring neighbor, then wait for both the
+    // inbound chunk and the local DMA drain.
+    for (int phase = 0; phase < phases; ++phase) {
+      sim::WaitGroup out_done{sched};
+      out_done.add(1);
+      sched.spawn([](Rank& rk, Bytes bytes, SimDuration dur, NameRef nm,
+                     sim::WaitGroup& wg) -> sim::Task<> {
+        OpRecord rec;
+        rec.kind = OpKind::kMemcpyD2H;
+        rec.name = nm;
+        rec.bytes = bytes;
+        co_await rk.dev.d2h_engine().execute(rec, dur);
+        if (auto* sink = rk.dev.record_sink(); sink != nullptr) sink->on_op(rec);
+        wg.done();
+      }(self, chunk_, per_transfer_, send_name, out_done));
+      part.send(next, params_.fabric.latency,
+                RowArrival{this, static_cast<int>(next), chunk_, per_transfer_, recv_name});
+      co_await self.inbound.acquire();
+      co_await out_done.wait();
+    }
+    self.step_ends.push_back(sched.now().ns());
+  }
+  self.finished = sched.now();
+}
+
+SimTime PartitionedRow::run_training(const RowTraining& training) {
+  RSD_ASSERT(training.steps >= 1);
+  chunk_ = size() > 1 ? training.gradient_bytes / static_cast<Bytes>(size())
+                      : training.gradient_bytes;
+  per_transfer_ =
+      params_.fabric.latency +
+      duration::seconds(static_cast<double>(chunk_) /
+                        (params_.fabric.bandwidth_gib_s * static_cast<double>(kGiB)));
+  for (int rank = 0; rank < size(); ++rank) {
+    sim::Partition& part = engine_.partition(static_cast<sim::PartitionId>(rank));
+    part.spawn([&] { return rank_loop(rank, training); });
+  }
+  engine_.run();
+  RSD_ASSERT(engine_.unfinished_count() == 0);
+  SimTime finish = SimTime::zero();
+  for (const auto& r : ranks_) finish = std::max(finish, r->finished);
+  return finish;
+}
+
+}  // namespace rsd::gpu

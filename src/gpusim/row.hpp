@@ -1,0 +1,100 @@
+// A disaggregated GPU row on the partitioned engine (`gpu::PartitionedRow`).
+//
+// The sequential `Chassis` couples all of its devices to one Scheduler, so
+// a row-scale composition (hundreds of GPUs) serializes on a single event
+// queue. PartitionedRow assigns each simulated GPU to its own
+// `sim::Partition` — device engines, host submission lane, and all per-rank
+// events stay partition-local — and routes the only inter-GPU interaction,
+// ring-allreduce chunk exchange, through timestamped cross-partition
+// messages. The fabric latency is the conservative lookahead: a chunk
+// never arrives sooner than `fabric.latency` after it was sent, which is
+// exactly the slack the engine needs to run ranks in parallel.
+//
+// Timing model per ring phase (chunk = bytes / ranks):
+//   * the sender's D2H engine is occupied for latency + chunk/bandwidth
+//     (the fabric DMA, as in Chassis::ring_allreduce);
+//   * the chunk lands at the receiver `fabric.latency` after the send and
+//     occupies the receiver's H2D engine for the same transfer duration;
+//   * a rank leaves the phase when its own outbound DMA has drained AND
+//     its inbound chunk has landed — the neighbor dependency chain that
+//     makes ring collectives bulk-synchronous without any global barrier.
+//
+// Every quantity below is simulated time, so results are byte-identical at
+// any `sim_threads` (asserted by tests/par_des_determinism_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/names.hpp"
+#include "core/units.hpp"
+#include "gpusim/collective.hpp"
+#include "gpusim/device.hpp"
+#include "sim/conservative.hpp"
+
+namespace rsd::gpu {
+
+struct RowParams {
+  int gpus = 8;
+  GpuInterconnect fabric = make_nvlink();
+  DeviceParams device_params{};
+  /// Worker threads for the engine; <= 0 resolves RSD_SIM_THREADS, else 1.
+  int sim_threads = 0;
+  /// Non-zero: seeded worker-claim jitter (determinism stress testing).
+  std::uint64_t jitter_seed = 0;
+};
+
+/// One kernel of a rank's per-step sequence.
+struct RowKernel {
+  NameRef name;
+  SimDuration duration;
+};
+
+/// Data-parallel training shape: every rank runs `kernels` (each preceded
+/// by `submit_cost` of host work), then ring-allreduces `gradient_bytes`,
+/// `steps` times.
+struct RowTraining {
+  std::vector<RowKernel> kernels;
+  SimDuration submit_cost = SimDuration::zero();
+  Bytes gradient_bytes = 32 * kMiB;
+  int steps = 8;
+};
+
+class PartitionedRow {
+ public:
+  explicit PartitionedRow(RowParams params);
+  ~PartitionedRow();
+  PartitionedRow(const PartitionedRow&) = delete;
+  PartitionedRow& operator=(const PartitionedRow&) = delete;
+
+  [[nodiscard]] int size() const { return static_cast<int>(ranks_.size()); }
+  [[nodiscard]] Device& device(int rank);
+  [[nodiscard]] sim::ParallelEngine& engine() { return engine_; }
+
+  /// Run the training loop to completion on every rank. Returns the row
+  /// finish time (max over ranks). Callable once per row.
+  SimTime run_training(const RowTraining& training);
+
+  /// Per-rank completion time of the last step (after run_training).
+  [[nodiscard]] SimTime rank_finish_time(int rank) const;
+
+  /// FNV-1a fingerprint of every rank's per-step completion times — the
+  /// byte-identity probe the determinism tests compare across thread
+  /// counts.
+  [[nodiscard]] std::uint64_t digest() const;
+
+ private:
+  struct Rank;
+  friend struct RowArrival;
+
+  sim::Task<> rank_loop(int rank, const RowTraining& training);
+
+  RowParams params_;
+  sim::ParallelEngine engine_;
+  std::vector<std::unique_ptr<Rank>> ranks_;
+  SimDuration per_transfer_ = SimDuration::zero();
+  Bytes chunk_ = 0;
+};
+
+}  // namespace rsd::gpu

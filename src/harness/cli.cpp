@@ -30,7 +30,13 @@ constexpr const char* kUsage =
     "\n"
     "  --list             enumerate the selection (default: all) and exit\n"
     "  --tags T1,T2       restrict to experiments carrying any of the tags\n"
-    "  --threads N        fan-out width (default: RSD_THREADS or hardware)\n"
+    "  --threads N        fan-out width ACROSS independent runs: how many\n"
+    "                     sequential simulations execute concurrently\n"
+    "                     (default: RSD_THREADS or hardware)\n"
+    "  --sim-threads N    worker threads INSIDE one partitioned simulation\n"
+    "                     (sim::ParallelEngine width). Outputs are byte-\n"
+    "                     identical at any value; this is purely a speed\n"
+    "                     knob (default: RSD_SIM_THREADS or 1)\n"
     "  --runs N           repetitions for seeded protocols (default: 5)\n"
     "  --seed S           base seed for seeded protocols (default: 1)\n"
     "  --results-dir DIR  where CSVs/cache/manifest go (default: the\n"
@@ -133,6 +139,10 @@ int run_cli(int argc, const char* const* argv, std::ostream& out, std::ostream& 
       const auto v = int_value("--threads", 1);
       if (!v) return 2;
       options.threads = *v;
+    } else if (arg == "--sim-threads") {
+      const auto v = int_value("--sim-threads", 1);
+      if (!v) return 2;
+      options.sim_threads = *v;
     } else if (arg == "--runs") {
       const auto v = int_value("--runs", 1);
       if (!v) return 2;

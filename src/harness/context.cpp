@@ -2,6 +2,7 @@
 
 #include "core/csv.hpp"
 #include "core/paths.hpp"
+#include "exec/team.hpp"
 #include "obs/tracer.hpp"
 
 namespace rsd::harness {
@@ -18,6 +19,8 @@ ExperimentContext::ExperimentContext(Options options)
     : results_dir_(resolve_results_dir(options)),
       trace_dir_(options.trace_dir),
       runs_(options.runs >= 1 ? options.runs : 1),
+      sim_threads_(options.sim_threads >= 1 ? options.sim_threads
+                                            : exec::default_sim_thread_count()),
       seed_(options.seed),
       out_(options.out != nullptr ? options.out : &std::cout),
       pool_(options.threads >= 1 ? options.threads : exec::default_thread_count()),

@@ -25,6 +25,12 @@ class ExperimentContext {
   struct Options {
     std::filesystem::path results_dir;  ///< Empty = `rsd::results_dir()`.
     int threads = 0;                    ///< <= 0 = `exec::default_thread_count()`.
+    /// Worker threads *inside* one partitioned simulation (the
+    /// sim::ParallelEngine width), as opposed to `threads`, which fans out
+    /// across independent runs. <= 0 = `exec::default_sim_thread_count()`
+    /// (the RSD_SIM_THREADS env var, else 1). Tracked outputs are
+    /// byte-identical at any value.
+    int sim_threads = 0;
     int runs = 5;                       ///< The paper's repetition protocol.
     std::uint64_t seed = 1;             ///< Base seed for seeded repetitions.
     std::ostream* out = &std::cout;
@@ -48,6 +54,10 @@ class ExperimentContext {
   [[nodiscard]] int runs() const { return runs_; }
   [[nodiscard]] std::uint64_t seed() const { return seed_; }
 
+  /// Resolved intra-simulation width for partitioned engines
+  /// (`--sim-threads` > RSD_SIM_THREADS > 1).
+  [[nodiscard]] int sim_threads() const { return sim_threads_; }
+
   /// Where the timeline export goes; empty when tracing is off.
   [[nodiscard]] const std::filesystem::path& trace_dir() const { return trace_dir_; }
   [[nodiscard]] bool tracing() const { return !trace_dir_.empty(); }
@@ -68,6 +78,7 @@ class ExperimentContext {
   std::filesystem::path results_dir_;
   std::filesystem::path trace_dir_;
   int runs_;
+  int sim_threads_;
   std::uint64_t seed_;
   std::ostream* out_;
   exec::Pool pool_;

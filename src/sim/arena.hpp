@@ -11,11 +11,20 @@
 //
 // Lifetime rules (see DESIGN.md "Simulator core performance"):
 //
-//  * The arena is thread_local. A block MUST be deallocated on the thread
-//    that allocated it. This holds by construction in rsd: a simulation
-//    (Scheduler + Device + coroutine frames + events) is created, run, and
-//    destroyed inside one `exec::Pool` job on one thread; Tasks and Events
-//    never migrate between OS threads.
+//  * `local()` resolves through a rebindable thread-local pointer. By
+//    default it names the calling thread's own arena, and a block MUST be
+//    deallocated on the thread that allocated it. This holds by
+//    construction in rsd: a simulation (Scheduler + Device + coroutine
+//    frames + events) is created, run, and destroyed inside one
+//    `exec::Pool` job on one thread; Tasks and Events never migrate
+//    between OS threads.
+//  * The partitioned engine (sim/conservative.hpp) relaxes "one thread"
+//    to "one partition": each `sim::Partition` owns a FrameArena, and an
+//    `ArenaScope` rebinds `local()` to it while that partition's events
+//    are processed (or its objects destroyed). A partition is touched by
+//    exactly one worker at a time — the epoch barrier orders handoffs —
+//    so every alloc/free of a partition's frames still goes through one
+//    arena with no concurrent access, whichever OS thread runs it.
 //  * Chunks are only returned to the OS at thread exit, so per-thread
 //    memory is bounded by that thread's peak of live frames, not by the
 //    total number of ops simulated.
@@ -47,9 +56,22 @@ class FrameArena {
     std::uint64_t chunks = 0;    ///< 256 KiB chunks requested from the heap.
   };
 
-  [[nodiscard]] static FrameArena& local() {
-    thread_local FrameArena arena;
-    return arena;
+  /// The arena `operator new`/`delete` on task frames resolve to: the
+  /// calling thread's own arena unless an ArenaScope has rebound it.
+  [[nodiscard]] static FrameArena& local() { return *current(); }
+
+  /// A standalone arena (one per `sim::Partition`). Blocks allocated from
+  /// it must be freed while it is bound (same-partition rule above).
+  FrameArena() { free_.fill(nullptr); }
+
+  ~FrameArena() {
+    // Frees whole chunks only: any block still live here would belong to a
+    // coroutine outliving its arena, which the lifetime rules forbid.
+    for (Chunk* c = chunks_; c != nullptr;) {
+      Chunk* next = c->next;
+      ::operator delete(c);
+      c = next;
+    }
   }
 
   FrameArena(const FrameArena&) = delete;
@@ -109,16 +131,15 @@ class FrameArena {
   };
   static_assert(sizeof(Header) == 16);
 
-  FrameArena() { free_.fill(nullptr); }
+  friend class ArenaScope;
 
-  ~FrameArena() {
-    // Frees whole chunks only: any block still live here would belong to a
-    // coroutine outliving its thread, which the lifetime rules forbid.
-    for (Chunk* c = chunks_; c != nullptr;) {
-      Chunk* next = c->next;
-      ::operator delete(c);
-      c = next;
-    }
+  /// The thread's binding slot: the thread's own arena until a scope
+  /// rebinds it. The owned arena is lazily constructed on first use so
+  /// threads that only ever run scoped (partition) work pay nothing.
+  [[nodiscard]] static FrameArena*& current() {
+    thread_local FrameArena own;
+    thread_local FrameArena* bound = &own;
+    return bound;
   }
 
   [[nodiscard]] static constexpr std::size_t round_up(std::size_t n) {
@@ -141,6 +162,24 @@ class FrameArena {
   std::size_t chunk_left_ = 0;
   Chunk* chunks_ = nullptr;
   Stats stats_;
+};
+
+/// Rebinds `FrameArena::local()` on the calling thread for the scope's
+/// lifetime. The partitioned engine wraps every touch of a partition
+/// (event processing, message delivery, teardown) in a scope over that
+/// partition's arena, making frame recycling partition-affine instead of
+/// thread-affine. Scopes nest; each restores the previous binding.
+class [[nodiscard]] ArenaScope {
+ public:
+  explicit ArenaScope(FrameArena& arena) : prev_(FrameArena::current()) {
+    FrameArena::current() = &arena;
+  }
+  ~ArenaScope() { FrameArena::current() = prev_; }
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+ private:
+  FrameArena* prev_;
 };
 
 /// Minimal allocator adapter over the thread-local FrameArena, for

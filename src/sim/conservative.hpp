@@ -1,0 +1,284 @@
+// Conservative parallel discrete-event engine (`sim::ParallelEngine`).
+//
+// Shards one simulation across `Partition`s (per device/chassis; see
+// partition.hpp) and advances them in *epochs* under conservative
+// lookahead:
+//
+//   1. t_min   = earliest pending work anywhere (local events and
+//                undelivered cross-partition messages);
+//   2. horizon = t_min + lookahead. Any message a partition can still
+//                send carries timestamp >= its clock + lookahead >=
+//                t_min + lookahead, so every event strictly below the
+//                horizon is already causally complete;
+//   3. all partitions, in parallel on an `exec::Team`, deliver inbound
+//                messages, then run their local queues up to (not
+//                including) the horizon;
+//   4. barrier; outbox buffers flip; repeat until no work remains.
+//
+// This is the global-epoch-barrier member of the conservative family
+// (null-message-free CMB): slack windows and cross-chassis link/copy
+// latencies give the lookahead, and with lookahead L every epoch retires
+// at least the events in [t_min, t_min + L) — guaranteed progress, no
+// deadlock protocol.
+//
+// Determinism at any thread count — the invariant every tracked CSV
+// depends on — holds by construction:
+//   * epoch boundaries are pure functions of simulation state (min over
+//     partition-local quantities), never of thread timing;
+//   * within an epoch partitions share nothing; the Team only decides
+//     WHICH OS thread runs a partition's sequential slice;
+//   * inbound messages merge in sorted `(at, src, seq)` order, with seq
+//     assigned by the (sequential) sender — arrival order is irrelevant.
+//
+// Memory: each partition's coroutine frames recycle through its own
+// FrameArena (ArenaScope around every slice), so the allocation-free hot
+// path of the sequential core survives partitioning, and a partition may
+// be processed by a different worker every epoch without violating the
+// arena's affinity rules.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/units.hpp"
+#include "exec/team.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
+#include "sim/arena.hpp"
+#include "sim/partition.hpp"
+#include "sim/scheduler.hpp"
+
+namespace rsd::sim {
+
+class ParallelEngine {
+ public:
+  struct Options {
+    /// Execution width. <= 0 resolves to `exec::default_sim_thread_count()`
+    /// (the RSD_SIM_THREADS env var, else 1). Output is identical at any
+    /// value — threads are a throughput knob, never a semantic one.
+    int threads = 0;
+    /// Conservative lookahead: the guaranteed minimum delay of every
+    /// cross-partition send. Natural values are the injected slack window
+    /// or the cross-chassis link latency. Must be > 0.
+    SimDuration lookahead = duration::microseconds(1.0);
+    /// Non-zero seeds `exec::Team` claim jitter (determinism stress tests).
+    std::uint64_t jitter_seed = 0;
+  };
+
+  explicit ParallelEngine(int partitions) : ParallelEngine(partitions, Options{}) {}
+
+  ParallelEngine(int partitions, Options options)
+      : lookahead_(options.lookahead),
+        threads_(options.threads > 0 ? options.threads : exec::default_sim_thread_count()),
+        team_(threads_) {
+    RSD_ASSERT(partitions >= 1);
+    RSD_ASSERT(lookahead_.ns() > 0);
+    if (options.jitter_seed != 0) team_.set_claim_jitter(options.jitter_seed);
+    parts_.reserve(static_cast<std::size_t>(partitions));
+    for (int i = 0; i < partitions; ++i) {
+      parts_.emplace_back(new Partition{*this, static_cast<PartitionId>(i)});
+    }
+    slots_.resize(parts_.size());
+    scratch_.resize(parts_.size());
+  }
+
+  /// Partition teardown frees coroutine frames into the owning arenas, so
+  /// each destruction runs under that partition's ArenaScope.
+  ~ParallelEngine() {
+    for (auto& p : parts_) {
+      ArenaScope scope{p->arena_};
+      p.reset();
+    }
+  }
+
+  ParallelEngine(const ParallelEngine&) = delete;
+  ParallelEngine& operator=(const ParallelEngine&) = delete;
+
+  [[nodiscard]] int size() const { return static_cast<int>(parts_.size()); }
+  [[nodiscard]] int threads() const { return threads_; }
+  [[nodiscard]] SimDuration lookahead() const { return lookahead_; }
+  [[nodiscard]] Partition& partition(PartitionId id) {
+    return *parts_.at(static_cast<std::size_t>(id));
+  }
+
+  /// Run epochs until no partition holds events and no message is in
+  /// flight, then drain root-task completions (rethrowing the first
+  /// failure by partition index — a deterministic choice). After run(),
+  /// `unfinished_count() > 0` indicates a simulated deadlock.
+  void run() {
+    obs::Span span{"pardes", "run",
+                   {obs::Arg::n("partitions", static_cast<double>(parts_.size())),
+                    obs::Arg::n("threads", static_cast<double>(threads_))}};
+    const std::uint64_t epochs_before = epochs_;
+    refresh();
+    for (;;) {
+      SimTime t_min = SimTime::max();
+      for (std::size_t i = 0; i < parts_.size(); ++i) {
+        t_min = std::min(t_min, slots_[i].next_time);
+        t_min = std::min(t_min, parts_[i]->out_min_);
+      }
+      if (t_min == SimTime::max()) break;
+      const SimTime horizon = t_min + lookahead_;
+      ++epochs_;
+      fill_parity_ ^= 1;
+      team_.run(parts_.size(), [this, horizon](std::size_t i) { process(i, horizon); });
+    }
+    for (auto& p : parts_) {
+      ArenaScope scope{p->arena_};
+      p->sched_.run();  // queue is empty: completion checks + rethrow only
+    }
+    flush_metrics(epochs_ - epochs_before);
+  }
+
+  /// Prime the per-partition next-event slots from the schedulers. run()
+  /// calls this on entry (work spawned between runs is picked up); also
+  /// useful to tests that inspect scheduling state before running.
+  void refresh() {
+    for (std::size_t i = 0; i < parts_.size(); ++i) {
+      slots_[i].next_time = parts_[i]->sched_.next_event_time();
+    }
+  }
+
+  // -- Aggregate statistics (all deterministic) ---------------------------
+  [[nodiscard]] std::uint64_t epochs() const { return epochs_; }
+  [[nodiscard]] std::uint64_t executed_events() const {
+    std::uint64_t n = 0;
+    for (const auto& p : parts_) n += p->sched_.executed_events();
+    return n;
+  }
+  [[nodiscard]] std::uint64_t messages_delivered() const {
+    std::uint64_t n = 0;
+    for (const auto& s : slots_) n += s.delivered;
+    return n;
+  }
+  /// Partition-epochs that retired zero events while holding pending work
+  /// beyond the horizon — the lookahead-stall tally. The stall *fraction*
+  /// is this over (epochs * partitions).
+  [[nodiscard]] std::uint64_t stalled_partition_epochs() const {
+    std::uint64_t n = 0;
+    for (const auto& s : slots_) n += s.stalls;
+    return n;
+  }
+  [[nodiscard]] std::size_t unfinished_count() const {
+    std::size_t n = 0;
+    for (const auto& p : parts_) n += p->sched_.unfinished_count();
+    return n;
+  }
+
+ private:
+  friend class Partition;
+
+  /// Per-partition engine-side state, cache-line padded: every worker
+  /// writes only its claimed partitions' slots within an epoch.
+  struct alignas(64) Slot {
+    SimTime next_time = SimTime::max();
+    std::uint64_t delivered = 0;
+    std::uint64_t stalls = 0;
+  };
+
+  /// Reference into a source outbox, collected per destination and sorted
+  /// by the deterministic merge key.
+  struct InRef {
+    SimTime at;
+    PartitionId src;
+    std::uint64_t seq;
+    const CrossCall* call;
+
+    [[nodiscard]] bool operator<(const InRef& o) const {
+      if (at != o.at) return at < o.at;
+      if (src != o.src) return src < o.src;
+      return seq < o.seq;
+    }
+  };
+
+  void process(std::size_t i, SimTime horizon) {
+    Partition& p = *parts_[i];
+    ArenaScope scope{p.arena_};
+
+    // The buffer this partition fills now was drained by every reader two
+    // epochs ago (the flip + barrier in between make the clear safe).
+    auto& out = p.outbox_[fill_parity_];
+    out.clear();
+    p.out_cur_ = &out;
+    p.out_min_ = SimTime::max();
+
+    // Gather inbound messages from every source's drain-side buffer
+    // (read-only scan), merge-sort by (at, src, seq), deliver.
+    auto& in = scratch_[i];
+    in.clear();
+    const int drain = fill_parity_ ^ 1;
+    for (const auto& sp : parts_) {
+      for (const RemoteMsg& m : sp->outbox_[drain]) {
+        if (m.dst == p.id_) in.push_back(InRef{m.at, sp->id_, m.seq, &m.call});
+      }
+    }
+    std::sort(in.begin(), in.end());
+    for (const InRef& r : in) {
+      p.sched_.spawn_at(Partition::deliver(*r.call), r.at);
+    }
+    slots_[i].delivered += in.size();
+
+    const std::uint64_t executed = p.sched_.run_before(horizon);
+    const SimTime next = p.sched_.next_event_time();
+    if (executed == 0 && next != SimTime::max()) ++slots_[i].stalls;
+    slots_[i].next_time = next;
+  }
+
+  /// Quiesce-point flush into the global registry (obs design: no per-event
+  /// atomics on the hot path) plus per-partition tracer instants.
+  void flush_metrics(std::uint64_t run_epochs) {
+    auto& reg = obs::Registry::global();
+    reg.counter("pardes.runs").add(1);
+    reg.counter("pardes.epochs").add(static_cast<std::int64_t>(run_epochs));
+    reg.counter("pardes.messages").add(static_cast<std::int64_t>(messages_delivered()));
+    reg.counter("pardes.lookahead_stalls")
+        .add(static_cast<std::int64_t>(stalled_partition_epochs()));
+    reg.gauge("pardes.threads").set(static_cast<double>(threads_));
+    auto& events_hist = reg.histogram("pardes.partition_events");
+    obs::HistogramData local;
+    for (const auto& p : parts_) {
+      local.observe(static_cast<std::int64_t>(p->sched_.executed_events()));
+    }
+    events_hist.merge(local);
+    if (obs::Tracer::enabled()) {
+      auto& tracer = obs::Tracer::instance();
+      for (std::size_t i = 0; i < parts_.size(); ++i) {
+        tracer.instant(
+            "pardes", "partition",
+            {obs::Arg::n("partition", static_cast<double>(i)),
+             obs::Arg::n("events",
+                         static_cast<double>(parts_[i]->sched_.executed_events())),
+             obs::Arg::n("stalls", static_cast<double>(slots_[i].stalls))});
+      }
+    }
+  }
+
+  SimDuration lookahead_;
+  int threads_;
+  exec::Team team_;
+  std::vector<std::unique_ptr<Partition>> parts_;
+  std::vector<Slot> slots_;
+  std::vector<std::vector<InRef>> scratch_;
+  int fill_parity_ = 0;
+  std::uint64_t epochs_ = 0;
+};
+
+inline void Partition::send(PartitionId dst, SimDuration delay, CrossCall call) {
+  RSD_ASSERT(static_cast<std::size_t>(dst) < static_cast<std::size_t>(engine_.size()));
+  const SimTime at = sched_.now() + delay;
+  if (dst == id_) {
+    // Local fast path: an ordinary event, no lookahead constraint.
+    sched_.spawn_at(deliver(std::move(call)), at);
+    return;
+  }
+  RSD_ASSERT(delay >= engine_.lookahead());
+  RSD_ASSERT(out_cur_ != nullptr);  // only legal inside an epoch slice
+  out_cur_->push_back(RemoteMsg{at, dst, send_seq_++, std::move(call)});
+  out_min_ = std::min(out_min_, at);
+}
+
+}  // namespace rsd::sim

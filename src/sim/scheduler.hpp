@@ -27,10 +27,16 @@ class Scheduler {
 
   /// Launch a root process at the current simulated time. The scheduler
   /// owns the task until `run()` finishes.
-  void spawn(Task<> task) {
+  void spawn(Task<> task) { spawn_at(std::move(task), now_); }
+
+  /// Launch a root process at absolute time `t` (>= now). The partitioned
+  /// engine delivers cross-partition messages this way: each message
+  /// becomes a root task scheduled at its (future, lookahead-protected)
+  /// timestamp.
+  void spawn_at(Task<> task, SimTime t) {
     RSD_ASSERT(task.valid());
     task.handle_.promise().sched = this;
-    schedule_at(task.handle_, now_);
+    schedule_at(task.handle_, t);
     roots_.push_back(std::move(task));
     if (roots_.size() >= sweep_threshold_) sweep_finished_roots();
   }
@@ -77,6 +83,27 @@ class Scheduler {
     } else {
       now_ = deadline;
     }
+  }
+
+  /// Run every event with timestamp strictly below `horizon` (the
+  /// conservative-lookahead window of the partitioned engine). Unlike
+  /// run_until, the clock is left at the last executed event — events at
+  /// exactly `horizon` stay pending, and no completion check runs (the
+  /// engine drains with run() after the last epoch). Returns the number
+  /// of events executed.
+  std::uint64_t run_before(SimTime horizon) {
+    std::uint64_t n = 0;
+    while (!queue_.empty() && queue_.top().at < horizon) {
+      step();
+      ++n;
+    }
+    return n;
+  }
+
+  /// Timestamp of the earliest pending event, or SimTime::max() when the
+  /// queue is empty (the engine's "no work" sentinel).
+  [[nodiscard]] SimTime next_event_time() const {
+    return queue_.empty() ? SimTime::max() : queue_.top().at;
   }
 
   /// Number of spawned root processes that have not yet completed.

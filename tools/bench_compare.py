@@ -64,10 +64,13 @@ def main():
     base = load_walls(args.baseline)
     cand = load_walls(args.candidate)
     shared = sorted(set(base) & set(cand))
-    only_base = sorted(set(base) - set(cand))
-    only_cand = sorted(set(cand) - set(base))
+    removed = sorted(set(base) - set(cand))  # baseline-only
+    added = sorted(set(cand) - set(base))  # candidate-only
 
-    name_w = max(len(n) for n in shared + only_base + only_cand)
+    # The experiment sets are allowed to differ (a PR that adds or retires
+    # an experiment still needs its before/after record): shared names are
+    # compared, the rest are reported as added/removed, never an error.
+    name_w = max(len(n) for n in shared + removed + added + ["TOTAL (shared)"])
     header = f"{'experiment':<{name_w}}  {'base_s':>8}  {'cand_s':>8}  {'speedup':>7}"
     print(header)
     print("-" * len(header))
@@ -78,18 +81,23 @@ def main():
         print(f"{name:<{name_w}}  {b:>8.3f}  {c:>8.3f}  {speedup:>6.2f}x")
         if args.max_regression is not None and c > b * args.max_regression:
             regressions.append(name)
-    for name in only_base:
-        print(f"{name:<{name_w}}  {base[name]:>8.3f}  {'-':>8}  {'-':>7}")
-    for name in only_cand:
-        print(f"{name:<{name_w}}  {'-':>8}  {cand[name]:>8.3f}  {'-':>7}")
+    for name in removed:
+        print(f"{name:<{name_w}}  {base[name]:>8.3f}  {'-':>8}  removed")
+    for name in added:
+        print(f"{name:<{name_w}}  {'-':>8}  {cand[name]:>8.3f}  added")
 
-    total_b = sum(base[n] for n in shared)
-    total_c = sum(cand[n] for n in shared)
     print("-" * len(header))
-    print(
-        f"{'TOTAL (shared)':<{name_w}}  {total_b:>8.3f}  {total_c:>8.3f}  "
-        f"{(total_b / total_c if total_c > 0 else math.inf):>6.2f}x"
-    )
+    if shared:
+        total_b = sum(base[n] for n in shared)
+        total_c = sum(cand[n] for n in shared)
+        print(
+            f"{'TOTAL (shared)':<{name_w}}  {total_b:>8.3f}  {total_c:>8.3f}  "
+            f"{(total_b / total_c if total_c > 0 else math.inf):>6.2f}x"
+        )
+    else:
+        print("no shared experiments — nothing to compare")
+    if removed or added:
+        print(f"{len(removed)} removed, {len(added)} added (not compared)")
 
     if regressions:
         fail(
