@@ -24,6 +24,7 @@
 #include "core/units.hpp"
 #include "gpusim/collective.hpp"
 #include "gpusim/device.hpp"
+#include "interconnect/fabric.hpp"
 #include "wl/program.hpp"
 
 namespace rsd::apps {
@@ -90,6 +91,9 @@ struct RowCosmoflowConfig {
   int gpus = 8;
   int steps = 4;  ///< Training steps (full epochs are sweep material).
   gpu::GpuInterconnect fabric = gpu::make_nvlink();
+  /// Row interconnect shape (net::build_fabric); the default ring keeps
+  /// the historical row timing.
+  net::FabricKind fabric_kind = net::FabricKind::kRing;
   Bytes gradient_bytes = 32 * kMiB;
   int batch = 4;
   int sim_threads = 0;          ///< <= 0: RSD_SIM_THREADS, else 1.

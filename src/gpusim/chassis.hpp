@@ -1,7 +1,17 @@
 // A CDI GPU chassis: multiple simulated devices on a shared GPU fabric,
-// with a discrete-event ring allreduce that actually occupies the devices'
-// copy engines — the executable version of the Discussion's claim that
+// with discrete-event collectives that actually occupy the devices' copy
+// engines — the executable version of the Discussion's claim that
 // chassis-coupled GPUs accelerate CPU-asynchronous collectives.
+//
+// Since the link-graph machine model landed, the chassis no longer prices
+// a transfer off one scalar: it builds a `net::Topology` for its fabric
+// (full mesh by default — NVLink is all-to-all inside a chassis) and takes
+// every transfer's duration from the routed path (path latency +
+// serialisation at the bottleneck link). Endpoint contention is modeled by
+// the devices' FIFO D2H/H2D engines; an optical-circuit fabric
+// additionally charges the reconfiguration delay whenever a sender's
+// circuit has to retarget. On the default full mesh this reproduces the
+// old `fabric.latency + bytes/bandwidth` arithmetic exactly.
 #pragma once
 
 #include <memory>
@@ -11,7 +21,9 @@
 #include "core/units.hpp"
 #include "gpusim/collective.hpp"
 #include "gpusim/device.hpp"
+#include "interconnect/fabric.hpp"
 #include "interconnect/link.hpp"
+#include "interconnect/topology.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/task.hpp"
 
@@ -21,6 +33,14 @@ struct ChassisParams {
   int gpus = 8;
   GpuInterconnect fabric = make_nvlink();
   DeviceParams device_params{};
+  /// Shape of the GPU<->GPU fabric (net::build_fabric). Full mesh matches
+  /// the pre-machine-model chassis timing exactly.
+  net::FabricKind fabric_kind = net::FabricKind::kFullMesh;
+  /// Grouping tag for the hierarchical algorithm: device i belongs to
+  /// group i / gpus_per_chassis.
+  int gpus_per_chassis = 8;
+  /// Circuit retarget cost when fabric_kind is kOpticalCircuit.
+  SimDuration ocs_reconfigure = duration::microseconds(100.0);
 };
 
 class Chassis {
@@ -30,6 +50,7 @@ class Chassis {
   [[nodiscard]] int size() const { return static_cast<int>(devices_.size()); }
   [[nodiscard]] Device& device(int i) { return *devices_.at(static_cast<std::size_t>(i)); }
   [[nodiscard]] const GpuInterconnect& fabric() const { return params_.fabric; }
+  [[nodiscard]] const net::Topology& topology() const { return topo_; }
 
   /// Attach one sink to every device (chassis-wide trace).
   void set_record_sink(RecordSink* sink);
@@ -37,15 +58,41 @@ class Chassis {
   /// Execute a ring allreduce of `bytes_per_gpu` across devices
   /// [0, participants): 2(participants-1) phases; in each phase every
   /// participant ships one chunk to its ring neighbor, occupying the
-  /// sender's D2H and the receiver's H2D engine for the fabric transfer
+  /// sender's D2H and the receiver's H2D engine for the routed transfer
   /// time. Resumes when the collective completes on every device.
   sim::Task<> ring_allreduce(Bytes bytes_per_gpu, int participants,
                              NameRef name = NameRef{"allreduce"});
 
+  /// Binomial-tree allreduce (reduce to device 0, broadcast back):
+  /// 2*ceil(log2 participants) rounds of the full payload.
+  sim::Task<> tree_allreduce(Bytes bytes_per_gpu, int participants,
+                             NameRef name = NameRef{"allreduce"});
+
+  /// Hierarchical allreduce: ring inside each chassis group (topology
+  /// chassis tags), ring across the group leaders, then leaders broadcast
+  /// the result back to their groups.
+  sim::Task<> hierarchical_allreduce(Bytes bytes_per_gpu, int participants,
+                                     NameRef name = NameRef{"allreduce"});
+
+  /// Dispatch on `algorithm` (the wl replay hook).
+  sim::Task<> allreduce(net::Algorithm algorithm, Bytes bytes_per_gpu, int participants,
+                        NameRef name = NameRef{"allreduce"});
+
  private:
+  /// Routed cost of one transfer, including any OCS circuit retarget by
+  /// the sending device (tracked per sender, deterministic: transfers are
+  /// priced in program order on the single scheduler).
+  SimDuration transfer_cost(int src, int dst, Bytes bytes);
+
+  /// Phased ring allreduce over an explicit member list (device indices).
+  sim::Task<> ring_over(std::vector<int> members, Bytes bytes_per_gpu, NameRef name);
+
   sim::Scheduler& sched_;
   ChassisParams params_;
+  net::Topology topo_;
   std::vector<std::unique_ptr<Device>> devices_;
+  /// Per-device OCS circuit target (device index; -1 = unconfigured).
+  std::vector<int> circuit_;
 };
 
 }  // namespace rsd::gpu

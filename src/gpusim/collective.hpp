@@ -4,6 +4,13 @@
 // CPU-asynchronous operations like allreduce run faster than on GPUs
 // scattered across traditional nodes. These are the standard alpha-beta
 // models for ring and binary-tree allreduce over a given GPU interconnect.
+//
+// Since the link-graph machine model (interconnect/topology.hpp) landed,
+// these closed forms are the documented *analytic cross-check* for the
+// event-driven collectives in interconnect/collective.hpp: on an
+// uncontended fabric the scheduled ring/tree algorithms must reproduce
+// ring_allreduce_time / tree_allreduce_time exactly
+// (tests/net_collective_test.cpp pins the parity).
 #pragma once
 
 #include <algorithm>
@@ -33,11 +40,15 @@ struct GpuInterconnect {
   return GpuInterconnect{"pcie-p2p", 20.0, duration::microseconds(6.0)};
 }
 
-/// GPUs scattered across nodes: traffic crosses NICs + switches (+ fibre).
+/// GPUs scattered across nodes: traffic crosses the PCIe stub, then NICs +
+/// switches (+ fibre). Both terms come from the network parameters — the
+/// stub hop from `pcie_stub_latency`, the NIC/switch/fibre path from
+/// `slack()` — so a tuned CdiNetworkParams propagates instead of being
+/// half-overridden by a hardcoded constant.
 [[nodiscard]] inline GpuInterconnect make_scattered(
     const interconnect::CdiNetworkParams& net = {}) {
   return GpuInterconnect{"scattered-network", net.bandwidth_gib_s,
-                         duration::microseconds(6.0) + net.slack()};
+                         net.pcie_stub_latency + net.slack()};
 }
 
 namespace detail {

@@ -9,6 +9,37 @@
 
 namespace rsd::gpu {
 
+namespace {
+
+net::Topology build_row_topology(const RowParams& params) {
+  return net::build_fabric(net::FabricParams{
+      .kind = params.fabric_kind,
+      .gpus = params.gpus,
+      .gpus_per_chassis = params.gpus_per_chassis,
+      .link_bandwidth_gib_s = params.fabric.bandwidth_gib_s,
+      .link_latency = params.fabric.latency,
+      .ocs_reconfigure = params.ocs_reconfigure,
+  });
+}
+
+/// The engine's conservative lookahead: the shortest routed device-to-
+/// device latency — no cross-partition message can arrive sooner. A
+/// topology with a zero-latency device path cannot bound message arrival
+/// at all, so it is a usage error, not an invariant violation.
+SimDuration derive_lookahead(const net::Topology& topo, const RowParams& params) {
+  const SimDuration lookahead =
+      topo.device_count() >= 2 ? topo.min_device_path_latency() : params.fabric.latency;
+  if (lookahead.ns() <= 0) {
+    throw Error{ErrorCode::kInvalidArgument,
+                "PartitionedRow: fabric '" + std::string{net::to_string(params.fabric_kind)} +
+                    "' has a zero-latency device path; the conservative engine needs a "
+                    "positive minimum link latency for lookahead"};
+  }
+  return lookahead;
+}
+
+}  // namespace
+
 /// Partition-local state of one rank. The Device and both semaphores
 /// belong to the rank's partition scheduler; nothing here is ever touched
 /// from another partition (the arrival message below runs *inside* the
@@ -52,11 +83,11 @@ static_assert(sizeof(RowArrival) <= sim::CrossCall::kInlineBytes);
 
 PartitionedRow::PartitionedRow(RowParams params)
     : params_(std::move(params)),
+      topo_(build_row_topology(params_)),
       engine_(params_.gpus, {.threads = params_.sim_threads,
-                             .lookahead = params_.fabric.latency,
+                             .lookahead = derive_lookahead(topo_, params_),
                              .jitter_seed = params_.jitter_seed}) {
   RSD_ASSERT(params_.gpus >= 1);
-  RSD_ASSERT(params_.fabric.latency.ns() > 0);  // the lookahead source
   ranks_.reserve(static_cast<std::size_t>(params_.gpus));
   for (int i = 0; i < params_.gpus; ++i) {
     ranks_.emplace_back(
@@ -99,6 +130,12 @@ sim::Task<> PartitionedRow::rank_loop(int rank, const RowTraining& training) {
   const auto next = static_cast<sim::PartitionId>((rank + 1) % ranks);
   const NameRef send_name{"row_allreduce_send"};
   const NameRef recv_name{"row_allreduce_recv"};
+  // Optical fabrics: this rank's uplink circuit must be pointed at the
+  // ring neighbor before the first chunk leaves; the neighbor never
+  // changes, so the retarget is paid exactly once per rank. (Precomputed
+  // in run_training — the topology's route cache is not touched from
+  // worker threads.)
+  bool circuit_pending = ocs_first_send_;
 
   for (int step = 0; step < training.steps; ++step) {
     // Host submission lane + compute: entirely partition-local.
@@ -117,6 +154,10 @@ sim::Task<> PartitionedRow::rank_loop(int rank, const RowTraining& training) {
     // DMA, post the chunk to the ring neighbor, then wait for both the
     // inbound chunk and the local DMA drain.
     for (int phase = 0; phase < phases; ++phase) {
+      if (circuit_pending) {
+        co_await sim::delay(topo_.ocs_reconfigure());
+        circuit_pending = false;
+      }
       sim::WaitGroup out_done{sched};
       out_done.add(1);
       sched.spawn([](Rank& rk, Bytes bytes, SimDuration dur, NameRef nm,
@@ -129,7 +170,7 @@ sim::Task<> PartitionedRow::rank_loop(int rank, const RowTraining& training) {
         if (auto* sink = rk.dev.record_sink(); sink != nullptr) sink->on_op(rec);
         wg.done();
       }(self, chunk_, per_transfer_, send_name, out_done));
-      part.send(next, params_.fabric.latency,
+      part.send(next, msg_delay_,
                 RowArrival{this, static_cast<int>(next), chunk_, per_transfer_, recv_name});
       co_await self.inbound.acquire();
       co_await out_done.wait();
@@ -143,10 +184,15 @@ SimTime PartitionedRow::run_training(const RowTraining& training) {
   RSD_ASSERT(training.steps >= 1);
   chunk_ = size() > 1 ? training.gradient_bytes / static_cast<Bytes>(size())
                       : training.gradient_bytes;
-  per_transfer_ =
-      params_.fabric.latency +
-      duration::seconds(static_cast<double>(chunk_) /
-                        (params_.fabric.bandwidth_gib_s * static_cast<double>(kGiB)));
+  if (size() > 1) {
+    // Ring-neighbor transfer cost from the machine model. All four fabric
+    // shapes are rank-symmetric, so rank 0 -> rank 1 prices every pair;
+    // on the default ring this is latency + chunk/bandwidth, exactly the
+    // pre-machine-model arithmetic.
+    per_transfer_ = topo_.transfer_time(topo_.device(0), topo_.device(1), chunk_);
+    msg_delay_ = topo_.route(topo_.device(0), topo_.device(1)).latency;
+    ocs_first_send_ = topo_.route(topo_.device(0), topo_.device(1)).optical_hops > 0;
+  }
   for (int rank = 0; rank < size(); ++rank) {
     sim::Partition& part = engine_.partition(static_cast<sim::PartitionId>(rank));
     part.spawn([&] { return rank_loop(rank, training); });

@@ -6,21 +6,35 @@
 // `sim::Partition` — device engines, host submission lane, and all per-rank
 // events stay partition-local — and routes the only inter-GPU interaction,
 // ring-allreduce chunk exchange, through timestamped cross-partition
-// messages. The fabric latency is the conservative lookahead: a chunk
-// never arrives sooner than `fabric.latency` after it was sent, which is
-// exactly the slack the engine needs to run ranks in parallel.
+// messages.
+//
+// The row's interconnect is a pluggable `net::Topology` (ring, full mesh,
+// electrical switch, or optical circuit switch — net::build_fabric built
+// from `fabric_kind` and the link characteristics in `fabric`). The
+// conservative lookahead is the topology's minimum device-to-device path
+// latency: no chunk can arrive sooner than the shortest routed path
+// delivers it, which is exactly the slack the engine needs to run ranks in
+// parallel. A topology with a zero-latency device path cannot bound
+// message arrival and is rejected with rsd::Error{kInvalidArgument}.
 //
 // Timing model per ring phase (chunk = bytes / ranks):
-//   * the sender's D2H engine is occupied for latency + chunk/bandwidth
-//     (the fabric DMA, as in Chassis::ring_allreduce);
-//   * the chunk lands at the receiver `fabric.latency` after the send and
-//     occupies the receiver's H2D engine for the same transfer duration;
+//   * the sender's D2H engine is occupied for the routed transfer time —
+//     path latency + chunk serialisation at the bottleneck link (on the
+//     default ring fabric: latency + chunk/bandwidth, exactly the
+//     pre-machine-model arithmetic);
+//   * the chunk lands at the receiver one routed path latency after the
+//     send and occupies the receiver's H2D engine for the same transfer
+//     duration;
+//   * on an optical-circuit fabric, a rank's first send additionally pays
+//     the circuit reconfiguration delay (its uplink is retargeted once —
+//     the ring neighbor never changes afterwards);
 //   * a rank leaves the phase when its own outbound DMA has drained AND
 //     its inbound chunk has landed — the neighbor dependency chain that
 //     makes ring collectives bulk-synchronous without any global barrier.
 //
 // Every quantity below is simulated time, so results are byte-identical at
-// any `sim_threads` (asserted by tests/par_des_determinism_test.cpp).
+// any `sim_threads` (asserted by tests/par_des_determinism_test.cpp and
+// tests/gpusim_row_fabric_test.cpp, the latter per fabric).
 #pragma once
 
 #include <cstdint>
@@ -31,6 +45,8 @@
 #include "core/units.hpp"
 #include "gpusim/collective.hpp"
 #include "gpusim/device.hpp"
+#include "interconnect/fabric.hpp"
+#include "interconnect/topology.hpp"
 #include "sim/conservative.hpp"
 
 namespace rsd::gpu {
@@ -39,6 +55,14 @@ struct RowParams {
   int gpus = 8;
   GpuInterconnect fabric = make_nvlink();
   DeviceParams device_params{};
+  /// Shape of the row interconnect (net::build_fabric). The default ring
+  /// reproduces the pre-machine-model row timing exactly.
+  net::FabricKind fabric_kind = net::FabricKind::kRing;
+  /// Chassis grouping recorded in the topology (device i -> chassis
+  /// i / gpus_per_chassis); hierarchical collectives reduce per chassis.
+  int gpus_per_chassis = 8;
+  /// Circuit retarget cost when fabric_kind is kOpticalCircuit.
+  SimDuration ocs_reconfigure = duration::microseconds(100.0);
   /// Worker threads for the engine; <= 0 resolves RSD_SIM_THREADS, else 1.
   int sim_threads = 0;
   /// Non-zero: seeded worker-claim jitter (determinism stress testing).
@@ -71,6 +95,7 @@ class PartitionedRow {
   [[nodiscard]] int size() const { return static_cast<int>(ranks_.size()); }
   [[nodiscard]] Device& device(int rank);
   [[nodiscard]] sim::ParallelEngine& engine() { return engine_; }
+  [[nodiscard]] const net::Topology& topology() const { return topo_; }
 
   /// Run the training loop to completion on every rank. Returns the row
   /// finish time (max over ranks). Callable once per row.
@@ -91,10 +116,13 @@ class PartitionedRow {
   sim::Task<> rank_loop(int rank, const RowTraining& training);
 
   RowParams params_;
+  net::Topology topo_;
   sim::ParallelEngine engine_;
   std::vector<std::unique_ptr<Rank>> ranks_;
   SimDuration per_transfer_ = SimDuration::zero();
+  SimDuration msg_delay_ = SimDuration::zero();
   Bytes chunk_ = 0;
+  bool ocs_first_send_ = false;
 };
 
 }  // namespace rsd::gpu

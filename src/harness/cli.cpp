@@ -11,7 +11,9 @@
 #include <vector>
 
 #include "core/csv.hpp"
+#include "core/error.hpp"
 #include "core/paths.hpp"
+#include "interconnect/fabric.hpp"
 #include "harness/context.hpp"
 #include "harness/registry.hpp"
 #include "harness/runner.hpp"
@@ -37,6 +39,9 @@ constexpr const char* kUsage =
     "                     (sim::ParallelEngine width). Outputs are byte-\n"
     "                     identical at any value; this is purely a speed\n"
     "                     knob (default: RSD_SIM_THREADS or 1)\n"
+    "  --fabric NAME      row fabric for fabric-aware experiments: ring,\n"
+    "                     fullmesh, eswitch, ocs, or all to sweep every\n"
+    "                     shape (default: RSD_FABRIC or all)\n"
     "  --runs N           repetitions for seeded protocols (default: 5)\n"
     "  --seed S           base seed for seeded protocols (default: 1)\n"
     "  --results-dir DIR  where CSVs/cache/manifest go (default: the\n"
@@ -143,6 +148,18 @@ int run_cli(int argc, const char* const* argv, std::ostream& out, std::ostream& 
       const auto v = int_value("--sim-threads", 1);
       if (!v) return 2;
       options.sim_threads = *v;
+    } else if (arg == "--fabric") {
+      const auto v = value("--fabric");
+      if (!v) return 2;
+      if (*v != "all") {
+        try {
+          (void)net::parse_fabric_kind(*v);
+        } catch (const Error& e) {
+          err << "rsd_bench: --fabric: " << e.what() << "\n";
+          return 2;
+        }
+      }
+      options.fabric = *v;
     } else if (arg == "--runs") {
       const auto v = int_value("--runs", 1);
       if (!v) return 2;

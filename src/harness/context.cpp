@@ -1,5 +1,7 @@
 #include "harness/context.hpp"
 
+#include <cstdlib>
+
 #include "core/csv.hpp"
 #include "core/paths.hpp"
 #include "exec/team.hpp"
@@ -13,6 +15,14 @@ std::filesystem::path resolve_results_dir(const ExperimentContext::Options& opti
   return options.results_dir.empty() ? rsd::results_dir() : options.results_dir;
 }
 
+std::string resolve_fabric(const ExperimentContext::Options& options) {
+  if (!options.fabric.empty()) return options.fabric;
+  if (const char* env = std::getenv("RSD_FABRIC"); env != nullptr && env[0] != '\0') {
+    return env;
+  }
+  return "all";
+}
+
 }  // namespace
 
 ExperimentContext::ExperimentContext(Options options)
@@ -21,6 +31,7 @@ ExperimentContext::ExperimentContext(Options options)
       runs_(options.runs >= 1 ? options.runs : 1),
       sim_threads_(options.sim_threads >= 1 ? options.sim_threads
                                             : exec::default_sim_thread_count()),
+      fabric_(resolve_fabric(options)),
       seed_(options.seed),
       out_(options.out != nullptr ? options.out : &std::cout),
       pool_(options.threads >= 1 ? options.threads : exec::default_thread_count()),

@@ -31,6 +31,10 @@ class ExperimentContext {
     /// (the RSD_SIM_THREADS env var, else 1). Tracked outputs are
     /// byte-identical at any value.
     int sim_threads = 0;
+    /// Row fabric for fabric-aware experiments ("ring", "fullmesh",
+    /// "eswitch", "ocs", or "all" to sweep). Empty resolves the RSD_FABRIC
+    /// env var, else "all" — mirroring the `--sim-threads` precedence.
+    std::string fabric;
     int runs = 5;                       ///< The paper's repetition protocol.
     std::uint64_t seed = 1;             ///< Base seed for seeded repetitions.
     std::ostream* out = &std::cout;
@@ -58,6 +62,11 @@ class ExperimentContext {
   /// (`--sim-threads` > RSD_SIM_THREADS > 1).
   [[nodiscard]] int sim_threads() const { return sim_threads_; }
 
+  /// Resolved fabric selection for fabric-aware experiments
+  /// (`--fabric` > RSD_FABRIC > "all"). Either a net::parse_fabric_kind
+  /// name or "all".
+  [[nodiscard]] const std::string& fabric() const { return fabric_; }
+
   /// Where the timeline export goes; empty when tracing is off.
   [[nodiscard]] const std::filesystem::path& trace_dir() const { return trace_dir_; }
   [[nodiscard]] bool tracing() const { return !trace_dir_.empty(); }
@@ -79,6 +88,7 @@ class ExperimentContext {
   std::filesystem::path trace_dir_;
   int runs_;
   int sim_threads_;
+  std::string fabric_;
   std::uint64_t seed_;
   std::ostream* out_;
   exec::Pool pool_;

@@ -1,0 +1,170 @@
+#include "interconnect/collective.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "core/error.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/sync.hpp"
+
+namespace rsd::net {
+
+namespace {
+
+sim::Task<> counted_transfer(Network& network, int src, int dst, Bytes bytes,
+                             sim::WaitGroup& wg) {
+  co_await network.transfer_between_devices(src, dst, bytes);
+  wg.done();
+}
+
+}  // namespace
+
+sim::Task<> ring_allreduce(Network& network, std::vector<int> ranks, Bytes bytes_per_rank) {
+  const int n = static_cast<int>(ranks.size());
+  if (n <= 1) co_return;
+  sim::Scheduler& sched = network.scheduler();
+  const Bytes chunk = bytes_per_rank / static_cast<Bytes>(n);
+  // Reduce-scatter then allgather: 2(n-1) bulk-synchronous phases, every
+  // rank shipping one chunk to its ring successor per phase.
+  const int phases = 2 * (n - 1);
+  for (int phase = 0; phase < phases; ++phase) {
+    sim::WaitGroup wg{sched};
+    wg.add(n);
+    for (int i = 0; i < n; ++i) {
+      sched.spawn(counted_transfer(network, ranks[static_cast<std::size_t>(i)],
+                                   ranks[static_cast<std::size_t>((i + 1) % n)], chunk, wg));
+    }
+    co_await wg.wait();
+  }
+}
+
+sim::Task<> tree_allreduce(Network& network, std::vector<int> ranks, Bytes bytes_per_rank) {
+  const int n = static_cast<int>(ranks.size());
+  if (n <= 1) co_return;
+  sim::Scheduler& sched = network.scheduler();
+  int rounds = 0;
+  while ((1 << rounds) < n) ++rounds;
+
+  // Binomial reduce towards ranks[0]: in round r, every surviving rank at
+  // an odd multiple of 2^r ships the full payload to its partner 2^r
+  // below. Rounds are bulk-synchronous (reduction needs both operands).
+  for (int r = 0; r < rounds; ++r) {
+    const int stride = 1 << r;
+    sim::WaitGroup wg{sched};
+    int sends = 0;
+    for (int i = stride; i < n; i += 2 * stride) {
+      ++sends;
+      wg.add(1);
+      sched.spawn(counted_transfer(network, ranks[static_cast<std::size_t>(i)],
+                                   ranks[static_cast<std::size_t>(i - stride)],
+                                   bytes_per_rank, wg));
+    }
+    if (sends > 0) co_await wg.wait();
+  }
+
+  // Binomial broadcast back down: mirror rounds in reverse order.
+  for (int r = rounds - 1; r >= 0; --r) {
+    const int stride = 1 << r;
+    sim::WaitGroup wg{sched};
+    int sends = 0;
+    for (int i = stride; i < n; i += 2 * stride) {
+      ++sends;
+      wg.add(1);
+      sched.spawn(counted_transfer(network, ranks[static_cast<std::size_t>(i - stride)],
+                                   ranks[static_cast<std::size_t>(i)], bytes_per_rank, wg));
+    }
+    if (sends > 0) co_await wg.wait();
+  }
+}
+
+sim::Task<> hierarchical_allreduce(Network& network, std::vector<int> ranks,
+                                   Bytes bytes_per_rank) {
+  const int n = static_cast<int>(ranks.size());
+  if (n <= 1) co_return;
+  sim::Scheduler& sched = network.scheduler();
+
+  // Group by chassis tag (std::map: deterministic ascending-tag order).
+  std::map<int, std::vector<int>> groups;
+  for (const int rank : ranks) {
+    groups[network.topology().node(network.topology().device(rank)).chassis].push_back(rank);
+  }
+
+  // Stage 1: ring allreduce inside every chassis, all chassis concurrent.
+  {
+    sim::WaitGroup wg{sched};
+    for (const auto& [tag, members] : groups) {
+      if (members.size() < 2) continue;
+      wg.add(1);
+      sched.spawn([](Network& net, std::vector<int> group, Bytes bytes,
+                     sim::WaitGroup& group_wg) -> sim::Task<> {
+        co_await ring_allreduce(net, std::move(group), bytes);
+        group_wg.done();
+      }(network, members, bytes_per_rank, wg));
+    }
+    if (wg.count() > 0) co_await wg.wait();
+  }
+
+  // Stage 2: ring allreduce across the chassis leaders.
+  std::vector<int> leaders;
+  leaders.reserve(groups.size());
+  for (const auto& [tag, members] : groups) leaders.push_back(members.front());
+  co_await ring_allreduce(network, leaders, bytes_per_rank);
+
+  // Stage 3: leaders fan the reduced payload back out to their chassis;
+  // the shared leader uplink serialises the copies via link contention.
+  {
+    sim::WaitGroup wg{sched};
+    for (const auto& [tag, members] : groups) {
+      for (std::size_t m = 1; m < members.size(); ++m) {
+        wg.add(1);
+        sched.spawn(
+            counted_transfer(network, members.front(), members[m], bytes_per_rank, wg));
+      }
+    }
+    if (wg.count() > 0) co_await wg.wait();
+  }
+}
+
+sim::Task<> run_allreduce(Network& network, Algorithm algorithm, Bytes bytes_per_rank,
+                          int participants) {
+  if (participants < 1) {
+    throw Error{ErrorCode::kInvalidArgument, "net::run_allreduce: participants must be >= 1"};
+  }
+  if (participants > network.topology().device_count()) {
+    throw Error{ErrorCode::kInvalidArgument,
+                "net::run_allreduce: " + std::to_string(participants) +
+                    " participants exceed the topology's " +
+                    std::to_string(network.topology().device_count()) + " devices"};
+  }
+  std::vector<int> ranks(static_cast<std::size_t>(participants));
+  for (int i = 0; i < participants; ++i) ranks[static_cast<std::size_t>(i)] = i;
+  switch (algorithm) {
+    case Algorithm::kRing:
+      return ring_allreduce(network, std::move(ranks), bytes_per_rank);
+    case Algorithm::kTree:
+      return tree_allreduce(network, std::move(ranks), bytes_per_rank);
+    case Algorithm::kHierarchical:
+      return hierarchical_allreduce(network, std::move(ranks), bytes_per_rank);
+  }
+  throw Error{ErrorCode::kInvalidArgument, "net::run_allreduce: unknown algorithm"};
+}
+
+AllreduceReport measure_allreduce(const Topology& topology, Algorithm algorithm,
+                                  Bytes bytes_per_rank, int participants) {
+  sim::Scheduler sched;
+  AllreduceReport report;
+  {
+    Network network{sched, topology};
+    sched.spawn(run_allreduce(network, algorithm, bytes_per_rank, participants));
+    sched.run();
+    RSD_ASSERT(sched.unfinished_count() == 0);
+    report.transfers = network.transfers();
+    report.contended_transfers = network.contended_transfers();
+    report.reconfigurations = network.reconfigurations();
+    report.link_busy_total = network.link_busy_total();
+  }
+  report.duration = sched.now() - SimTime::zero();
+  return report;
+}
+
+}  // namespace rsd::net

@@ -1,0 +1,63 @@
+// Event-driven collectives over a modeled link network.
+//
+// These are the scheduled counterparts of the closed-form alpha-beta
+// formulas in gpusim/collective.hpp: each algorithm decomposes an
+// allreduce into individual point-to-point transfers and schedules them
+// over `net::Network` links with FIFO contention, so fabric shape,
+// shared-link queueing, and OCS circuit reconfiguration all show up in
+// the result. On an uncontended fabric the ring and tree algorithms
+// reproduce `ring_allreduce_time` / `tree_allreduce_time` exactly — the
+// analytic forms stay as the documented cross-check, asserted by
+// tests/net_collective_test.cpp.
+//
+//   * ring:         2(n-1) bulk-synchronous neighbour phases moving
+//                   bytes/n chunks (reduce-scatter + allgather);
+//   * tree:         binomial reduce to rank 0 then binomial broadcast,
+//                   full payload per transfer, 2*ceil(log2 n) rounds;
+//   * hierarchical: ring allreduce inside each chassis, ring allreduce
+//                   across chassis leaders, then leaders fan the result
+//                   back out — the intra-chassis-then-inter-chassis
+//                   pattern a row of CDI chassis wants.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/units.hpp"
+#include "interconnect/fabric.hpp"
+#include "interconnect/network.hpp"
+#include "sim/task.hpp"
+
+namespace rsd::net {
+
+/// Allreduce `bytes_per_rank` across the devices listed in `ranks`
+/// (device indices into the network's topology, all distinct). Resumes
+/// when every rank holds the reduced result.
+sim::Task<> ring_allreduce(Network& network, std::vector<int> ranks, Bytes bytes_per_rank);
+sim::Task<> tree_allreduce(Network& network, std::vector<int> ranks, Bytes bytes_per_rank);
+/// Groups `ranks` by their devices' chassis tags in the topology.
+sim::Task<> hierarchical_allreduce(Network& network, std::vector<int> ranks,
+                                   Bytes bytes_per_rank);
+
+/// Dispatch on `algorithm` over the first `participants` devices.
+/// Throws rsd::Error{kInvalidArgument} when participants < 1 or exceeds
+/// the topology's device count.
+sim::Task<> run_allreduce(Network& network, Algorithm algorithm, Bytes bytes_per_rank,
+                          int participants);
+
+/// One-shot measurement harness: build a private scheduler + network over
+/// `topology`, run the collective to completion, report simulated
+/// duration and the network's transfer statistics. Deterministic.
+struct AllreduceReport {
+  SimDuration duration;
+  std::uint64_t transfers = 0;
+  std::uint64_t contended_transfers = 0;
+  std::uint64_t reconfigurations = 0;
+  SimDuration link_busy_total;
+};
+
+[[nodiscard]] AllreduceReport measure_allreduce(const Topology& topology,
+                                                Algorithm algorithm, Bytes bytes_per_rank,
+                                                int participants);
+
+}  // namespace rsd::net

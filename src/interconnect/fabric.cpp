@@ -1,0 +1,122 @@
+#include "interconnect/fabric.hpp"
+
+#include <string>
+
+#include "core/error.hpp"
+
+namespace rsd::net {
+
+const char* to_string(FabricKind kind) {
+  switch (kind) {
+    case FabricKind::kRing: return "ring";
+    case FabricKind::kFullMesh: return "fullmesh";
+    case FabricKind::kElectricalSwitch: return "eswitch";
+    case FabricKind::kOpticalCircuit: return "ocs";
+  }
+  return "?";
+}
+
+const char* to_string(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kRing: return "ring";
+    case Algorithm::kTree: return "tree";
+    case Algorithm::kHierarchical: return "hierarchical";
+  }
+  return "?";
+}
+
+FabricKind parse_fabric_kind(std::string_view name) {
+  if (name == "ring") return FabricKind::kRing;
+  if (name == "fullmesh" || name == "full-mesh" || name == "mesh") {
+    return FabricKind::kFullMesh;
+  }
+  if (name == "eswitch" || name == "electrical-switch" || name == "electrical") {
+    return FabricKind::kElectricalSwitch;
+  }
+  if (name == "ocs" || name == "optical" || name == "optical-circuit-switch") {
+    return FabricKind::kOpticalCircuit;
+  }
+  throw Error{ErrorCode::kInvalidArgument,
+              "unknown fabric '" + std::string{name} +
+                  "' (expected ring, fullmesh, eswitch, or ocs)"};
+}
+
+const std::vector<FabricKind>& all_fabric_kinds() {
+  static const std::vector<FabricKind> kinds{
+      FabricKind::kRing, FabricKind::kFullMesh, FabricKind::kElectricalSwitch,
+      FabricKind::kOpticalCircuit};
+  return kinds;
+}
+
+namespace {
+
+void add_gpus(Topology& topo, const FabricParams& params) {
+  for (int i = 0; i < params.gpus; ++i) {
+    topo.add_node(NodeDesc{.name = "gpu" + std::to_string(i),
+                           .kind = NodeKind::kGpu,
+                           .chassis = i / params.gpus_per_chassis});
+  }
+}
+
+}  // namespace
+
+Topology build_fabric(const FabricParams& params) {
+  if (params.gpus < 1) {
+    throw Error{ErrorCode::kInvalidArgument, "net::build_fabric: gpus must be >= 1"};
+  }
+  if (params.gpus_per_chassis < 1) {
+    throw Error{ErrorCode::kInvalidArgument,
+                "net::build_fabric: gpus_per_chassis must be >= 1"};
+  }
+
+  Topology topo;
+  add_gpus(topo, params);
+
+  switch (params.kind) {
+    case FabricKind::kRing:
+      // i <-> i+1 mod n; a ring of two collapses to one duplex pair.
+      for (int i = 0; i < params.gpus; ++i) {
+        const int next = (i + 1) % params.gpus;
+        if (next == i) break;                 // single GPU: no links
+        if (params.gpus == 2 && i == 1) break;  // avoid doubling 0 <-> 1
+        topo.add_duplex(topo.device(i), topo.device(next), LinkKind::kNvlink,
+                        params.link_bandwidth_gib_s, params.link_latency);
+      }
+      break;
+
+    case FabricKind::kFullMesh:
+      for (int i = 0; i < params.gpus; ++i) {
+        for (int j = i + 1; j < params.gpus; ++j) {
+          topo.add_duplex(topo.device(i), topo.device(j), LinkKind::kNvlink,
+                          params.link_bandwidth_gib_s, params.link_latency);
+        }
+      }
+      break;
+
+    case FabricKind::kElectricalSwitch: {
+      const NodeId sw = topo.add_node(NodeDesc{.name = "eswitch",
+                                               .kind = NodeKind::kSwitch,
+                                               .forward_latency = params.switch_hop_latency});
+      for (int i = 0; i < params.gpus; ++i) {
+        topo.add_duplex(topo.device(i), sw, LinkKind::kSwitch,
+                        params.link_bandwidth_gib_s, params.link_latency);
+      }
+      break;
+    }
+
+    case FabricKind::kOpticalCircuit: {
+      const NodeId sw = topo.add_node(
+          NodeDesc{.name = "ocs", .kind = NodeKind::kSwitch, .optical = true});
+      for (int i = 0; i < params.gpus; ++i) {
+        topo.add_duplex(topo.device(i), sw, LinkKind::kFibre,
+                        params.link_bandwidth_gib_s, params.link_latency);
+      }
+      topo.set_ocs_reconfigure(params.ocs_reconfigure);
+      break;
+    }
+  }
+
+  return topo;
+}
+
+}  // namespace rsd::net

@@ -1,0 +1,76 @@
+// Pluggable row fabrics: factory functions that stamp out the four
+// row-scale interconnect shapes the paper's Discussion asks about, as
+// `net::Topology` link graphs.
+//
+//   * ring              — each GPU port wired to its two neighbours; the
+//                         cheapest row, bandwidth-optimal for ring
+//                         collectives, diameter n/2;
+//   * fullmesh          — a dedicated duplex link per GPU pair; an upper
+//                         bound no real row would build past a chassis;
+//   * eswitch           — one non-blocking electrical packet switch, every
+//                         GPU one port; per-hop forwarding latency;
+//   * ocs               — an optical circuit switch: passive (no per-hop
+//                         forwarding cost, fibre-class ports) but each
+//                         ingress port drives one circuit at a time and
+//                         retargeting it pays `ocs_reconfigure` — the
+//                         trade the fabric_compare experiment quantifies.
+//
+// A fabric name parses from the CLI/env (`--fabric` / RSD_FABRIC, see
+// harness::ExperimentContext): "ring", "fullmesh", "eswitch", "ocs".
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/units.hpp"
+#include "interconnect/topology.hpp"
+
+namespace rsd::net {
+
+enum class FabricKind : std::uint8_t {
+  kRing,
+  kFullMesh,
+  kElectricalSwitch,
+  kOpticalCircuit,
+};
+
+[[nodiscard]] const char* to_string(FabricKind kind);
+/// Accepts the canonical names plus common aliases ("full-mesh",
+/// "electrical-switch", "optical", ...). Throws rsd::Error{kInvalidArgument}
+/// on anything else.
+[[nodiscard]] FabricKind parse_fabric_kind(std::string_view name);
+[[nodiscard]] const std::vector<FabricKind>& all_fabric_kinds();
+
+struct FabricParams {
+  FabricKind kind = FabricKind::kRing;
+  int gpus = 8;
+  /// Chassis grouping: device i belongs to chassis i / gpus_per_chassis
+  /// (hierarchical collectives reduce inside a chassis first).
+  int gpus_per_chassis = 8;
+  /// Per-port link characteristics (NVLink-class defaults).
+  double link_bandwidth_gib_s = 200.0;
+  SimDuration link_latency = duration::microseconds(2.0);
+  /// Electrical switch forwarding cost per traversal (matches
+  /// interconnect::CdiNetworkParams::per_hop_latency's scale).
+  SimDuration switch_hop_latency = duration::microseconds(0.12);
+  /// Optical circuit retarget delay (fast MEMS/AWGR-class OCS).
+  SimDuration ocs_reconfigure = duration::microseconds(100.0);
+};
+
+/// Build the fabric's link graph. Throws rsd::Error{kInvalidArgument} on
+/// gpus < 1 or gpus_per_chassis < 1.
+[[nodiscard]] Topology build_fabric(const FabricParams& params);
+
+/// The event-driven collective algorithms layered over a fabric
+/// (collective.hpp); parsed alongside the fabric name where experiments
+/// take an algorithm column.
+enum class Algorithm : std::uint8_t {
+  kRing,          ///< 2(n-1) neighbour phases of bytes/n (bandwidth-optimal).
+  kTree,          ///< Binomial reduce + broadcast of the full payload.
+  kHierarchical,  ///< Ring inside each chassis, ring across leaders, fan-out.
+};
+
+[[nodiscard]] const char* to_string(Algorithm algorithm);
+
+}  // namespace rsd::net

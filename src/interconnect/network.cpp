@@ -1,0 +1,72 @@
+#include "interconnect/network.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace rsd::net {
+
+Network::Network(sim::Scheduler& sched, const Topology& topology)
+    : sched_(sched), topo_(topology) {
+  links_.reserve(topo_.link_count());
+  for (std::size_t i = 0; i < topo_.link_count(); ++i) {
+    links_.push_back(std::make_unique<LinkState>(sched_));
+  }
+}
+
+Network::~Network() {
+  auto& reg = obs::Registry::global();
+  reg.counter("net.transfers").add(static_cast<std::int64_t>(transfers_));
+  reg.counter("net.contended_transfers").add(static_cast<std::int64_t>(contended_));
+  reg.counter("net.reconfigs").add(static_cast<std::int64_t>(reconfigs_));
+  reg.counter("net.link_busy_ns").add(busy_total_.ns());
+}
+
+sim::Task<> Network::transfer(NodeId src, NodeId dst, Bytes bytes) {
+  const Path& path = topo_.route(src, dst);
+  ++transfers_;
+  bool queued = false;
+  for (std::size_t hop = 0; hop < path.links.size(); ++hop) {
+    const LinkId lid = path.links[hop];
+    const LinkDesc& desc = topo_.link(lid);
+    LinkState& state = *links_[static_cast<std::size_t>(lid)];
+
+    // Entering an optical circuit: the ingress port must point at the
+    // egress this path takes next; retargeting pays the reconfiguration
+    // delay before any byte moves.
+    if (topo_.node(desc.dst).optical && hop + 1 < path.links.size()) {
+      const LinkId egress = path.links[hop + 1];
+      if (state.circuit != egress) {
+        if (state.circuit != kInvalidLink || topo_.ocs_reconfigure().ns() > 0) {
+          // The very first configuration of an untouched port still pays:
+          // the circuit has to be set up either way.
+          ++reconfigs_;
+          co_await sim::delay(topo_.ocs_reconfigure());
+        }
+        state.circuit = egress;
+      }
+    }
+
+    if (state.server.available() == 0) queued = true;
+    co_await state.server.acquire();
+    const SimDuration serialize = duration::seconds(
+        static_cast<double>(bytes) / (desc.bandwidth_gib_s * static_cast<double>(kGiB)));
+    co_await sim::delay(serialize);
+    state.busy = state.busy + serialize;
+    busy_total_ = busy_total_ + serialize;
+    state.server.release();
+
+    // Propagation (plus the crossed node's forwarding cost) overlaps with
+    // the next payload on this link — the wire is already free.
+    SimDuration off_link = desc.latency;
+    if (hop + 1 < path.links.size()) {
+      off_link = off_link + topo_.node(desc.dst).forward_latency;
+    }
+    co_await sim::delay(off_link);
+  }
+  if (queued) ++contended_;
+}
+
+sim::Task<> Network::transfer_between_devices(int src_device, int dst_device, Bytes bytes) {
+  return transfer(topo_.device(src_device), topo_.device(dst_device), bytes);
+}
+
+}  // namespace rsd::net

@@ -1,0 +1,87 @@
+// Event-driven link network (`net::Network`): binds a Topology to a
+// discrete-event scheduler and executes transfers as timestamped per-link
+// occupations with FIFO contention.
+//
+// Model: store-and-forward pipelining. A transfer walks its routed path
+// link by link; each link is a FIFO server (sim::Semaphore of one permit)
+// occupied for the payload's serialisation time, after which propagation
+// latency (plus the forwarding latency of the node being crossed) elapses
+// off-link — so back-to-back transfers pipeline on a link, and two
+// transfers crossing the same link genuinely queue. On an uncontended
+// single-hop path the cost collapses to latency + bytes/bandwidth, which
+// is exactly the closed-form alpha-beta transfer — the parity the
+// analytic models in gpusim/collective.hpp are kept around to cross-check
+// (tests/net_collective_test.cpp).
+//
+// Optical circuit switches add circuit state: each ingress port drives
+// one egress at a time, and a transfer that needs the port pointed
+// elsewhere first pays the topology's reconfiguration delay. The circuit
+// map lives in the Network (per simulation), so replays are
+// deterministic.
+//
+// Counters (transfers, queued acquisitions, circuit reconfigurations,
+// per-link busy time) accumulate locally and flush into the global
+// obs::Registry at destruction — the same quiesce-point discipline as
+// gpu::Device.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/units.hpp"
+#include "interconnect/topology.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace rsd::net {
+
+class Network {
+ public:
+  /// The topology must outlive the network.
+  Network(sim::Scheduler& sched, const Topology& topology);
+  ~Network();
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  [[nodiscard]] sim::Scheduler& scheduler() { return sched_; }
+  [[nodiscard]] const Topology& topology() const { return topo_; }
+
+  /// Move `bytes` from node `src` to node `dst` over the routed path.
+  /// Resumes when the last byte arrives at `dst`.
+  sim::Task<> transfer(NodeId src, NodeId dst, Bytes bytes);
+
+  /// Device-index convenience (device i = topology().device(i)).
+  sim::Task<> transfer_between_devices(int src_device, int dst_device, Bytes bytes);
+
+  // -- Deterministic statistics ------------------------------------------
+  [[nodiscard]] std::uint64_t transfers() const { return transfers_; }
+  /// Transfers that found at least one link busy and had to queue.
+  [[nodiscard]] std::uint64_t contended_transfers() const { return contended_; }
+  [[nodiscard]] std::uint64_t reconfigurations() const { return reconfigs_; }
+  [[nodiscard]] SimDuration link_busy_total() const { return busy_total_; }
+  [[nodiscard]] SimDuration link_busy(LinkId link) const {
+    return links_.at(static_cast<std::size_t>(link))->busy;
+  }
+
+ private:
+  struct LinkState {
+    explicit LinkState(sim::Scheduler& sched) : server(sched, 1) {}
+    sim::Semaphore server;            ///< FIFO wire occupation.
+    SimDuration busy = SimDuration::zero();
+    /// Optical ingress ports: the egress link the circuit currently
+    /// drives; kInvalidLink until first configured.
+    LinkId circuit = kInvalidLink;
+  };
+
+  sim::Scheduler& sched_;
+  const Topology& topo_;
+  std::vector<std::unique_ptr<LinkState>> links_;
+  std::uint64_t transfers_ = 0;
+  std::uint64_t contended_ = 0;
+  std::uint64_t reconfigs_ = 0;
+  SimDuration busy_total_ = SimDuration::zero();
+};
+
+}  // namespace rsd::net

@@ -1,0 +1,202 @@
+#include "interconnect/topology.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <tuple>
+
+namespace rsd::net {
+
+const char* to_string(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kGpu: return "gpu";
+    case NodeKind::kHost: return "host";
+    case NodeKind::kNic: return "nic";
+    case NodeKind::kSwitch: return "switch";
+  }
+  return "?";
+}
+
+const char* to_string(LinkKind kind) {
+  switch (kind) {
+    case LinkKind::kNvlink: return "nvlink";
+    case LinkKind::kPcie: return "pcie";
+    case LinkKind::kNic: return "nic";
+    case LinkKind::kSwitch: return "switch";
+    case LinkKind::kFibre: return "fibre";
+  }
+  return "?";
+}
+
+NodeId Topology::add_node(NodeDesc desc) {
+  const auto id = static_cast<NodeId>(nodes_.size());
+  if (desc.kind == NodeKind::kGpu) devices_.push_back(id);
+  nodes_.push_back(std::move(desc));
+  out_.emplace_back();
+  return id;
+}
+
+LinkId Topology::add_link(LinkDesc desc) {
+  const auto n = static_cast<NodeId>(nodes_.size());
+  if (desc.src < 0 || desc.src >= n || desc.dst < 0 || desc.dst >= n) {
+    throw Error{ErrorCode::kInvalidArgument, "net::Topology: link endpoint out of range"};
+  }
+  if (desc.src == desc.dst) {
+    throw Error{ErrorCode::kInvalidArgument, "net::Topology: self-loop link"};
+  }
+  if (!(desc.bandwidth_gib_s > 0.0)) {
+    throw Error{ErrorCode::kInvalidArgument, "net::Topology: non-positive link bandwidth"};
+  }
+  if (desc.latency.ns() < 0) {
+    throw Error{ErrorCode::kInvalidArgument, "net::Topology: negative link latency"};
+  }
+  const auto id = static_cast<LinkId>(links_.size());
+  out_[static_cast<std::size_t>(desc.src)].push_back(id);
+  links_.push_back(desc);
+  route_cache_.clear();
+  return id;
+}
+
+void Topology::add_duplex(NodeId a, NodeId b, LinkKind kind, double bandwidth_gib_s,
+                          SimDuration latency) {
+  add_link(LinkDesc{a, b, kind, bandwidth_gib_s, latency});
+  add_link(LinkDesc{b, a, kind, bandwidth_gib_s, latency});
+}
+
+std::vector<int> Topology::device_chassis_tags() const {
+  std::vector<int> tags;
+  for (const NodeId id : devices_) {
+    const int tag = node(id).chassis;
+    if (std::find(tags.begin(), tags.end(), tag) == tags.end()) tags.push_back(tag);
+  }
+  return tags;
+}
+
+namespace {
+
+/// Dijkstra frontier entry ordered by (latency, hops, node id) — a total
+/// order over simulation state only, so routes never depend on container
+/// iteration quirks or thread timing.
+struct Frontier {
+  std::int64_t latency_ns;
+  int hops;
+  NodeId node;
+
+  [[nodiscard]] bool operator>(const Frontier& o) const {
+    return std::tie(latency_ns, hops, node) > std::tie(o.latency_ns, o.hops, o.node);
+  }
+};
+
+}  // namespace
+
+const Path& Topology::route(NodeId src, NodeId dst) const {
+  const auto n = static_cast<NodeId>(nodes_.size());
+  if (src < 0 || src >= n || dst < 0 || dst >= n || src == dst) {
+    throw Error{ErrorCode::kInvalidArgument, "net::Topology::route: bad endpoints"};
+  }
+  const std::uint64_t key = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+                            static_cast<std::uint32_t>(dst);
+  if (const auto it = route_cache_.find(key); it != route_cache_.end()) return it->second;
+
+  constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max();
+  std::vector<std::int64_t> dist(nodes_.size(), kInf);
+  std::vector<int> hops(nodes_.size(), 0);
+  std::vector<LinkId> via(nodes_.size(), kInvalidLink);
+  std::priority_queue<Frontier, std::vector<Frontier>, std::greater<>> frontier;
+  dist[static_cast<std::size_t>(src)] = 0;
+  frontier.push(Frontier{0, 0, src});
+
+  while (!frontier.empty()) {
+    const Frontier f = frontier.top();
+    frontier.pop();
+    if (f.latency_ns > dist[static_cast<std::size_t>(f.node)]) continue;
+    if (f.node == dst) break;
+    // Leaving an intermediate node pays its forwarding latency (the
+    // source endpoint forwards nothing of its own).
+    const std::int64_t forward =
+        f.node == src ? 0 : node(f.node).forward_latency.ns();
+    for (const LinkId lid : out_[static_cast<std::size_t>(f.node)]) {
+      const LinkDesc& l = links_[static_cast<std::size_t>(lid)];
+      const std::int64_t cand = f.latency_ns + forward + l.latency.ns();
+      auto& best = dist[static_cast<std::size_t>(l.dst)];
+      auto& best_hops = hops[static_cast<std::size_t>(l.dst)];
+      const int cand_hops = f.hops + 1;
+      if (cand < best || (cand == best && cand_hops < best_hops)) {
+        best = cand;
+        best_hops = cand_hops;
+        via[static_cast<std::size_t>(l.dst)] = lid;
+        frontier.push(Frontier{cand, cand_hops, l.dst});
+      }
+    }
+  }
+
+  if (dist[static_cast<std::size_t>(dst)] == kInf) {
+    throw Error{ErrorCode::kInvalidArgument,
+                "net::Topology::route: no path " + node(src).name + " -> " + node(dst).name};
+  }
+
+  Path path;
+  path.latency = duration::nanoseconds(dist[static_cast<std::size_t>(dst)]);
+  path.bottleneck_gib_s = std::numeric_limits<double>::infinity();
+  for (NodeId at = dst; at != src;) {
+    const LinkId lid = via[static_cast<std::size_t>(at)];
+    const LinkDesc& l = links_[static_cast<std::size_t>(lid)];
+    path.links.push_back(lid);
+    path.bottleneck_gib_s = std::min(path.bottleneck_gib_s, l.bandwidth_gib_s);
+    if (l.dst != dst && node(l.dst).optical) ++path.optical_hops;
+    at = l.src;
+  }
+  std::reverse(path.links.begin(), path.links.end());
+  return route_cache_.emplace(key, std::move(path)).first->second;
+}
+
+SimDuration Topology::transfer_time(NodeId src, NodeId dst, Bytes bytes) const {
+  const Path& p = route(src, dst);
+  return p.latency + duration::seconds(static_cast<double>(bytes) /
+                                       (p.bottleneck_gib_s * static_cast<double>(kGiB)));
+}
+
+SimDuration Topology::min_device_path_latency() const {
+  if (devices_.size() < 2) {
+    throw Error{ErrorCode::kInvalidState,
+                "net::Topology::min_device_path_latency: fewer than two devices"};
+  }
+  // One Dijkstra per source device, stopped at the first *other* device
+  // settled — Dijkstra settles nodes in latency order, so that device is
+  // the source's nearest. All-pairs route() here would be quadratic in
+  // devices times graph size (minutes on a 512-GPU full mesh).
+  constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max();
+  std::int64_t best = kInf;
+  std::vector<std::int64_t> dist(nodes_.size());
+  for (const NodeId src : devices_) {
+    std::fill(dist.begin(), dist.end(), kInf);
+    std::priority_queue<Frontier, std::vector<Frontier>, std::greater<>> frontier;
+    dist[static_cast<std::size_t>(src)] = 0;
+    frontier.push(Frontier{0, 0, src});
+    while (!frontier.empty()) {
+      const Frontier f = frontier.top();
+      frontier.pop();
+      if (f.latency_ns > dist[static_cast<std::size_t>(f.node)]) continue;
+      if (f.node != src && node(f.node).kind == NodeKind::kGpu) {
+        best = std::min(best, f.latency_ns);
+        break;
+      }
+      if (f.latency_ns >= best) break;  // no nearer device via this source
+      const std::int64_t forward = f.node == src ? 0 : node(f.node).forward_latency.ns();
+      for (const LinkId lid : out_[static_cast<std::size_t>(f.node)]) {
+        const LinkDesc& l = links_[static_cast<std::size_t>(lid)];
+        const std::int64_t cand = f.latency_ns + forward + l.latency.ns();
+        if (cand < dist[static_cast<std::size_t>(l.dst)]) {
+          dist[static_cast<std::size_t>(l.dst)] = cand;
+          frontier.push(Frontier{cand, f.hops + 1, l.dst});
+        }
+      }
+    }
+  }
+  if (best == kInf) {
+    throw Error{ErrorCode::kInvalidState,
+                "net::Topology::min_device_path_latency: devices are unreachable"};
+  }
+  return duration::nanoseconds(best);
+}
+
+}  // namespace rsd::net

@@ -1,0 +1,160 @@
+// Link-graph machine model (`rsd::net`).
+//
+// The paper's subject is a *row*: hundreds of GPUs whose traffic crosses
+// NVLink ports, PCIe stubs, NICs, electrical or optical switches, and
+// runs of fibre. A `Topology` models that machine explicitly as a graph —
+// devices and switches as vertices, individual links as directed edges,
+// each edge carrying its own bandwidth and latency — so collective
+// algorithms can be scheduled as timestamped transfers over real paths
+// instead of priced by a single closed-form alpha-beta scalar
+// (`gpu::ring_allreduce_time` remains as the documented analytic
+// cross-check; tests/net_collective_test.cpp pins the two against each
+// other on uncontended fabrics).
+//
+// Routing is deterministic: min-latency paths (ties broken by hop count,
+// then node id) computed by Dijkstra and cached per (src, dst) pair. Path
+// latency sums link latencies plus the forwarding latency of intermediate
+// nodes (an electrical switch's per-hop cost); path bandwidth is the
+// bottleneck link. `min_device_path_latency()` — the smallest latency any
+// device-to-device message can possibly have — is what `gpu::
+// PartitionedRow` hands the conservative parallel engine as lookahead.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/units.hpp"
+
+namespace rsd::net {
+
+using NodeId = std::int32_t;
+using LinkId = std::int32_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr LinkId kInvalidLink = -1;
+
+enum class NodeKind : std::uint8_t {
+  kGpu,     ///< A simulated accelerator (maps to one gpu::Device / rank).
+  kHost,    ///< A CPU host endpoint.
+  kNic,     ///< Network interface between a chassis and the row fabric.
+  kSwitch,  ///< Packet (electrical) or circuit (optical) switch.
+};
+
+enum class LinkKind : std::uint8_t {
+  kNvlink,  ///< Chassis-internal GPU fabric port.
+  kPcie,    ///< Host/stub PCIe hop.
+  kNic,     ///< NIC traversal.
+  kSwitch,  ///< Switch port (electrical).
+  kFibre,   ///< Optical fibre run (OCS port or long-haul).
+};
+
+[[nodiscard]] const char* to_string(NodeKind kind);
+[[nodiscard]] const char* to_string(LinkKind kind);
+
+struct NodeDesc {
+  std::string name;
+  NodeKind kind = NodeKind::kGpu;
+  /// Chassis grouping (hierarchical collectives); -1 = ungrouped.
+  int chassis = -1;
+  /// Forwarding latency charged when a path crosses this node as an
+  /// intermediate hop (an electrical switch's per-hop cost; zero for a
+  /// passive optical circuit).
+  SimDuration forward_latency = SimDuration::zero();
+  /// True for an optical circuit switch: traffic entering on a port must
+  /// match that port's configured circuit, and retargeting the circuit
+  /// costs the topology's `ocs_reconfigure` delay.
+  bool optical = false;
+};
+
+struct LinkDesc {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  LinkKind kind = LinkKind::kNvlink;
+  double bandwidth_gib_s = 1.0;
+  SimDuration latency = SimDuration::zero();
+};
+
+/// A routed path: the directed links crossed in order, the total fixed
+/// latency (links + intermediate forwarding), and the bottleneck
+/// bandwidth. `optical_hops` counts traversed optical-switch circuits —
+/// non-zero means the transfer is subject to circuit reconfiguration.
+struct Path {
+  std::vector<LinkId> links;
+  SimDuration latency = SimDuration::zero();
+  double bottleneck_gib_s = 0.0;
+  int optical_hops = 0;
+
+  [[nodiscard]] bool valid() const { return !links.empty(); }
+};
+
+class Topology {
+ public:
+  Topology() = default;
+
+  NodeId add_node(NodeDesc desc);
+  /// One directed link. Throws rsd::Error{kInvalidArgument} on a self
+  /// loop, an unknown endpoint, or non-positive bandwidth.
+  LinkId add_link(LinkDesc desc);
+  /// Two directed links, one per direction (the common case).
+  void add_duplex(NodeId a, NodeId b, LinkKind kind, double bandwidth_gib_s,
+                  SimDuration latency);
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t link_count() const { return links_.size(); }
+  [[nodiscard]] const NodeDesc& node(NodeId id) const {
+    return nodes_.at(static_cast<std::size_t>(id));
+  }
+  [[nodiscard]] const LinkDesc& link(LinkId id) const {
+    return links_.at(static_cast<std::size_t>(id));
+  }
+
+  /// Devices (kGpu nodes) in insertion order: device index -> node id.
+  [[nodiscard]] int device_count() const { return static_cast<int>(devices_.size()); }
+  [[nodiscard]] NodeId device(int index) const {
+    return devices_.at(static_cast<std::size_t>(index));
+  }
+
+  /// Distinct chassis tags across devices (>= 1 when any device is tagged).
+  [[nodiscard]] std::vector<int> device_chassis_tags() const;
+
+  /// Min-latency route from src to dst. Throws rsd::Error{kInvalidArgument}
+  /// when no route exists. Cached; the cache is invalidated by add_link.
+  [[nodiscard]] const Path& route(NodeId src, NodeId dst) const;
+
+  /// Analytic single-transfer cost over the routed path: fixed path
+  /// latency plus serialisation at the bottleneck link (cut-through; the
+  /// event-driven Network charges per-link store-and-forward and queueing
+  /// on top of contention).
+  [[nodiscard]] SimDuration transfer_time(NodeId src, NodeId dst, Bytes bytes) const;
+
+  /// The smallest path latency between any two distinct devices — the
+  /// tightest bound on how soon a device-to-device message can arrive,
+  /// i.e. the conservative lookahead of a partitioned row simulation.
+  /// Throws rsd::Error{kInvalidState} with fewer than two devices or when
+  /// some device pair is unreachable.
+  [[nodiscard]] SimDuration min_device_path_latency() const;
+
+  /// Circuit reconfiguration delay of every optical switch in this
+  /// topology (zero when there is none).
+  [[nodiscard]] SimDuration ocs_reconfigure() const { return ocs_reconfigure_; }
+  void set_ocs_reconfigure(SimDuration d) { ocs_reconfigure_ = d; }
+
+  /// Outbound links of `id` in insertion order.
+  [[nodiscard]] const std::vector<LinkId>& out_links(NodeId id) const {
+    return out_.at(static_cast<std::size_t>(id));
+  }
+
+ private:
+  std::vector<NodeDesc> nodes_;
+  std::vector<LinkDesc> links_;
+  std::vector<std::vector<LinkId>> out_;
+  std::vector<NodeId> devices_;
+  SimDuration ocs_reconfigure_ = SimDuration::zero();
+  mutable std::unordered_map<std::uint64_t, Path> route_cache_;
+};
+
+}  // namespace rsd::net

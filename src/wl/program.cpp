@@ -113,7 +113,7 @@ std::size_t Program::total_ops() const {
   return n;
 }
 
-void Program::validate() const {
+void Program::validate(int device_count) const {
   for (std::size_t l = 0; l < lanes.size(); ++l) {
     const Lane& lane = lanes[l];
     const auto fail = [l](const std::string& what) {
@@ -147,6 +147,11 @@ void Program::validate() const {
           break;
         case OpCode::kAllReduce:
           if (op.count < 1) fail("allreduce with no participants");
+          if (device_count > 0 && op.count > device_count) {
+            fail("allreduce with " + std::to_string(op.count) +
+                 " participants exceeds the machine's " + std::to_string(device_count) +
+                 " devices");
+          }
           break;
         default:
           break;

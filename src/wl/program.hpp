@@ -100,8 +100,11 @@ struct Program {
   [[nodiscard]] std::size_t total_ops() const;
 
   /// Structural checks: loops matched, buffer indices in range, allreduce
-  /// participant counts sane. Throws rsd::Error{kInvalidArgument}.
-  void validate() const;
+  /// participant counts sane. When `device_count` > 0, an allreduce whose
+  /// participant count exceeds the machine's device count is rejected too
+  /// (the replay wiring passes its topology's size). Throws
+  /// rsd::Error{kInvalidArgument}.
+  void validate(int device_count = 0) const;
 };
 
 }  // namespace rsd::wl

@@ -19,6 +19,7 @@ struct RunWiring {
   interconnect::SlackInjector* slack = nullptr;
   gpu::CommandPath path;
   gpu::SlackPosition slack_position = gpu::SlackPosition::kAfterCall;
+  net::Algorithm collective = net::Algorithm::kRing;
   bool gate = false;
 };
 
@@ -79,9 +80,13 @@ sim::Task<> run_lane(const Lane& lane, gpu::Device& device, const RunWiring& wir
         co_await sim::delay(op.dur);
         break;
       case OpCode::kAllReduce:
-        RSD_ASSERT(wiring.chassis != nullptr);
-        co_await wiring.chassis->ring_allreduce(op.bytes, static_cast<int>(op.count),
-                                                op.name);
+        if (wiring.chassis == nullptr) {
+          throw Error{ErrorCode::kInvalidState,
+                      "wl::ReplayEngine: allreduce op on a single-device node "
+                      "(set NodeParams::chassis_gpus)"};
+        }
+        co_await wiring.chassis->allreduce(wiring.collective, op.bytes,
+                                           static_cast<int>(op.count), op.name);
         break;
       case OpCode::kLoopBegin:
         if (op.count > 0) {
@@ -124,7 +129,9 @@ sim::Task<> plain_monitor(sim::Scheduler& sched, sim::WaitGroup& wg, SimTime& t1
 }  // namespace
 
 ReplayResult ReplayEngine::run(const Program& program, const ReplayOptions& options) const {
-  program.validate();
+  // An allreduce cannot span more devices than the node's machine model
+  // has (a single-device node counts as one).
+  program.validate(node_.chassis_gpus > 0 ? node_.chassis_gpus : 1);
 
   sim::Scheduler sched;
   std::optional<gpu::Device> device;
@@ -134,6 +141,7 @@ ReplayResult ReplayEngine::run(const Program& program, const ReplayOptions& opti
     params.gpus = node_.chassis_gpus;
     params.fabric = node_.fabric;
     params.device_params = node_.device_params;
+    params.fabric_kind = node_.fabric_kind;
     chassis.emplace(sched, std::move(params));
   } else {
     device.emplace(sched, node_.device_params,
@@ -156,6 +164,7 @@ ReplayResult ReplayEngine::run(const Program& program, const ReplayOptions& opti
   wiring.slack = options.inject_slack ? &slack : nullptr;
   wiring.path = options.command_path;
   wiring.slack_position = options.slack_position;
+  wiring.collective = node_.collective;
   wiring.gate = program.gate;
 
   const int lanes = static_cast<int>(program.lanes.size());

@@ -26,6 +26,7 @@
 #include "gpusim/collective.hpp"
 #include "gpusim/context.hpp"
 #include "gpusim/device.hpp"
+#include "interconnect/fabric.hpp"
 #include "interconnect/link.hpp"
 #include "trace/trace.hpp"
 #include "wl/program.hpp"
@@ -35,11 +36,16 @@ namespace rsd::wl {
 /// The simulated node a program runs on. `chassis_gpus == 0` builds one
 /// device behind `link` (PCIe gen4 x16 when unset); > 0 builds a CDI
 /// chassis of that many devices on `fabric` (lanes pick devices by index).
+/// The chassis' GPU<->GPU traffic is routed over a `net::Topology` of
+/// shape `fabric_kind`; `kAllReduce` ops execute as the event-driven
+/// `collective` algorithm scheduled over that machine model.
 struct NodeParams {
   gpu::DeviceParams device_params{};
   std::optional<interconnect::LinkParams> link{};
   int chassis_gpus = 0;
   gpu::GpuInterconnect fabric = gpu::make_nvlink();
+  net::FabricKind fabric_kind = net::FabricKind::kFullMesh;
+  net::Algorithm collective = net::Algorithm::kRing;
 };
 
 struct ReplayOptions {

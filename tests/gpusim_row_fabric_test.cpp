@@ -1,0 +1,107 @@
+// PartitionedRow under each pluggable fabric: the digest must be
+// byte-identical at any worker-thread count, the ring and full-mesh
+// fabrics must coincide (one hop either way for ring-successor traffic),
+// and a fabric whose device paths have zero latency must be rejected —
+// it cannot bound cross-partition message arrival.
+#include "gpusim/row.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/error.hpp"
+#include "interconnect/fabric.hpp"
+
+namespace rsd::gpu {
+namespace {
+
+using namespace rsd::literals;
+
+RowTraining small_training() {
+  RowTraining training;
+  training.kernels = {RowKernel{NameRef{"fwd"}, 50_us}, RowKernel{NameRef{"bwd"}, 100_us}};
+  training.submit_cost = 2_us;
+  training.gradient_bytes = 32 * kMiB;
+  training.steps = 2;
+  return training;
+}
+
+struct RowRun {
+  std::uint64_t digest;
+  SimTime finish;
+};
+
+RowRun run_row(net::FabricKind kind, int gpus, int threads) {
+  RowParams params;
+  params.gpus = gpus;
+  params.fabric_kind = kind;
+  params.sim_threads = threads;
+  PartitionedRow row{params};
+  const SimTime finish = row.run_training(small_training());
+  return RowRun{row.digest(), finish};
+}
+
+TEST(RowFabric, DigestIsThreadCountInvariantPerFabric) {
+  for (const net::FabricKind kind : net::all_fabric_kinds()) {
+    const RowRun base = run_row(kind, 16, 1);
+    for (const int threads : {2, 8}) {
+      const RowRun run = run_row(kind, 16, threads);
+      EXPECT_EQ(run.digest, base.digest)
+          << net::to_string(kind) << " at " << threads << " threads";
+      EXPECT_EQ(run.finish, base.finish) << net::to_string(kind);
+    }
+  }
+}
+
+TEST(RowFabric, RingAndFullMeshCoincide) {
+  // Ring traffic only crosses successor links; on both fabrics that is a
+  // single dedicated hop with the same latency and bandwidth.
+  const RowRun ring = run_row(net::FabricKind::kRing, 16, 2);
+  const RowRun mesh = run_row(net::FabricKind::kFullMesh, 16, 2);
+  EXPECT_EQ(ring.digest, mesh.digest);
+  EXPECT_EQ(ring.finish, mesh.finish);
+}
+
+TEST(RowFabric, SwitchedFabricsDiverge) {
+  const RowRun ring = run_row(net::FabricKind::kRing, 16, 2);
+  const RowRun eswitch = run_row(net::FabricKind::kElectricalSwitch, 16, 2);
+  const RowRun ocs = run_row(net::FabricKind::kOpticalCircuit, 16, 2);
+  // The electrical switch adds a forwarding hop to every chunk; the OCS
+  // drops the forwarding cost but pays one circuit reconfiguration per
+  // rank up front.
+  EXPECT_GT(eswitch.finish, ring.finish);
+  EXPECT_NE(ocs.digest, eswitch.digest);
+  EXPECT_NE(ocs.finish, eswitch.finish);
+}
+
+TEST(RowFabric, TopologyLookaheadMatchesShortestDevicePath) {
+  RowParams params;
+  params.gpus = 8;
+  params.fabric_kind = net::FabricKind::kElectricalSwitch;
+  PartitionedRow row{params};
+  EXPECT_EQ(row.topology().min_device_path_latency(),
+            params.fabric.latency + duration::microseconds(0.12) + params.fabric.latency);
+}
+
+TEST(RowFabric, ZeroLatencyFabricIsRejected) {
+  RowParams params;
+  params.gpus = 4;
+  params.fabric.latency = SimDuration::zero();
+  try {
+    PartitionedRow row{params};
+    FAIL() << "expected rsd::Error for a zero-latency device path";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInvalidArgument);
+  }
+}
+
+TEST(RowFabric, SingleGpuRowStillRuns) {
+  // One rank has no cross-partition traffic; the engine falls back to the
+  // link latency as lookahead and the allreduce is a no-op.
+  const RowRun run = run_row(net::FabricKind::kRing, 1, 1);
+  EXPECT_GT(run.finish, SimTime::zero());
+}
+
+}  // namespace
+}  // namespace rsd::gpu

@@ -1,0 +1,175 @@
+// Link-graph machine model: graph construction, deterministic routing,
+// fabric factories, and the lookahead bound the partitioned row takes
+// from the topology.
+#include "interconnect/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "interconnect/fabric.hpp"
+
+namespace rsd::net {
+namespace {
+
+using rsd::duration::microseconds;
+
+TEST(Topology, AddLinkValidatesEndpointsAndParameters) {
+  Topology topo;
+  const NodeId a = topo.add_node(NodeDesc{.name = "a"});
+  const NodeId b = topo.add_node(NodeDesc{.name = "b"});
+
+  EXPECT_THROW(topo.add_link(LinkDesc{a, a, LinkKind::kNvlink, 1.0, {}}), Error);
+  EXPECT_THROW(topo.add_link(LinkDesc{a, 99, LinkKind::kNvlink, 1.0, {}}), Error);
+  EXPECT_THROW(topo.add_link(LinkDesc{a, b, LinkKind::kNvlink, 0.0, {}}), Error);
+  EXPECT_THROW(
+      topo.add_link(LinkDesc{a, b, LinkKind::kNvlink, 1.0, duration::nanoseconds(-1)}),
+      Error);
+
+  topo.add_duplex(a, b, LinkKind::kNvlink, 100.0, microseconds(1.0));
+  EXPECT_EQ(topo.link_count(), 2u);
+  EXPECT_EQ(topo.device_count(), 2);
+}
+
+TEST(Topology, RoutePrefersLowerLatencyThenFewerHops) {
+  Topology topo;
+  const NodeId a = topo.add_node(NodeDesc{.name = "a"});
+  const NodeId b = topo.add_node(NodeDesc{.name = "b"});
+  const NodeId via = topo.add_node(NodeDesc{.name = "sw", .kind = NodeKind::kSwitch});
+  // Direct link is slow (10us); the two-hop path through the switch costs
+  // 2us + 2us and wins on latency.
+  topo.add_link(LinkDesc{a, b, LinkKind::kNvlink, 100.0, microseconds(10.0)});
+  topo.add_link(LinkDesc{a, via, LinkKind::kSwitch, 100.0, microseconds(2.0)});
+  topo.add_link(LinkDesc{via, b, LinkKind::kSwitch, 100.0, microseconds(2.0)});
+
+  const Path& p = topo.route(a, b);
+  EXPECT_EQ(p.links.size(), 2u);
+  EXPECT_EQ(p.latency, microseconds(4.0));
+
+  EXPECT_THROW((void)topo.route(a, a), Error);
+}
+
+TEST(Topology, IntermediateForwardLatencyIsCharged) {
+  Topology topo;
+  const NodeId a = topo.add_node(NodeDesc{.name = "a"});
+  const NodeId sw = topo.add_node(NodeDesc{
+      .name = "sw", .kind = NodeKind::kSwitch, .forward_latency = microseconds(0.5)});
+  const NodeId b = topo.add_node(NodeDesc{.name = "b"});
+  topo.add_link(LinkDesc{a, sw, LinkKind::kSwitch, 100.0, microseconds(1.0)});
+  topo.add_link(LinkDesc{sw, b, LinkKind::kSwitch, 100.0, microseconds(1.0)});
+
+  // 1us + 0.5us forwarding + 1us; the endpoints forward nothing.
+  EXPECT_EQ(topo.route(a, b).latency, microseconds(2.5));
+}
+
+TEST(Topology, TransferTimeUsesBottleneckBandwidth) {
+  Topology topo;
+  const NodeId a = topo.add_node(NodeDesc{.name = "a"});
+  const NodeId m = topo.add_node(NodeDesc{.name = "m", .kind = NodeKind::kSwitch});
+  const NodeId b = topo.add_node(NodeDesc{.name = "b"});
+  topo.add_link(LinkDesc{a, m, LinkKind::kNvlink, 200.0, microseconds(1.0)});
+  topo.add_link(LinkDesc{m, b, LinkKind::kNvlink, 50.0, microseconds(1.0)});
+
+  const Bytes bytes = 50 * kMiB;
+  const SimDuration expected =
+      microseconds(2.0) +
+      duration::seconds(static_cast<double>(bytes) / (50.0 * static_cast<double>(kGiB)));
+  EXPECT_EQ(topo.transfer_time(a, b, bytes), expected);
+  EXPECT_EQ(topo.route(a, b).bottleneck_gib_s, 50.0);
+}
+
+TEST(Topology, UnreachableRouteThrows) {
+  Topology topo;
+  const NodeId a = topo.add_node(NodeDesc{.name = "a"});
+  const NodeId b = topo.add_node(NodeDesc{.name = "b"});
+  topo.add_link(LinkDesc{a, b, LinkKind::kNvlink, 1.0, microseconds(1.0)});
+  EXPECT_THROW((void)topo.route(b, a), Error);  // directed: no reverse link
+}
+
+TEST(Topology, MinDevicePathLatencyMatchesAllPairsScan) {
+  FabricParams params;
+  params.gpus = 8;
+  for (const FabricKind kind : all_fabric_kinds()) {
+    params.kind = kind;
+    const Topology topo = build_fabric(params);
+    SimDuration best = SimDuration::max();
+    for (int i = 0; i < topo.device_count(); ++i) {
+      for (int j = 0; j < topo.device_count(); ++j) {
+        if (i == j) continue;
+        best = std::min(best, topo.route(topo.device(i), topo.device(j)).latency);
+      }
+    }
+    EXPECT_EQ(topo.min_device_path_latency(), best) << to_string(kind);
+  }
+}
+
+TEST(Topology, MinDevicePathLatencyNeedsTwoDevices) {
+  FabricParams params;
+  params.gpus = 1;
+  const Topology topo = build_fabric(params);
+  EXPECT_THROW((void)topo.min_device_path_latency(), Error);
+}
+
+TEST(Fabric, ShapesHaveExpectedStructure) {
+  FabricParams params;
+  params.gpus = 8;
+
+  params.kind = FabricKind::kRing;
+  const Topology ring = build_fabric(params);
+  EXPECT_EQ(ring.node_count(), 8u);
+  EXPECT_EQ(ring.link_count(), 16u);  // 8 duplex neighbor pairs
+  EXPECT_EQ(ring.min_device_path_latency(), params.link_latency);
+
+  params.kind = FabricKind::kFullMesh;
+  const Topology mesh = build_fabric(params);
+  EXPECT_EQ(mesh.link_count(), 8u * 7u);  // every ordered pair
+  EXPECT_EQ(mesh.route(mesh.device(0), mesh.device(5)).links.size(), 1u);
+
+  params.kind = FabricKind::kElectricalSwitch;
+  const Topology eswitch = build_fabric(params);
+  EXPECT_EQ(eswitch.node_count(), 9u);
+  const Path& via_switch = eswitch.route(eswitch.device(0), eswitch.device(7));
+  EXPECT_EQ(via_switch.links.size(), 2u);
+  EXPECT_EQ(via_switch.latency,
+            params.link_latency + params.switch_hop_latency + params.link_latency);
+
+  params.kind = FabricKind::kOpticalCircuit;
+  const Topology ocs = build_fabric(params);
+  EXPECT_EQ(ocs.route(ocs.device(0), ocs.device(7)).optical_hops, 1);
+  EXPECT_EQ(ocs.ocs_reconfigure(), params.ocs_reconfigure);
+  EXPECT_EQ(eswitch.route(eswitch.device(0), eswitch.device(7)).optical_hops, 0);
+}
+
+TEST(Fabric, TwoGpuRingIsOneDuplexPair) {
+  FabricParams params;
+  params.gpus = 2;
+  params.kind = FabricKind::kRing;
+  const Topology topo = build_fabric(params);
+  EXPECT_EQ(topo.link_count(), 2u);
+}
+
+TEST(Fabric, ParseNamesAndAliases) {
+  EXPECT_EQ(parse_fabric_kind("ring"), FabricKind::kRing);
+  EXPECT_EQ(parse_fabric_kind("fullmesh"), FabricKind::kFullMesh);
+  EXPECT_EQ(parse_fabric_kind("full-mesh"), FabricKind::kFullMesh);
+  EXPECT_EQ(parse_fabric_kind("eswitch"), FabricKind::kElectricalSwitch);
+  EXPECT_EQ(parse_fabric_kind("electrical"), FabricKind::kElectricalSwitch);
+  EXPECT_EQ(parse_fabric_kind("ocs"), FabricKind::kOpticalCircuit);
+  EXPECT_EQ(parse_fabric_kind("optical"), FabricKind::kOpticalCircuit);
+  EXPECT_THROW((void)parse_fabric_kind("torus"), Error);
+  for (const FabricKind kind : all_fabric_kinds()) {
+    EXPECT_EQ(parse_fabric_kind(to_string(kind)), kind);
+  }
+}
+
+TEST(Fabric, ChassisTagsFollowGpusPerChassis) {
+  FabricParams params;
+  params.gpus = 16;
+  params.gpus_per_chassis = 4;
+  const Topology topo = build_fabric(params);
+  EXPECT_EQ(topo.device_chassis_tags().size(), 4u);
+  EXPECT_EQ(topo.node(topo.device(0)).chassis, 0);
+  EXPECT_EQ(topo.node(topo.device(15)).chassis, 3);
+}
+
+}  // namespace
+}  // namespace rsd::net

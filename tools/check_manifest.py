@@ -11,7 +11,11 @@ Checks (exit 0 on success, 1 with a diagnostic on the first violation):
     status (with an error string when failed), finite wall_s when
     present, a csv path list, and a metrics object;
   * metrics values are either numbers (counters/gauges) or histogram
-    objects with count/sum/mean/min/max, all finite.
+    objects with count/sum/mean/min/max, all finite;
+  * link-network counters (metrics named "net.*") are non-negative, and a
+    successful fabric_compare entry must carry net.transfers and
+    net.reconfigs — the Network flushes them at destruction, so their
+    absence means the experiment never drove the modeled links.
 """
 
 import json
@@ -46,6 +50,8 @@ def check_metrics(metrics, where):
                 fail(f"{where}: histogram {name!r} is inconsistent")
         else:
             check_finite_number(value, f"{where}: {name}")
+            if name.startswith("net.") and value < 0:
+                fail(f"{where}: link-network counter {name!r} is negative")
 
 
 def check_experiment(entry, index):
@@ -74,6 +80,11 @@ def check_experiment(entry, index):
     if "metrics" not in entry:
         fail(f"{where}: missing metrics object (manifest-v2 requires one)")
     check_metrics(entry["metrics"], where)
+    if name == "fabric_compare" and status == "ok":
+        for counter in ("net.transfers", "net.reconfigs"):
+            if counter not in entry["metrics"]:
+                fail(f"{where}: ok entry is missing {counter!r} (the Network "
+                     "flushes link counters at destruction)")
 
 
 def main():
