@@ -10,11 +10,13 @@ namespace {
 /// receiver's H2D engine for the duration (both ends of a fabric DMA).
 /// Names are interned once per phase by the caller, not per transfer.
 sim::Task<> fabric_transfer(Device& src, Device& dst, Bytes bytes, SimDuration duration,
-                            NameRef send_name, NameRef recv_name, sim::WaitGroup& wg) {
+                            SimDuration reconfig, NameRef send_name, NameRef recv_name,
+                            sim::WaitGroup& wg) {
   OpRecord send;
   send.kind = OpKind::kMemcpyD2H;
   send.name = send_name;
   send.bytes = bytes;
+  send.reconfig_penalty = reconfig;  // the sender's circuit paid the retarget
   OpRecord recv;
   recv.kind = OpKind::kMemcpyH2D;
   recv.name = recv_name;
@@ -65,14 +67,21 @@ void Chassis::set_record_sink(RecordSink* sink) {
   for (auto& d : devices_) d->set_record_sink(sink);
 }
 
-SimDuration Chassis::transfer_cost(int src, int dst, Bytes bytes) {
+SimDuration Chassis::transfer_cost(int src, int dst, Bytes bytes, SimDuration* reconfig) {
   const net::NodeId a = topo_.device(src);
   const net::NodeId b = topo_.device(dst);
   SimDuration cost = topo_.transfer_time(a, b, bytes);
+  SimDuration retarget = SimDuration::zero();
   if (topo_.route(a, b).optical_hops > 0 &&
       circuit_[static_cast<std::size_t>(src)] != dst) {
-    cost = cost + topo_.ocs_reconfigure();
+    retarget = topo_.ocs_reconfigure();
+    cost = cost + retarget;
     circuit_[static_cast<std::size_t>(src)] = dst;
+  }
+  if (reconfig != nullptr) *reconfig = retarget;
+  if (transfer_log_ != nullptr) {
+    transfer_log_->push_back(
+        FabricTransferRecord{src, dst, bytes, sched_.now(), cost, retarget});
   }
   return cost;
 }
@@ -95,8 +104,9 @@ sim::Task<> Chassis::ring_over(std::vector<int> members, Bytes bytes_per_gpu, Na
     for (int i = 0; i < k; ++i) {
       const int src = members[static_cast<std::size_t>(i)];
       const int dst = members[static_cast<std::size_t>((i + 1) % k)];
-      const SimDuration per_transfer = transfer_cost(src, dst, chunk);
-      sched_.spawn(fabric_transfer(device(src), device(dst), chunk, per_transfer,
+      SimDuration reconfig;
+      const SimDuration per_transfer = transfer_cost(src, dst, chunk, &reconfig);
+      sched_.spawn(fabric_transfer(device(src), device(dst), chunk, per_transfer, reconfig,
                                    send_name, recv_name, wg));
     }
     co_await wg.wait();
@@ -135,9 +145,10 @@ sim::Task<> Chassis::tree_allreduce(Bytes bytes_per_gpu, int participants, NameR
         const int src = pass == 0 ? i : lo;
         const int dst = pass == 0 ? lo : i;
         wg.add(1);
-        const SimDuration per_transfer = transfer_cost(src, dst, bytes_per_gpu);
+        SimDuration reconfig;
+        const SimDuration per_transfer = transfer_cost(src, dst, bytes_per_gpu, &reconfig);
         sched_.spawn(fabric_transfer(device(src), device(dst), bytes_per_gpu, per_transfer,
-                                     send_name, recv_name, wg));
+                                     reconfig, send_name, recv_name, wg));
       }
       if (wg.count() > 0) co_await wg.wait();
     }
@@ -201,10 +212,12 @@ sim::Task<> Chassis::hierarchical_allreduce(Bytes bytes_per_gpu, int participant
     for (const auto& members : groups) {
       for (std::size_t m = 1; m < members.size(); ++m) {
         wg.add(1);
+        SimDuration reconfig;
         const SimDuration per_transfer =
-            transfer_cost(members.front(), members[m], bytes_per_gpu);
+            transfer_cost(members.front(), members[m], bytes_per_gpu, &reconfig);
         sched_.spawn(fabric_transfer(device(members.front()), device(members[m]),
-                                     bytes_per_gpu, per_transfer, send_name, recv_name, wg));
+                                     bytes_per_gpu, per_transfer, reconfig, send_name,
+                                     recv_name, wg));
       }
     }
     if (wg.count() > 0) co_await wg.wait();

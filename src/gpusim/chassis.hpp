@@ -29,6 +29,18 @@
 
 namespace rsd::gpu {
 
+/// One priced GPU<->GPU fabric transfer (program order): the causal record
+/// behind a pair of kMemcpyD2H/H2D OpRecords. `reconfig` is the OCS
+/// circuit-retarget component of `duration` (zero on non-optical fabrics).
+struct FabricTransferRecord {
+  int src = 0;
+  int dst = 0;
+  Bytes bytes = 0;
+  SimTime priced_at;      ///< When the transfer was priced (phase start).
+  SimDuration duration;   ///< Routed cost, reconfiguration included.
+  SimDuration reconfig;   ///< OCS retarget share of `duration`.
+};
+
 struct ChassisParams {
   int gpus = 8;
   GpuInterconnect fabric = make_nvlink();
@@ -54,6 +66,11 @@ class Chassis {
 
   /// Attach one sink to every device (chassis-wide trace).
   void set_record_sink(RecordSink* sink);
+
+  /// Attach a fabric-transfer log: every priced transfer appends one
+  /// record (in deterministic program order). Null detaches. The log must
+  /// outlive the chassis' collectives.
+  void set_transfer_log(std::vector<FabricTransferRecord>* log) { transfer_log_ = log; }
 
   /// Execute a ring allreduce of `bytes_per_gpu` across devices
   /// [0, participants): 2(participants-1) phases; in each phase every
@@ -81,8 +98,10 @@ class Chassis {
  private:
   /// Routed cost of one transfer, including any OCS circuit retarget by
   /// the sending device (tracked per sender, deterministic: transfers are
-  /// priced in program order on the single scheduler).
-  SimDuration transfer_cost(int src, int dst, Bytes bytes);
+  /// priced in program order on the single scheduler). Appends to the
+  /// attached transfer log and reports the reconfiguration share through
+  /// `reconfig` when non-null.
+  SimDuration transfer_cost(int src, int dst, Bytes bytes, SimDuration* reconfig = nullptr);
 
   /// Phased ring allreduce over an explicit member list (device indices).
   sim::Task<> ring_over(std::vector<int> members, Bytes bytes_per_gpu, NameRef name);
@@ -93,6 +112,7 @@ class Chassis {
   std::vector<std::unique_ptr<Device>> devices_;
   /// Per-device OCS circuit target (device index; -1 = unconfigured).
   std::vector<int> circuit_;
+  std::vector<FabricTransferRecord>* transfer_log_ = nullptr;
 };
 
 }  // namespace rsd::gpu

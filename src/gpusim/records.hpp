@@ -44,6 +44,11 @@ struct OpRecord {
   SimDuration exposed_overhead;   ///< Launch/setup latency left uncovered.
   SimDuration wake_penalty;       ///< Power-state wake cost paid by this op.
   SimDuration switch_penalty;     ///< Inter-process context-switch cost paid.
+  /// OCS circuit-retarget delay folded into a fabric transfer's service
+  /// time (zero for kernels and non-optical fabrics). The causal edge the
+  /// critical-path attribution uses to separate reconfiguration from
+  /// serialisation inside one copy-engine occupation.
+  SimDuration reconfig_penalty;
 
   [[nodiscard]] SimDuration duration() const { return end - start; }
   [[nodiscard]] SimDuration queue_delay() const { return start - submit; }

@@ -55,4 +55,14 @@ std::vector<std::string> ExperimentContext::drain_csv_paths() {
   return out;
 }
 
+void ExperimentContext::record_attribution(AttributionEntry entry) {
+  attributions_.push_back(std::move(entry));
+}
+
+std::vector<AttributionEntry> ExperimentContext::drain_attributions() {
+  std::vector<AttributionEntry> out;
+  out.swap(attributions_);
+  return out;
+}
+
 }  // namespace rsd::harness

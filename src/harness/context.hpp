@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "exec/pool.hpp"
+#include "harness/manifest.hpp"
 #include "proxy/sweep_cache.hpp"
 
 namespace rsd {
@@ -83,6 +84,13 @@ class ExperimentContext {
   /// this after each experiment to attribute files in the manifest).
   [[nodiscard]] std::vector<std::string> drain_csv_paths();
 
+  /// Record a critical-path attribution for the manifest's "attribution"
+  /// block (and the `--report` breakdown). Mirrors save_csv: experiments
+  /// record unconditionally so the manifest is deterministic, and the
+  /// runner drains per experiment.
+  void record_attribution(AttributionEntry entry);
+  [[nodiscard]] std::vector<AttributionEntry> drain_attributions();
+
  private:
   std::filesystem::path results_dir_;
   std::filesystem::path trace_dir_;
@@ -94,6 +102,7 @@ class ExperimentContext {
   exec::Pool pool_;
   proxy::SweepCache sweep_cache_;
   std::vector<std::string> csv_paths_;
+  std::vector<AttributionEntry> attributions_;
 };
 
 }  // namespace rsd::harness

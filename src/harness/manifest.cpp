@@ -56,7 +56,7 @@ void append_string_array(std::ostringstream& out, const std::vector<std::string>
 std::string manifest_json(const RunSummary& summary) {
   std::ostringstream out;
   out << "{\n";
-  out << "  \"schema\": \"rsd-bench-manifest-v2\",\n";
+  out << "  \"schema\": \"rsd-bench-manifest-v3\",\n";
   out << "  \"threads\": " << summary.threads << ",\n";
   out << "  \"runs\": " << summary.runs << ",\n";
   out << "  \"seed\": " << summary.seed << ",\n";
@@ -77,6 +77,25 @@ std::string manifest_json(const RunSummary& summary) {
     out << ", \"csv\": ";
     append_string_array(out, o.csv_paths);
     out << ", \"metrics\": " << obs::metrics_json(o.metrics);
+    if (!o.attribution.empty()) {
+      out << ", \"attribution\": [";
+      for (std::size_t a = 0; a < o.attribution.size(); ++a) {
+        const AttributionEntry& e = o.attribution[a];
+        out << (a > 0 ? ", " : "") << "{\"label\": \"" << json_escape(e.label)
+            << "\", \"makespan_ns\": " << e.makespan_ns << ", \"components\": {"
+            << "\"compute_ns\": " << e.compute_ns
+            << ", \"reconfig_ns\": " << e.reconfig_ns
+            << ", \"fabric_ns\": " << e.fabric_ns << ", \"queue_ns\": " << e.queue_ns
+            << ", \"wake_ns\": " << e.wake_ns << ", \"idle_ns\": " << e.idle_ns << '}';
+        if (e.has_band && std::isfinite(e.slack_share) && std::isfinite(e.band_lower) &&
+            std::isfinite(e.band_upper)) {
+          out << ", \"slack_share\": " << e.slack_share
+              << ", \"band\": [" << e.band_lower << ", " << e.band_upper << ']';
+        }
+        out << '}';
+      }
+      out << ']';
+    }
     out << '}';
   }
   if (!summary.outcomes.empty()) out << "\n  ";

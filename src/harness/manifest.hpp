@@ -21,6 +21,25 @@ namespace rsd::harness {
 /// newline can no longer corrupt the manifest.
 [[nodiscard]] std::string json_escape(std::string_view s);
 
+/// One critical-path attribution (obs::critpath) recorded by an
+/// experiment: a labelled makespan decomposition whose components sum to
+/// the makespan, optionally annotated with the slack-wake share and the
+/// Eq 2–3 prediction band it was checked against.
+struct AttributionEntry {
+  std::string label;
+  std::int64_t makespan_ns = 0;
+  std::int64_t compute_ns = 0;
+  std::int64_t reconfig_ns = 0;
+  std::int64_t fabric_ns = 0;
+  std::int64_t queue_ns = 0;
+  std::int64_t wake_ns = 0;
+  std::int64_t idle_ns = 0;
+  bool has_band = false;
+  double slack_share = 0.0;  ///< Observed slack-wake share (has_band only).
+  double band_lower = 0.0;   ///< Eq 2–3 predicted lower bound.
+  double band_upper = 0.0;   ///< Eq 2–3 predicted upper bound.
+};
+
 struct ExperimentOutcome {
   std::string name;
   std::vector<std::string> tags;
@@ -31,6 +50,9 @@ struct ExperimentOutcome {
   /// Global-registry activity attributed to this experiment (the delta of
   /// snapshots taken around its run). Serialized under "metrics".
   obs::MetricsSnapshot metrics;
+  /// Critical-path attributions recorded via ctx.record_attribution.
+  /// Serialized under "attribution" (omitted when empty).
+  std::vector<AttributionEntry> attribution;
 };
 
 struct RunSummary {

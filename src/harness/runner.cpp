@@ -7,6 +7,7 @@
 #include "harness/context.hpp"
 #include "harness/experiment.hpp"
 #include "obs/metrics.hpp"
+#include "obs/quiesce.hpp"
 #include "obs/tracer.hpp"
 
 namespace rsd::harness {
@@ -39,8 +40,14 @@ RunSummary run_experiments(const std::vector<const Experiment*>& selected,
     }
     outcome.wall_s =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    // Force long-lived subsystems (networks held across experiments) to
+    // flush their local tallies before the after-snapshot, so the delta
+    // below sees this experiment's activity rather than whatever happens
+    // to be unflushed at destruction time.
+    obs::flush_quiesce();
     outcome.metrics = obs::metrics_delta(before, obs::Registry::global().snapshot());
     outcome.csv_paths = ctx.drain_csv_paths();
+    outcome.attribution = ctx.drain_attributions();
     if (!outcome.ok) {
       ctx.out() << "[failed] " << e->name() << ": " << outcome.error << "\n";
     }

@@ -150,7 +150,8 @@ sim::Task<> run_allreduce(Network& network, Algorithm algorithm, Bytes bytes_per
 }
 
 AllreduceReport measure_allreduce(const Topology& topology, Algorithm algorithm,
-                                  Bytes bytes_per_rank, int participants) {
+                                  Bytes bytes_per_rank, int participants,
+                                  std::vector<LinkUsageSample>* usage) {
   sim::Scheduler sched;
   AllreduceReport report;
   {
@@ -162,6 +163,7 @@ AllreduceReport measure_allreduce(const Topology& topology, Algorithm algorithm,
     report.contended_transfers = network.contended_transfers();
     report.reconfigurations = network.reconfigurations();
     report.link_busy_total = network.link_busy_total();
+    if (usage != nullptr) *usage = network.link_usage();
   }
   report.duration = sched.now() - SimTime::zero();
   return report;

@@ -56,8 +56,12 @@ struct AllreduceReport {
   SimDuration link_busy_total;
 };
 
+/// When `usage` is non-null it receives the network's per-link usage
+/// sampler buckets (see `Network::link_usage`) — the raw material for
+/// contention heatmaps.
 [[nodiscard]] AllreduceReport measure_allreduce(const Topology& topology,
                                                 Algorithm algorithm, Bytes bytes_per_rank,
-                                                int participants);
+                                                int participants,
+                                                std::vector<LinkUsageSample>* usage = nullptr);
 
 }  // namespace rsd::net

@@ -1,6 +1,9 @@
 #include "interconnect/network.hpp"
 
+#include <algorithm>
+
 #include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 
 namespace rsd::net {
 
@@ -10,14 +13,69 @@ Network::Network(sim::Scheduler& sched, const Topology& topology)
   for (std::size_t i = 0; i < topo_.link_count(); ++i) {
     links_.push_back(std::make_unique<LinkState>(sched_));
   }
+  quiesce_handle_ = obs::QuiesceRegistry::global().add([this] { flush(); });
 }
 
 Network::~Network() {
+  obs::QuiesceRegistry::global().remove(quiesce_handle_);
+  flush();
+}
+
+void Network::set_usage_bucket(SimDuration width) {
+  if (width.ns() > 0) bucket_width_ns_ = width.ns();
+}
+
+Network::LinkState::Bucket& Network::bucket_at(LinkState& state, SimTime at) {
+  const std::int64_t start = (at.ns() / bucket_width_ns_) * bucket_width_ns_;
+  return state.buckets[start];
+}
+
+std::vector<LinkUsageSample> Network::link_usage() const {
+  std::vector<LinkUsageSample> out;
+  for (std::size_t lid = 0; lid < links_.size(); ++lid) {
+    for (const auto& [start, bucket] : links_[lid]->buckets) {
+      LinkUsageSample sample;
+      sample.link = static_cast<LinkId>(lid);
+      sample.bucket_start_ns = start;
+      sample.busy_ns = bucket.busy_ns;
+      sample.transfers = bucket.transfers;
+      sample.max_queue_depth = bucket.max_queue_depth;
+      out.push_back(sample);
+    }
+  }
+  return out;  // map iteration is ordered, links ascend: already sorted.
+}
+
+void Network::flush() {
   auto& reg = obs::Registry::global();
-  reg.counter("net.transfers").add(static_cast<std::int64_t>(transfers_));
-  reg.counter("net.contended_transfers").add(static_cast<std::int64_t>(contended_));
-  reg.counter("net.reconfigs").add(static_cast<std::int64_t>(reconfigs_));
-  reg.counter("net.link_busy_ns").add(busy_total_.ns());
+  const auto delta = [](std::uint64_t now, std::uint64_t& flushed) {
+    const std::uint64_t d = now - flushed;
+    flushed = now;
+    return static_cast<std::int64_t>(d);
+  };
+  reg.counter("net.transfers").add(delta(transfers_, flushed_transfers_));
+  reg.counter("net.contended_transfers").add(delta(contended_, flushed_contended_));
+  reg.counter("net.reconfigs").add(delta(reconfigs_, flushed_reconfigs_));
+  reg.counter("net.link_busy_ns").add(busy_total_.ns() - flushed_busy_ns_);
+  flushed_busy_ns_ = busy_total_.ns();
+
+  if (!obs::Tracer::enabled()) return;
+  auto& tracer = obs::Tracer::instance();
+  if (sim_id_ < 0) sim_id_ = tracer.acquire_sim_id();
+  for (std::size_t lid = 0; lid < links_.size(); ++lid) {
+    LinkState& state = *links_[lid];
+    const std::int32_t track =
+        obs::kTrackNetBase + static_cast<std::int32_t>(lid);
+    for (const auto& [start, bucket] : state.buckets) {
+      if (start <= state.exported_hwm) continue;
+      const double util = static_cast<double>(bucket.busy_ns) /
+                          static_cast<double>(bucket_width_ns_);
+      tracer.counter_sim(sim_id_, track, start, "net", "link.util", util);
+      tracer.counter_sim(sim_id_, track, start, "net", "link.queue",
+                         static_cast<double>(bucket.max_queue_depth));
+      state.exported_hwm = start;
+    }
+  }
 }
 
 sim::Task<> Network::transfer(NodeId src, NodeId dst, Bytes bytes) {
@@ -46,12 +104,26 @@ sim::Task<> Network::transfer(NodeId src, NodeId dst, Bytes bytes) {
     }
 
     if (state.server.available() == 0) queued = true;
+    ++state.pending;
+    {
+      LinkState::Bucket& bucket = bucket_at(state, sched_.now());
+      bucket.max_queue_depth = std::max(bucket.max_queue_depth, state.pending);
+    }
     co_await state.server.acquire();
     const SimDuration serialize = duration::seconds(
         static_cast<double>(bytes) / (desc.bandwidth_gib_s * static_cast<double>(kGiB)));
+    {
+      // Busy time books to the bucket where serialisation began; a payload
+      // longer than the bucket width shows up as utilisation > 1 there
+      // rather than being smeared forward.
+      LinkState::Bucket& bucket = bucket_at(state, sched_.now());
+      bucket.busy_ns += serialize.ns();
+      ++bucket.transfers;
+    }
     co_await sim::delay(serialize);
     state.busy = state.busy + serialize;
     busy_total_ = busy_total_ + serialize;
+    --state.pending;
     state.server.release();
 
     // Propagation (plus the crossed node's forwarding cost) overlaps with

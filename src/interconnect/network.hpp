@@ -21,21 +21,43 @@
 //
 // Counters (transfers, queued acquisitions, circuit reconfigurations,
 // per-link busy time) accumulate locally and flush into the global
-// obs::Registry at destruction — the same quiesce-point discipline as
-// gpu::Device.
+// obs::Registry at quiesce points: the network registers itself with
+// obs::QuiesceRegistry so the harness can force a flush at experiment
+// boundaries, and the destructor flushes whatever remains — `flush()` is
+// idempotent via watermarks, so the two compose.
+//
+// Telemetry: every link additionally keeps a time-bucketed usage sampler
+// (busy nanoseconds, transfer count, and peak queue depth per fixed-width
+// simulated-time bucket). The samples surface two ways: `link_usage()`
+// returns them for contention-heatmap CSVs, and — when the obs tracer is
+// enabled — `flush()` emits them as per-link Perfetto counter tracks
+// ("link.util", "link.queue" on kTrackNetBase + link) in the network's
+// own simulated timeline.
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <vector>
 
 #include "core/units.hpp"
 #include "interconnect/topology.hpp"
+#include "obs/quiesce.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
 
 namespace rsd::net {
+
+/// One usage-sampler bucket of one link: activity inside
+/// [bucket_start_ns, bucket_start_ns + bucket width).
+struct LinkUsageSample {
+  LinkId link = kInvalidLink;
+  std::int64_t bucket_start_ns = 0;
+  std::int64_t busy_ns = 0;          ///< Serialisation time begun in-bucket.
+  std::uint64_t transfers = 0;       ///< Link occupations begun in-bucket.
+  int max_queue_depth = 0;           ///< Peak arrivals in flight (incl. served).
+};
 
 class Network {
  public:
@@ -65,6 +87,22 @@ class Network {
     return links_.at(static_cast<std::size_t>(link))->busy;
   }
 
+  // -- Telemetry ----------------------------------------------------------
+  /// Usage-sampler bucket width; applies to buckets opened from now on.
+  void set_usage_bucket(SimDuration width);
+  [[nodiscard]] SimDuration usage_bucket() const {
+    return duration::nanoseconds(bucket_width_ns_);
+  }
+
+  /// All sampler buckets so far, sorted by (link, bucket start).
+  [[nodiscard]] std::vector<LinkUsageSample> link_usage() const;
+
+  /// Quiesce-point flush: push counter deltas since the previous flush
+  /// into the global obs::Registry and, when tracing is enabled, emit any
+  /// not-yet-exported sampler buckets as per-link counter tracks.
+  /// Idempotent; also runs via obs::QuiesceRegistry and at destruction.
+  void flush();
+
  private:
   struct LinkState {
     explicit LinkState(sim::Scheduler& sched) : server(sched, 1) {}
@@ -73,7 +111,20 @@ class Network {
     /// Optical ingress ports: the egress link the circuit currently
     /// drives; kInvalidLink until first configured.
     LinkId circuit = kInvalidLink;
+
+    // Usage sampler. `pending` counts transfers that arrived at this link
+    // and have not released it yet (the one in service plus the queue).
+    struct Bucket {
+      std::int64_t busy_ns = 0;
+      std::uint64_t transfers = 0;
+      int max_queue_depth = 0;
+    };
+    int pending = 0;
+    std::map<std::int64_t, Bucket> buckets;  ///< Keyed by bucket start ns.
+    std::int64_t exported_hwm = -1;  ///< Last bucket start already emitted.
   };
+
+  [[nodiscard]] LinkState::Bucket& bucket_at(LinkState& state, SimTime at);
 
   sim::Scheduler& sched_;
   const Topology& topo_;
@@ -82,6 +133,17 @@ class Network {
   std::uint64_t contended_ = 0;
   std::uint64_t reconfigs_ = 0;
   SimDuration busy_total_ = SimDuration::zero();
+
+  // Quiesce-flush watermarks: the cumulative value already pushed into the
+  // registry, so flush() only ever adds the delta.
+  std::uint64_t flushed_transfers_ = 0;
+  std::uint64_t flushed_contended_ = 0;
+  std::uint64_t flushed_reconfigs_ = 0;
+  std::int64_t flushed_busy_ns_ = 0;
+
+  std::int64_t bucket_width_ns_ = 100'000;  ///< 100 us default.
+  std::int32_t sim_id_ = -1;  ///< Tracer timeline id, acquired lazily.
+  obs::QuiesceRegistry::Handle quiesce_handle_ = 0;
 };
 
 }  // namespace rsd::net

@@ -1,0 +1,161 @@
+#include "obs/critpath.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace rsd::obs {
+
+const char* to_string(PathComponent c) {
+  switch (c) {
+    case PathComponent::kCompute: return "compute";
+    case PathComponent::kReconfig: return "reconfig";
+    case PathComponent::kFabric: return "fabric";
+    case PathComponent::kQueue: return "queue";
+    case PathComponent::kWake: return "wake";
+    case PathComponent::kIdle: return "idle";
+  }
+  return "?";
+}
+
+std::int64_t Attribution::component_ns(PathComponent c) const {
+  switch (c) {
+    case PathComponent::kCompute: return compute_ns;
+    case PathComponent::kReconfig: return reconfig_ns;
+    case PathComponent::kFabric: return fabric_ns;
+    case PathComponent::kQueue: return queue_ns;
+    case PathComponent::kWake: return wake_ns;
+    case PathComponent::kIdle: return idle_ns;
+  }
+  return 0;
+}
+
+double Attribution::share(PathComponent c) const {
+  return makespan_ns > 0
+             ? static_cast<double>(component_ns(c)) / static_cast<double>(makespan_ns)
+             : 0.0;
+}
+
+namespace {
+
+/// +1 at an interval open, -1 at its close, tagged with the component.
+struct Boundary {
+  std::int64_t ts;
+  std::int8_t delta;
+  std::uint8_t component;
+
+  [[nodiscard]] bool operator<(const Boundary& o) const { return ts < o.ts; }
+};
+
+void push_interval(std::vector<Boundary>& boundaries, std::int64_t begin, std::int64_t end,
+                   PathComponent component, std::int64_t makespan_ns) {
+  begin = std::max<std::int64_t>(begin, 0);
+  end = std::min(end, makespan_ns);
+  if (begin >= end) return;
+  boundaries.push_back(Boundary{begin, +1, static_cast<std::uint8_t>(component)});
+  boundaries.push_back(Boundary{end, -1, static_cast<std::uint8_t>(component)});
+}
+
+}  // namespace
+
+Attribution attribute_trace(const trace::Trace& trace,
+                            std::span<const gpu::FabricTransferRecord> transfers,
+                            SimDuration makespan) {
+  Attribution out;
+  out.makespan_ns = makespan.ns();
+  if (out.makespan_ns <= 0) return out;
+
+  std::vector<Boundary> boundaries;
+  boundaries.reserve(trace.ops().size() * 6 + 2);
+  for (const gpu::OpRecord& op : trace.ops()) {
+    const std::int64_t start = op.start.ns();
+    const std::int64_t end = op.end.ns();
+    if (op.kind == gpu::OpKind::kKernel) {
+      push_interval(boundaries, start, end, PathComponent::kCompute, out.makespan_ns);
+    } else {
+      // A fabric occupation whose circuit had to retarget spends its first
+      // stretch reconfiguring; reconfig outranks fabric in the sweep, so
+      // that stretch books to reconfiguration even under overlap.
+      const std::int64_t reconfig =
+          std::min(op.reconfig_penalty.ns(), std::max<std::int64_t>(end - start, 0));
+      push_interval(boundaries, start, start + reconfig, PathComponent::kReconfig,
+                    out.makespan_ns);
+      push_interval(boundaries, start, end, PathComponent::kFabric, out.makespan_ns);
+    }
+    // The starvation overhead the op paid before service: exposed launch
+    // setup + power-state wake + process switch. The device model delays
+    // [start - pre, start) after the engine freed, so the remaining
+    // [submit, start - pre) is pure FIFO queue wait.
+    const std::int64_t pre =
+        op.exposed_overhead.ns() + op.wake_penalty.ns() + op.switch_penalty.ns();
+    push_interval(boundaries, start - pre, start, PathComponent::kWake, out.makespan_ns);
+    push_interval(boundaries, op.submit.ns(), start - pre, PathComponent::kQueue,
+                  out.makespan_ns);
+  }
+  // The transfer log carries no intervals of its own (the per-op reconfig
+  // edge already does); it is accepted here so callers can hand the whole
+  // causal record over and so future fabrics can price path-level effects
+  // that never become engine occupations.
+  (void)transfers;
+
+  std::stable_sort(boundaries.begin(), boundaries.end());
+
+  std::array<std::int64_t, kPathComponents> totals{};
+  std::array<std::int32_t, kPathComponents> active{};
+  std::int64_t cursor = 0;
+  std::size_t i = 0;
+  while (i < boundaries.size()) {
+    const std::int64_t ts = boundaries[i].ts;
+    if (ts > cursor) {
+      int winner = static_cast<int>(PathComponent::kIdle);
+      for (int c = 0; c < kPathComponents - 1; ++c) {
+        if (active[static_cast<std::size_t>(c)] > 0) {
+          winner = c;
+          break;
+        }
+      }
+      totals[static_cast<std::size_t>(winner)] += ts - cursor;
+      cursor = ts;
+    }
+    for (; i < boundaries.size() && boundaries[i].ts == ts; ++i) {
+      active[boundaries[i].component] += boundaries[i].delta;
+    }
+  }
+  if (cursor < out.makespan_ns) {
+    totals[static_cast<std::size_t>(PathComponent::kIdle)] += out.makespan_ns - cursor;
+  }
+
+  out.compute_ns = totals[static_cast<std::size_t>(PathComponent::kCompute)];
+  out.reconfig_ns = totals[static_cast<std::size_t>(PathComponent::kReconfig)];
+  out.fabric_ns = totals[static_cast<std::size_t>(PathComponent::kFabric)];
+  out.queue_ns = totals[static_cast<std::size_t>(PathComponent::kQueue)];
+  out.wake_ns = totals[static_cast<std::size_t>(PathComponent::kWake)];
+  out.idle_ns = totals[static_cast<std::size_t>(PathComponent::kIdle)];
+  RSD_ASSERT(out.total_ns() == out.makespan_ns);
+  return out;
+}
+
+double slack_wake_share(const Attribution& baseline, const Attribution& slacked) {
+  if (baseline.makespan_ns <= 0) return 0.0;
+  const double delta =
+      static_cast<double>(slacked.wake_ns - baseline.wake_ns) /
+      static_cast<double>(baseline.makespan_ns);
+  return std::max(delta, 0.0);
+}
+
+std::string describe(const Attribution& a) {
+  std::string out;
+  char buf[64];
+  for (int c = 0; c < kPathComponents; ++c) {
+    const auto component = static_cast<PathComponent>(c);
+    std::snprintf(buf, sizeof buf, "%s%s %.1f%%", c > 0 ? " | " : "", to_string(component),
+                  100.0 * a.share(component));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace rsd::obs

@@ -1,0 +1,95 @@
+// Critical-path penalty attribution (`obs::critpath`): decompose a
+// replayed program's makespan into the paper's Eq 1–3 vocabulary, but
+// *observed* rather than predicted.
+//
+// Input is the causal record the simulator already emits — OpRecords with
+// submit/start/end plus the explicit penalty edges (exposed launch, power
+// wake, process switch, OCS reconfiguration) and the chassis fabric
+// transfer log. Every op contributes up to four timestamped intervals:
+//
+//   kernel   [start, end)                      -> compute
+//   memcpy   [start, end)                      -> fabric serialisation
+//            [start, start + reconfig)         -> OCS reconfiguration
+//   any op   [start - pre, start)              -> slack wake penalty,
+//            where pre = exposed + wake + switch is the starvation
+//            overhead the op paid before its service began
+//   any op   [submit, start - pre)             -> engine-queue wait
+//
+// A priority-ordered interval sweep (compute > reconfig > fabric > queue >
+// wake > idle) then assigns every simulated nanosecond of [0, makespan) to
+// exactly one component: time where a kernel was running is compute no
+// matter what else overlapped (an overlapped penalty costs nothing — the
+// critical-path reading), a fabric occupation whose first stretch was a
+// circuit retarget books that stretch as reconfiguration, queueing and
+// wake are charged only where they were actually exposed, and whatever
+// remains is engine idle. By construction the six components sum *exactly*
+// to the makespan — the invariant `obs_attribution_test` asserts, together
+// with the slack-wake share landing inside the Eq 2–3 PenaltyBounds.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "core/units.hpp"
+#include "gpusim/chassis.hpp"
+#include "trace/trace.hpp"
+
+namespace rsd::obs {
+
+/// Where a simulated nanosecond of makespan went. Declaration order is
+/// sweep priority, highest first.
+enum class PathComponent : std::uint8_t {
+  kCompute = 0,   ///< A kernel was executing.
+  kReconfig = 1,  ///< An OCS circuit retarget gated a fabric transfer.
+  kFabric = 2,    ///< Fabric/link serialisation (memcpy occupation).
+  kQueue = 3,     ///< Ops waited for a busy engine (FIFO queue delay).
+  kWake = 4,      ///< Exposed starvation overhead: launch setup + power
+                  ///< wake + process switch paid before service.
+  kIdle = 5,      ///< Nothing in flight anywhere.
+};
+
+inline constexpr int kPathComponents = 6;
+
+[[nodiscard]] const char* to_string(PathComponent c);
+
+/// The attributed makespan decomposition. Components are disjoint interval
+/// cover sums over [0, makespan), so `total_ns() == makespan_ns` always —
+/// checked by an assertion in `attribute_trace` and by the tests.
+struct Attribution {
+  std::int64_t makespan_ns = 0;
+  std::int64_t compute_ns = 0;
+  std::int64_t reconfig_ns = 0;
+  std::int64_t fabric_ns = 0;
+  std::int64_t queue_ns = 0;
+  std::int64_t wake_ns = 0;
+  std::int64_t idle_ns = 0;
+
+  [[nodiscard]] std::int64_t total_ns() const {
+    return compute_ns + reconfig_ns + fabric_ns + queue_ns + wake_ns + idle_ns;
+  }
+  [[nodiscard]] std::int64_t component_ns(PathComponent c) const;
+  /// Component share of the makespan in [0, 1]; 0 on an empty makespan.
+  [[nodiscard]] double share(PathComponent c) const;
+};
+
+/// Attribute every nanosecond of `makespan` for a replayed trace.
+/// `transfers` is the chassis fabric-transfer log (may be empty for
+/// single-device replays; it is used for consistency checks only — the
+/// per-op reconfiguration edge rides on OpRecord::reconfig_penalty).
+/// Intervals outside [0, makespan) are clipped.
+[[nodiscard]] Attribution attribute_trace(const trace::Trace& trace,
+                                          std::span<const gpu::FabricTransferRecord> transfers,
+                                          SimDuration makespan);
+
+/// Observed slack-penalty share: the growth of the exposed wake component
+/// between a slacked replay and its zero-slack baseline, normalised by the
+/// baseline makespan — the observable counterpart of the Eq 1 measured
+/// penalty, clamped at 0 (a starvation penalty cannot be negative).
+[[nodiscard]] double slack_wake_share(const Attribution& baseline,
+                                      const Attribution& slacked);
+
+/// One-line human-readable breakdown ("compute 61.2% | fabric 20.4% | ...").
+[[nodiscard]] std::string describe(const Attribution& a);
+
+}  // namespace rsd::obs

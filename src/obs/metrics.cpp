@@ -107,12 +107,56 @@ MetricsSnapshot metrics_delta(const MetricsSnapshot& before, const MetricsSnapsh
           d.sum = a.sum - b->sum;
           d.value = d.count > 0 ? static_cast<double>(d.sum) / static_cast<double>(d.count)
                                 : 0.0;
+          // Buckets subtract like count/sum: the before-side tally is a
+          // prefix of the after side, so every delta is non-negative and
+          // quantiles of the delta describe just this interval.
+          for (int i = 0; i < kHistogramBuckets; ++i) {
+            d.buckets[static_cast<std::size_t>(i)] =
+                a.buckets[static_cast<std::size_t>(i)] -
+                b->buckets[static_cast<std::size_t>(i)];
+          }
           break;
       }
     }
     out.samples.push_back(std::move(d));
   }
   return out;
+}
+
+double histogram_quantile(const MetricSample& sample, double q) {
+  if (sample.kind != MetricKind::kHistogram || sample.count <= 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // The (n-1)*q rank convention of stats::quantile_sorted, applied to the
+  // bucketed tally: find the bucket holding the (possibly fractional)
+  // rank, then interpolate linearly across the bucket's value range.
+  const double rank = static_cast<double>(sample.count - 1) * q;
+  std::int64_t cum_before = 0;
+  for (int i = 0; i < kHistogramBuckets; ++i) {
+    const std::int64_t n = sample.buckets[static_cast<std::size_t>(i)];
+    if (n == 0) continue;
+    if (rank < static_cast<double>(cum_before + n) ||
+        cum_before + n == sample.count) {
+      // Bucket i spans [2^(i-1), 2^i); bucket 0 holds v <= 0 and the top
+      // bucket is open-ended — both get pinned to the observed extremes,
+      // as do the partially-covered edge buckets.
+      double lo = i == 0 ? static_cast<double>(std::min<std::int64_t>(sample.min, 0))
+                         : static_cast<double>(std::int64_t{1} << (i - 1));
+      double hi = i == 0 ? 0.0
+                 : i == kHistogramBuckets - 1
+                     ? static_cast<double>(sample.max)
+                     : static_cast<double>(std::int64_t{1} << i);
+      lo = std::max(lo, static_cast<double>(sample.min));
+      hi = std::min(hi, static_cast<double>(sample.max) + 1.0);
+      hi = std::max(hi, lo);
+      const double within =
+          (rank - static_cast<double>(cum_before) + 0.5) / static_cast<double>(n);
+      const double v = lo + std::clamp(within, 0.0, 1.0) * (hi - lo);
+      return std::clamp(v, static_cast<double>(sample.min),
+                        static_cast<double>(sample.max));
+    }
+    cum_before += n;
+  }
+  return static_cast<double>(sample.max);
 }
 
 std::string metrics_json(const MetricsSnapshot& snapshot) {
@@ -134,7 +178,10 @@ std::string metrics_json(const MetricsSnapshot& snapshot) {
       case MetricKind::kHistogram:
         out << "{\"count\": " << s.count << ", \"sum\": " << s.sum
             << ", \"mean\": " << json_number(s.value) << ", \"min\": " << s.min
-            << ", \"max\": " << s.max << '}';
+            << ", \"max\": " << s.max
+            << ", \"p50\": " << json_number(histogram_quantile(s, 0.50))
+            << ", \"p90\": " << json_number(histogram_quantile(s, 0.90))
+            << ", \"p99\": " << json_number(histogram_quantile(s, 0.99)) << '}';
         break;
     }
   }
@@ -195,6 +242,7 @@ MetricsSnapshot Registry::snapshot() const {
     s.value = d.mean();
     s.min = d.count > 0 ? d.min : 0;
     s.max = d.count > 0 ? d.max : 0;
+    s.buckets = d.buckets;
     snap.samples.push_back(std::move(s));
   }
   std::sort(snap.samples.begin(), snap.samples.end(),

@@ -90,6 +90,9 @@ struct MetricSample {
   std::int64_t sum = 0;    ///< Histogram only.
   std::int64_t min = 0;    ///< Histogram only (0 when empty).
   std::int64_t max = 0;    ///< Histogram only (0 when empty).
+  /// Histogram only: the power-of-two bucket counts (same layout as
+  /// HistogramData::buckets), carried so quantiles survive the snapshot.
+  std::array<std::int64_t, kHistogramBuckets> buckets{};
 };
 
 struct MetricsSnapshot {
@@ -104,9 +107,19 @@ struct MetricsSnapshot {
 [[nodiscard]] MetricsSnapshot metrics_delta(const MetricsSnapshot& before,
                                             const MetricsSnapshot& after);
 
+/// Interpolated quantile (q in [0, 1]) of a histogram sample, estimated
+/// from its power-of-two buckets. Uses the same (n-1)*q rank convention
+/// as `stats::quantile_sorted`, locating the rank's bucket by cumulative
+/// walk and interpolating linearly inside it; the result is clamped to
+/// the sample's observed [min, max], so quantile estimates are monotone
+/// in q and never leave the data's range. Returns 0 for empty or
+/// non-histogram samples.
+[[nodiscard]] double histogram_quantile(const MetricSample& sample, double q);
+
 /// One-line JSON object: counters/gauges as numbers, histograms as
-/// {"count","sum","mean","min","max"}. Zero-count samples are skipped so
-/// an experiment's manifest entry only names subsystems it exercised.
+/// {"count","sum","mean","min","max","p50","p90","p99"}. Zero-count
+/// samples are skipped so an experiment's manifest entry only names
+/// subsystems it exercised.
 [[nodiscard]] std::string metrics_json(const MetricsSnapshot& snapshot);
 
 class Registry {

@@ -1,0 +1,34 @@
+#include "obs/quiesce.hpp"
+
+namespace rsd::obs {
+
+QuiesceRegistry& QuiesceRegistry::global() {
+  static QuiesceRegistry registry;
+  return registry;
+}
+
+QuiesceRegistry::Handle QuiesceRegistry::add(std::function<void()> hook) {
+  std::lock_guard<std::mutex> lk(m_);
+  const Handle handle = next_++;
+  hooks_.emplace(handle, std::move(hook));
+  return handle;
+}
+
+void QuiesceRegistry::remove(Handle handle) {
+  std::lock_guard<std::mutex> lk(m_);
+  hooks_.erase(handle);
+}
+
+void QuiesceRegistry::flush_all() {
+  std::lock_guard<std::mutex> lk(m_);
+  for (auto& [handle, hook] : hooks_) hook();
+}
+
+std::size_t QuiesceRegistry::size() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return hooks_.size();
+}
+
+void flush_quiesce() { QuiesceRegistry::global().flush_all(); }
+
+}  // namespace rsd::obs

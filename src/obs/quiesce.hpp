@@ -1,0 +1,52 @@
+// Quiesce-point flush registry. The obs metrics design accumulates plain
+// local tallies and flushes them into the global Registry at natural
+// quiesce points — historically only at subsystem destruction. A
+// long-lived subsystem (a Network held across experiments, a daemon-mode
+// engine) would attribute all of its counters to whichever experiment
+// happened to destroy it; registering a flush hook here instead lets the
+// harness runner force a flush at every experiment boundary, so the
+// metrics delta taken around each experiment sees the activity that
+// actually belongs to it.
+//
+// Contract: hooks must be idempotent (flush what accumulated since the
+// previous flush, typically via a watermark) and must not touch the
+// registry they are registered in (no registration/removal from inside a
+// hook). Hooks run on the caller's thread under the registry mutex.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+
+namespace rsd::obs {
+
+class QuiesceRegistry {
+ public:
+  using Handle = std::uint64_t;
+
+  [[nodiscard]] static QuiesceRegistry& global();
+
+  /// Register a flush hook; keep the handle to remove it at teardown.
+  [[nodiscard]] Handle add(std::function<void()> hook);
+  void remove(Handle handle);
+
+  /// Run every registered hook (deterministic registration order).
+  void flush_all();
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  QuiesceRegistry() = default;
+
+  mutable std::mutex m_;
+  std::map<Handle, std::function<void()>> hooks_;
+  Handle next_ = 1;
+};
+
+/// Convenience: flush every registered quiesce hook into the metrics
+/// registry. The harness runner calls this before taking each
+/// experiment's `after` snapshot.
+void flush_quiesce();
+
+}  // namespace rsd::obs

@@ -196,7 +196,19 @@ Tracer::Snapshot Tracer::snapshot() const {
                    [](const Event& a, const Event& b) {
                      if (a.sim_id != b.sim_id) return a.sim_id < b.sim_id;
                      if (a.track != b.track) return a.track < b.track;
-                     return a.ts_ns < b.ts_ns;
+                     if (a.ts_ns != b.ts_ns) return a.ts_ns < b.ts_ns;
+                     // Simulated events from a partitioned engine land in
+                     // different per-thread rings run to run; tie-break on
+                     // content so their order depends only on the
+                     // simulation itself. Wall events fall through to the
+                     // stable per-ring order.
+                     if (a.sim_id == kWallClock) return false;
+                     if (a.phase != b.phase) {
+                       return static_cast<char>(a.phase) < static_cast<char>(b.phase);
+                     }
+                     if (a.name != b.name) return a.name < b.name;
+                     if (a.dur_ns != b.dur_ns) return a.dur_ns < b.dur_ns;
+                     return a.value < b.value;
                    });
   return snap;
 }
@@ -268,8 +280,19 @@ const char* sim_track_name(std::int32_t track) {
     case kTrackCopyD2H: return "copy-d2h";
     case kTrackPower: return "power";
     case kTrackSlack: return "slack";
-    default: return nullptr;  // kTrackApiBase + N handled by the caller
+    default: return nullptr;  // open-ended bases handled by the caller
   }
+}
+
+/// Open-ended track families (api-ctxN, link-N, partition-N); empty for
+/// tracks with no derived name. Highest base wins since the bases nest.
+std::string sim_track_family(std::int32_t track) {
+  if (track >= kTrackPardesBase) {
+    return "partition-" + std::to_string(track - kTrackPardesBase);
+  }
+  if (track >= kTrackNetBase) return "link-" + std::to_string(track - kTrackNetBase);
+  if (track >= kTrackApiBase) return "api-ctx" + std::to_string(track - kTrackApiBase);
+  return {};
 }
 
 void append_args(std::ostringstream& out, const std::vector<Arg>& args) {
@@ -287,6 +310,16 @@ void append_args(std::ostringstream& out, const std::vector<Arg>& args) {
 }
 
 }  // namespace
+
+Tracer::Snapshot simulated_slice(const Tracer::Snapshot& snapshot) {
+  Tracer::Snapshot out;
+  out.dropped = snapshot.dropped;
+  out.ring_capacity = snapshot.ring_capacity;
+  for (const Event& e : snapshot.events) {
+    if (e.sim_id != kWallClock) out.events.push_back(e);
+  }
+  return out;
+}
 
 std::string chrome_trace_json(const Tracer::Snapshot& snapshot) {
   std::ostringstream out;
@@ -308,9 +341,8 @@ std::string chrome_trace_json(const Tracer::Snapshot& snapshot) {
       pids.emplace(pid, "sim-" + std::to_string(e.sim_id));
       if (const char* fixed = sim_track_name(e.track)) {
         tids.emplace(std::make_pair(pid, e.track), fixed);
-      } else if (e.track >= kTrackApiBase) {
-        tids.emplace(std::make_pair(pid, e.track),
-                     "api-ctx" + std::to_string(e.track - kTrackApiBase));
+      } else if (std::string family = sim_track_family(e.track); !family.empty()) {
+        tids.emplace(std::make_pair(pid, e.track), std::move(family));
       }
     }
   }

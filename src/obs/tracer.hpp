@@ -78,6 +78,10 @@ enum SimTrack : std::int32_t {
   kTrackPower = 3,
   kTrackSlack = 4,
   kTrackApiBase = 10,
+  /// Per-link fabric telemetry: link N lands on kTrackNetBase + N.
+  kTrackNetBase = 100,
+  /// Per-partition engine timelines: partition N on kTrackPardesBase + N.
+  kTrackPardesBase = 100000,
 };
 
 struct Event {
@@ -137,7 +141,11 @@ class Tracer {
                    const char* category, std::string name, double value);
 
   struct Snapshot {
-    /// Stable-sorted by (sim_id, track, ts_ns) — monotonic per track.
+    /// Sorted by (sim_id, track, ts_ns); simulated-domain ties break
+    /// further on (phase, name, dur_ns, value) so the order — and hence
+    /// the Chrome export — is a pure function of the simulation, however
+    /// many worker threads emitted the events. Wall-clock events keep
+    /// their per-thread emission order (stable sort).
     std::vector<Event> events;
     std::uint64_t dropped = 0;  ///< Ring overwrites across all threads.
     std::size_t ring_capacity = 0;
@@ -190,6 +198,12 @@ class Span {
 /// JSON string-literal escaping (shared by the Chrome exporter and the
 /// metrics serializer; kept here so rsd_obs stays dependency-free).
 [[nodiscard]] std::string json_escape(std::string_view s);
+
+/// The simulated-domain subset of a snapshot (sim_id >= 0). Simulated
+/// events carry explicit `sim::Scheduler` timestamps, so this slice —
+/// unlike the wall-clock rows — is reproducible across runs and across
+/// `--sim-threads` values; exporting it yields byte-identical JSON.
+[[nodiscard]] Tracer::Snapshot simulated_slice(const Tracer::Snapshot& snapshot);
 
 /// Chrome trace_event JSON ({"traceEvents": [...]}) for a snapshot.
 /// Orphan kEnd events (their kBegin fell out of the ring) are skipped so

@@ -84,6 +84,7 @@ class ParallelEngine {
     }
     slots_.resize(parts_.size());
     scratch_.resize(parts_.size());
+    timelines_.resize(parts_.size());
   }
 
   /// Partition teardown frees coroutine frames into the owning arenas, so
@@ -224,12 +225,31 @@ class ParallelEngine {
 
     const std::uint64_t executed = p.sched_.run_before(horizon);
     const SimTime next = p.sched_.next_event_time();
-    if (executed == 0 && next != SimTime::max()) ++slots_[i].stalls;
+    const bool stalled = executed == 0 && next != SimTime::max();
+    if (stalled) ++slots_[i].stalls;
     slots_[i].next_time = next;
+
+    // Epoch timeline sample. Each partition's ring is touched only by the
+    // worker that claimed it this epoch, and epochs are barrier-separated,
+    // so the ring needs no lock; which OS thread wrote a sample is
+    // invisible in the data, keeping the flushed timeline byte-identical
+    // at any thread count.
+    if (obs::Tracer::enabled()) {
+      EpochRing& ring = timelines_[i];
+      if (ring.buf.size() < kEpochRingCapacity) ring.buf.resize(kEpochRingCapacity);
+      if (ring.count == ring.buf.size()) {
+        ++ring.dropped;
+      } else {
+        ++ring.count;
+      }
+      ring.buf[ring.next] =
+          EpochSample{horizon.ns(), executed, static_cast<std::uint64_t>(in.size()), stalled};
+      ring.next = (ring.next + 1) % ring.buf.size();
+    }
   }
 
   /// Quiesce-point flush into the global registry (obs design: no per-event
-  /// atomics on the hot path) plus per-partition tracer instants.
+  /// atomics on the hot path) plus the per-partition epoch timelines.
   void flush_metrics(std::uint64_t run_epochs) {
     auto& reg = obs::Registry::global();
     reg.counter("pardes.runs").add(1);
@@ -244,18 +264,60 @@ class ParallelEngine {
       local.observe(static_cast<std::int64_t>(p->sched_.executed_events()));
     }
     events_hist.merge(local);
+
+    // Drain the epoch rings into the engine's simulated timeline: one
+    // counter track per partition (kTrackPardesBase + i), samples stamped
+    // with the epoch horizon. The drain runs on the single flushing thread
+    // in partition order, and horizons strictly increase across epochs, so
+    // the emitted sequence is a pure function of the simulation — the
+    // byte-identity anchor for trace.json under any --sim-threads.
     if (obs::Tracer::enabled()) {
       auto& tracer = obs::Tracer::instance();
+      if (sim_id_ < 0) sim_id_ = tracer.acquire_sim_id();
       for (std::size_t i = 0; i < parts_.size(); ++i) {
-        tracer.instant(
-            "pardes", "partition",
-            {obs::Arg::n("partition", static_cast<double>(i)),
-             obs::Arg::n("events",
-                         static_cast<double>(parts_[i]->sched_.executed_events())),
-             obs::Arg::n("stalls", static_cast<double>(slots_[i].stalls))});
+        EpochRing& ring = timelines_[i];
+        const std::int32_t track =
+            obs::kTrackPardesBase + static_cast<std::int32_t>(i);
+        const std::size_t cap = ring.buf.size();
+        for (std::size_t k = 0; k < ring.count; ++k) {
+          const EpochSample& s = ring.buf[(ring.next + cap - ring.count + k) % cap];
+          tracer.counter_sim(sim_id_, track, s.horizon_ns, "pardes", "epoch.executed",
+                             static_cast<double>(s.executed));
+          tracer.counter_sim(sim_id_, track, s.horizon_ns, "pardes", "epoch.delivered",
+                             static_cast<double>(s.delivered));
+          tracer.counter_sim(sim_id_, track, s.horizon_ns, "pardes", "epoch.stall",
+                             s.stalled ? 1.0 : 0.0);
+        }
+        if (ring.dropped > 0) {
+          tracer.instant("pardes", "epoch_ring_dropped",
+                         {obs::Arg::n("partition", static_cast<double>(i)),
+                          obs::Arg::n("dropped", static_cast<double>(ring.dropped))});
+        }
+        ring.next = 0;
+        ring.count = 0;
+        ring.dropped = 0;
       }
     }
   }
+
+  /// One epoch of one partition, as recorded for the tracer timeline.
+  struct EpochSample {
+    std::int64_t horizon_ns = 0;
+    std::uint64_t executed = 0;
+    std::uint64_t delivered = 0;
+    bool stalled = false;
+  };
+
+  /// Fixed-capacity per-partition ring (oldest samples overwritten): a
+  /// long fleet can never exhaust memory through its epoch timeline.
+  struct EpochRing {
+    std::vector<EpochSample> buf;  ///< Allocated on first traced epoch.
+    std::size_t next = 0;
+    std::size_t count = 0;
+    std::uint64_t dropped = 0;
+  };
+
+  static constexpr std::size_t kEpochRingCapacity = 1u << 12;
 
   SimDuration lookahead_;
   int threads_;
@@ -263,8 +325,10 @@ class ParallelEngine {
   std::vector<std::unique_ptr<Partition>> parts_;
   std::vector<Slot> slots_;
   std::vector<std::vector<InRef>> scratch_;
+  std::vector<EpochRing> timelines_;
   int fill_parity_ = 0;
   std::uint64_t epochs_ = 0;
+  std::int32_t sim_id_ = -1;  ///< Tracer timeline id, acquired at first flush.
 };
 
 inline void Partition::send(PartitionId dst, SimDuration delay, CrossCall call) {

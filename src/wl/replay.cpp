@@ -150,9 +150,11 @@ ReplayResult ReplayEngine::run(const Program& program, const ReplayOptions& opti
   }
 
   trace::TraceRecorder recorder;
+  std::vector<gpu::FabricTransferRecord> transfers;
   if (options.capture_trace) {
     if (chassis) {
       chassis->set_record_sink(&recorder);
+      chassis->set_transfer_log(&transfers);
     } else {
       device->set_record_sink(&recorder);
     }
@@ -202,7 +204,10 @@ ReplayResult ReplayEngine::run(const Program& program, const ReplayOptions& opti
   result.timed_runtime = t1 - t0;
   result.calls_delayed = slack.calls_delayed();
   result.total_injected = slack.total_injected();
-  if (options.capture_trace) result.trace = std::move(recorder.trace());
+  if (options.capture_trace) {
+    result.trace = std::move(recorder.trace());
+    result.transfers = std::move(transfers);
+  }
   return result;
 }
 

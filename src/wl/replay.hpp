@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "core/units.hpp"
 #include "gpusim/chassis.hpp"
@@ -68,6 +69,10 @@ struct ReplayResult {
   std::int64_t calls_delayed = 0;   ///< Injector's count (Equation 1's num_CUDA_calls).
   SimDuration total_injected;
   trace::Trace trace;         ///< Populated when capture_trace was set.
+  /// Chassis fabric transfers in priced (program) order, with the OCS
+  /// reconfiguration share split out — the causal feed of the critical-path
+  /// attribution. Populated when capture_trace was set on a chassis node.
+  std::vector<gpu::FabricTransferRecord> transfers;
 };
 
 class ReplayEngine {

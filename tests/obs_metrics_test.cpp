@@ -104,6 +104,67 @@ TEST(Metrics, DeltaAttributesOnlyIntervalActivity) {
   EXPECT_DOUBLE_EQ(delta.find("util")->value, 0.75);
 }
 
+TEST(Metrics, HistogramQuantilesInterpolateWithinBuckets) {
+  Registry reg;
+  auto& h = reg.histogram("lat");
+  // 100 observations of 1..100: p50 ~ 50, p90 ~ 90, p99 ~ 99. The
+  // power-of-two buckets limit resolution, so the check is loose but
+  // must stay monotone and inside [min, max].
+  for (int v = 1; v <= 100; ++v) h.observe(v);
+  const MetricsSnapshot snap = reg.snapshot();
+  const MetricSample* s = snap.find("lat");
+  ASSERT_NE(s, nullptr);
+
+  const double p50 = histogram_quantile(*s, 0.50);
+  const double p90 = histogram_quantile(*s, 0.90);
+  const double p99 = histogram_quantile(*s, 0.99);
+  EXPECT_GE(p50, 1.0);
+  EXPECT_LE(p99, 100.0);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  // Bucket [64, 128) clamps to max+1 and interpolates: p99 is near the top.
+  EXPECT_GT(p99, 64.0);
+  // p50 lands in bucket [32, 64).
+  EXPECT_GE(p50, 32.0);
+  EXPECT_LT(p50, 64.0);
+
+  // Extremes stay inside the observed range (midpoint interpolation
+  // keeps q=0 near, not exactly at, the minimum).
+  EXPECT_GE(histogram_quantile(*s, 0.0), 1.0);
+  EXPECT_LT(histogram_quantile(*s, 0.0), 2.0);
+  EXPECT_LE(histogram_quantile(*s, 1.0), 100.0);
+}
+
+TEST(Metrics, HistogramQuantileDegenerateCases) {
+  MetricSample none;
+  none.kind = MetricKind::kHistogram;
+  EXPECT_DOUBLE_EQ(histogram_quantile(none, 0.5), 0.0);
+
+  Registry reg;
+  reg.histogram("one").observe(42);
+  const MetricsSnapshot snap = reg.snapshot();
+  const MetricSample* s = snap.find("one");
+  ASSERT_NE(s, nullptr);
+  // A single observation answers every quantile with itself.
+  EXPECT_DOUBLE_EQ(histogram_quantile(*s, 0.0), 42.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(*s, 0.5), 42.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(*s, 1.0), 42.0);
+
+  // Counters don't have quantiles.
+  reg.counter("c").add(7);
+  const MetricsSnapshot snap2 = reg.snapshot();
+  EXPECT_DOUBLE_EQ(histogram_quantile(*snap2.find("c"), 0.5), 0.0);
+}
+
+TEST(Metrics, JsonCarriesHistogramQuantiles) {
+  Registry reg;
+  for (int v = 1; v <= 16; ++v) reg.histogram("lat").observe(v);
+  const std::string json = metrics_json(reg.snapshot());
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p90\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+}
+
 TEST(Metrics, JsonSkipsZeroCountSamplesAndEscapesNames) {
   Registry reg;
   reg.counter("active").add(3);

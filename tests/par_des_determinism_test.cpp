@@ -19,6 +19,7 @@
 #include "harness/context.hpp"
 #include "harness/experiment.hpp"
 #include "harness/registry.hpp"
+#include "obs/tracer.hpp"
 
 namespace {
 
@@ -127,6 +128,39 @@ TEST(ParDesDeterminism, EnvOverrideMatchesExplicitWidth) {
   const apps::RowCosmoflowResult run = apps::run_cosmoflow_row(config);
   EXPECT_EQ(run.digest, reference.digest);
   EXPECT_EQ(run.runtime.ns(), reference.runtime.ns());
+}
+
+// The exported simulated-domain trace — device slices, per-link usage
+// counters, and the engine's per-partition epoch timelines — is JSON-
+// byte-identical at any engine width: every event carries an explicit
+// sim::Scheduler timestamp and the flush order is a pure function of the
+// simulation, never of which OS thread ran a partition.
+TEST(ParDesDeterminism, SimulatedTraceJsonIsByteIdenticalAtSimThreads128) {
+  apps::RowCosmoflowConfig config;
+  config.gpus = 8;
+  config.steps = 2;
+
+  auto traced_json = [&config](int sim_threads) {
+    config.sim_threads = sim_threads;
+    auto& tracer = obs::Tracer::instance();
+    tracer.enable();  // resets rings and sim-id allocation: a fresh timeline
+    const apps::RowCosmoflowResult run = apps::run_cosmoflow_row(config);
+    EXPECT_GT(run.events, 0u) << "sim_threads=" << sim_threads;
+    const auto snapshot = tracer.snapshot();
+    tracer.disable();
+    return obs::chrome_trace_json(obs::simulated_slice(snapshot));
+  };
+
+  const std::string reference = traced_json(1);
+  ASSERT_FALSE(reference.empty());
+  // The engine's epoch timelines must actually be in the export, not
+  // vacuously absent.
+  EXPECT_NE(reference.find("epoch.executed"), std::string::npos);
+  for (const int sim_threads : {2, 8}) {
+    const std::string run = traced_json(sim_threads);
+    EXPECT_EQ(run.size(), reference.size()) << "sim_threads=" << sim_threads;
+    EXPECT_EQ(run, reference) << "sim_threads=" << sim_threads;
+  }
 }
 
 // Stress: randomizing worker wakeup/claim order (seeded jitter in the

@@ -31,7 +31,7 @@ def load_walls(path):
             manifest = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         fail(f"{path}: {e}")
-    if manifest.get("schema") != "rsd-bench-manifest-v2":
+    if manifest.get("schema") not in ("rsd-bench-manifest-v2", "rsd-bench-manifest-v3"):
         fail(f"{path}: unexpected schema {manifest.get('schema')!r}")
     walls = {}
     for exp in manifest.get("experiments", []):

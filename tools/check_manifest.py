@@ -1,26 +1,36 @@
 #!/usr/bin/env python3
-"""Validate a rsd_bench run manifest against the rsd-bench-manifest-v2 schema.
+"""Validate a rsd_bench run manifest against the rsd-bench-manifest-v3 schema.
 
 Usage: check_manifest.py MANIFEST.json
 
 Checks (exit 0 on success, 1 with a diagnostic on the first violation):
-  * the file is valid JSON with schema "rsd-bench-manifest-v2";
+  * the file is valid JSON with schema "rsd-bench-manifest-v3";
   * top-level run parameters (threads/runs/seed/results_dir) are present
     and well-typed; trace_dir, when present, is a non-empty string;
   * every experiment entry has a name, a tag list, an "ok"/"failed"
     status (with an error string when failed), finite wall_s when
     present, a csv path list, and a metrics object;
   * metrics values are either numbers (counters/gauges) or histogram
-    objects with count/sum/mean/min/max, all finite;
+    objects with count/sum/mean/min/max plus interpolated p50/p90/p99
+    quantiles satisfying min <= p50 <= p90 <= p99 <= max, all finite;
   * link-network counters (metrics named "net.*") are non-negative, and a
     successful fabric_compare entry must carry net.transfers and
-    net.reconfigs — the Network flushes them at destruction, so their
-    absence means the experiment never drove the modeled links.
+    net.reconfigs — the Network flushes them at quiesce boundaries, so
+    their absence means the experiment never drove the modeled links;
+  * attribution blocks (v3) decompose a positive makespan into six
+    non-negative components that sum to it exactly, and each banded entry
+    carries a finite slack_share plus an ordered [lower, upper] band;
+  * a successful attribution_fabrics entry must record at least one
+    attribution with a band (the slacked replays).
 """
 
 import json
 import math
 import sys
+
+ATTRIBUTION_COMPONENTS = (
+    "compute_ns", "reconfig_ns", "fabric_ns", "queue_ns", "wake_ns", "idle_ns",
+)
 
 
 def fail(msg):
@@ -42,16 +52,67 @@ def check_metrics(metrics, where):
         if not name:
             fail(f"{where}: empty metric name")
         if isinstance(value, dict):
-            for key in ("count", "sum", "mean", "min", "max"):
+            for key in ("count", "sum", "mean", "min", "max", "p50", "p90", "p99"):
                 if key not in value:
                     fail(f"{where}: histogram {name!r} missing {key!r}")
                 check_finite_number(value[key], f"{where}: {name}.{key}")
             if value["count"] < 0 or value["min"] > value["max"]:
                 fail(f"{where}: histogram {name!r} is inconsistent")
+            if not (value["min"] <= value["p50"] <= value["p90"] <= value["p99"]
+                    <= value["max"]):
+                fail(f"{where}: histogram {name!r} quantiles are not ordered "
+                     "within [min, max]")
         else:
             check_finite_number(value, f"{where}: {name}")
             if name.startswith("net.") and value < 0:
                 fail(f"{where}: link-network counter {name!r} is negative")
+
+
+def check_attribution(entries, where):
+    if not isinstance(entries, list) or not entries:
+        fail(f"{where}: attribution must be a non-empty list")
+    banded = 0
+    for i, entry in enumerate(entries):
+        at = f"{where}: attribution[{i}]"
+        if not isinstance(entry, dict):
+            fail(f"{at}: expected an object")
+        label = entry.get("label")
+        if not isinstance(label, str) or not label:
+            fail(f"{at}: missing label")
+        at = f"{where}: attribution[{i}] ({label})"
+        makespan = entry.get("makespan_ns")
+        check_finite_number(makespan, f"{at}: makespan_ns")
+        if makespan <= 0:
+            fail(f"{at}: makespan_ns must be positive")
+        components = entry.get("components")
+        if not isinstance(components, dict):
+            fail(f"{at}: missing components object")
+        total = 0
+        for key in ATTRIBUTION_COMPONENTS:
+            if key not in components:
+                fail(f"{at}: components missing {key!r}")
+            check_finite_number(components[key], f"{at}: components.{key}")
+            if components[key] < 0:
+                fail(f"{at}: components.{key} is negative")
+            total += components[key]
+        if total != makespan:
+            fail(f"{at}: components sum to {total}, not the makespan "
+                 f"{makespan} (the decomposition must be exact)")
+        if ("slack_share" in entry) != ("band" in entry):
+            fail(f"{at}: slack_share and band must appear together")
+        if "band" in entry:
+            banded += 1
+            check_finite_number(entry["slack_share"], f"{at}: slack_share")
+            if entry["slack_share"] < 0:
+                fail(f"{at}: slack_share is negative")
+            band = entry["band"]
+            if not isinstance(band, list) or len(band) != 2:
+                fail(f"{at}: band must be [lower, upper]")
+            check_finite_number(band[0], f"{at}: band lower")
+            check_finite_number(band[1], f"{at}: band upper")
+            if band[0] > band[1]:
+                fail(f"{at}: band lower {band[0]} exceeds upper {band[1]}")
+    return banded
 
 
 def check_experiment(entry, index):
@@ -78,13 +139,22 @@ def check_experiment(entry, index):
     if not isinstance(csv, list) or not all(isinstance(p, str) for p in csv):
         fail(f"{where}: csv must be a list of path strings")
     if "metrics" not in entry:
-        fail(f"{where}: missing metrics object (manifest-v2 requires one)")
+        fail(f"{where}: missing metrics object (manifest-v3 requires one)")
     check_metrics(entry["metrics"], where)
     if name == "fabric_compare" and status == "ok":
         for counter in ("net.transfers", "net.reconfigs"):
             if counter not in entry["metrics"]:
                 fail(f"{where}: ok entry is missing {counter!r} (the Network "
-                     "flushes link counters at destruction)")
+                     "flushes link counters at quiesce boundaries)")
+    banded = 0
+    if "attribution" in entry:
+        banded = check_attribution(entry["attribution"], where)
+    if name == "attribution_fabrics" and status == "ok":
+        if "attribution" not in entry:
+            fail(f"{where}: ok entry must record attributions")
+        if banded == 0:
+            fail(f"{where}: no attribution carries an Eq 2-3 band (the "
+                 "slacked replays must)")
 
 
 def main():
@@ -101,8 +171,8 @@ def main():
     if not isinstance(manifest, dict):
         fail("top level must be an object")
     schema = manifest.get("schema")
-    if schema != "rsd-bench-manifest-v2":
-        fail(f"unexpected schema {schema!r} (want rsd-bench-manifest-v2)")
+    if schema != "rsd-bench-manifest-v3":
+        fail(f"unexpected schema {schema!r} (want rsd-bench-manifest-v3)")
     for key in ("threads", "runs"):
         value = manifest.get(key)
         if not isinstance(value, int) or isinstance(value, bool) or value < 0:
