@@ -15,12 +15,19 @@
 //      total link-busy time all land in the CSV and (via the Network's
 //      destructor flush) in the manifest's net.* counters.
 //
+// Each fabric topology is built exactly once per size and shared across
+// both sections (rows borrow it via RowParams::topology), so the dense
+// route tables are paid for once; the CSV surfaces the fast-path
+// counters (express transfers, route-table hits) per measurement.
+//
 // `--fabric` / RSD_FABRIC narrows the sweep to one shape; the default
 // "all" runs every fabric. All CSV columns are simulated quantities, so
 // the tracked output is byte-identical at any thread count
 // (tests/gpusim_row_fabric_test.cpp asserts the row digests).
 #include <cstdint>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/csv.hpp"
@@ -59,18 +66,38 @@ RSD_EXPERIMENT(fabric_compare, "fabric_compare", "extension",
   CsvWriter csv;
   csv.row("section", "fabric", "algorithm", "gpus", "sim_ns", "closed_form_ring_ns",
           "transfers", "contended_transfers", "reconfigs", "link_busy_ns", "messages",
-          "epochs", "digest");
+          "epochs", "express_transfers", "route_hits", "digest");
+
+  // Build each fabric topology exactly once and share it everywhere: the
+  // rows borrow it through RowParams::topology, the collective section and
+  // the closing narration reuse the 32-GPU instance. One build per
+  // (fabric, size) keeps the dense route tables warm across sections. The
+  // default FabricParams link characteristics equal RowParams' defaults
+  // (NVLink-class 200 GiB/s / 2 us, 8 GPUs per chassis, 100 us OCS
+  // retarget), so the shared graph is the one each row would have built.
+  const std::vector<int> row_sizes{32, 128, 512};
+  std::map<std::pair<net::FabricKind, int>, net::Topology> topologies;
+  for (const net::FabricKind kind : fabrics) {
+    for (const int gpus : row_sizes) {
+      net::FabricParams fparams;
+      fparams.kind = kind;
+      fparams.gpus = gpus;
+      topologies.emplace(std::make_pair(kind, gpus), net::build_fabric(fparams));
+    }
+  }
 
   // --- 1. Partitioned row: one training step per fabric x row size ------
-  const std::vector<int> row_sizes{32, 128, 512};
   const Bytes gradient = 32 * kMiB;
   Table row_table{{"Fabric", "GPUs", "Step finish", "Messages", "Digest"}};
   for (const net::FabricKind kind : fabrics) {
     for (const int gpus : row_sizes) {
+      const net::Topology& topo = topologies.at({kind, gpus});
+      const std::uint64_t hits_before = topo.route_table_hits();
       gpu::RowParams params;
       params.gpus = gpus;
       params.fabric_kind = kind;
       params.sim_threads = ctx.sim_threads();
+      params.topology = &topo;
       gpu::PartitionedRow row{params};
 
       gpu::RowTraining training;
@@ -86,7 +113,8 @@ RSD_EXPERIMENT(fabric_compare, "fabric_compare", "extension",
           gpu::ring_allreduce_time(gradient, gpus, params.fabric);
       csv.row("row_step", net::to_string(kind), "ring", gpus, finish.ns(),
               closed_form.ns(), 0, 0, 0, 0, row.engine().messages_delivered(),
-              row.engine().epochs(), std::to_string(row.digest()));
+              row.engine().epochs(), 0, topo.route_table_hits() - hits_before,
+              std::to_string(row.digest()));
       row_table.add_row_vec({net::to_string(kind), std::to_string(gpus),
                              format_duration(finish - SimTime::zero()),
                              std::to_string(row.engine().messages_delivered()),
@@ -100,26 +128,26 @@ RSD_EXPERIMENT(fabric_compare, "fabric_compare", "extension",
   const Bytes bytes_per_rank = 32 * kMiB;
   const std::vector<net::Algorithm> algorithms{
       net::Algorithm::kRing, net::Algorithm::kTree, net::Algorithm::kHierarchical};
-  Table coll_table{{"Fabric", "Algorithm", "Allreduce", "Queued", "Reconfigs"}};
+  Table coll_table{{"Fabric", "Algorithm", "Allreduce", "Queued", "Express", "Reconfigs"}};
+  const net::FabricParams link_defaults;  // closed-form uses the default link specs
   for (const net::FabricKind kind : fabrics) {
-    net::FabricParams fparams;
-    fparams.kind = kind;
-    fparams.gpus = collective_gpus;
-    const net::Topology topo = net::build_fabric(fparams);
+    const net::Topology& topo = topologies.at({kind, collective_gpus});
     for (const net::Algorithm algorithm : algorithms) {
       const net::AllreduceReport report =
           net::measure_allreduce(topo, algorithm, bytes_per_rank, collective_gpus);
       const SimDuration closed_form = gpu::ring_allreduce_time(
           bytes_per_rank, collective_gpus,
-          gpu::GpuInterconnect{"fabric-link", fparams.link_bandwidth_gib_s,
-                               fparams.link_latency});
+          gpu::GpuInterconnect{"fabric-link", link_defaults.link_bandwidth_gib_s,
+                               link_defaults.link_latency});
       csv.row("collective", net::to_string(kind), net::to_string(algorithm),
               collective_gpus, report.duration.ns(), closed_form.ns(), report.transfers,
               report.contended_transfers, report.reconfigurations,
-              report.link_busy_total.ns(), 0, 0, "0");
+              report.link_busy_total.ns(), 0, 0, report.express_transfers,
+              report.route_hits, "0");
       coll_table.add_row_vec({net::to_string(kind), net::to_string(algorithm),
                               format_duration(report.duration),
                               std::to_string(report.contended_transfers),
+                              std::to_string(report.express_transfers),
                               std::to_string(report.reconfigurations)});
     }
   }
@@ -128,10 +156,10 @@ RSD_EXPERIMENT(fabric_compare, "fabric_compare", "extension",
   // Narrate the tentpole comparison: what the OCS reconfiguration penalty
   // costs relative to an electrical switch on the same collective.
   if (ctx.fabric() == "all") {
-    const net::Topology eswitch = net::build_fabric(net::FabricParams{
-        .kind = net::FabricKind::kElectricalSwitch, .gpus = collective_gpus});
-    const net::Topology ocs = net::build_fabric(net::FabricParams{
-        .kind = net::FabricKind::kOpticalCircuit, .gpus = collective_gpus});
+    const net::Topology& eswitch =
+        topologies.at({net::FabricKind::kElectricalSwitch, collective_gpus});
+    const net::Topology& ocs =
+        topologies.at({net::FabricKind::kOpticalCircuit, collective_gpus});
     const auto e = net::measure_allreduce(eswitch, net::Algorithm::kRing, bytes_per_rank,
                                           collective_gpus);
     const auto o = net::measure_allreduce(ocs, net::Algorithm::kRing, bytes_per_rank,

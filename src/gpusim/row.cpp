@@ -12,6 +12,7 @@ namespace rsd::gpu {
 namespace {
 
 net::Topology build_row_topology(const RowParams& params) {
+  if (params.topology != nullptr) return {};  // shared fabric: nothing to own
   return net::build_fabric(net::FabricParams{
       .kind = params.fabric_kind,
       .gpus = params.gpus,
@@ -83,9 +84,10 @@ static_assert(sizeof(RowArrival) <= sim::CrossCall::kInlineBytes);
 
 PartitionedRow::PartitionedRow(RowParams params)
     : params_(std::move(params)),
-      topo_(build_row_topology(params_)),
+      owned_topo_(build_row_topology(params_)),
+      topo_(params_.topology != nullptr ? params_.topology : &owned_topo_),
       engine_(params_.gpus, {.threads = params_.sim_threads,
-                             .lookahead = derive_lookahead(topo_, params_),
+                             .lookahead = derive_lookahead(*topo_, params_),
                              .jitter_seed = params_.jitter_seed}) {
   RSD_ASSERT(params_.gpus >= 1);
   ranks_.reserve(static_cast<std::size_t>(params_.gpus));
@@ -155,7 +157,7 @@ sim::Task<> PartitionedRow::rank_loop(int rank, const RowTraining& training) {
     // inbound chunk and the local DMA drain.
     for (int phase = 0; phase < phases; ++phase) {
       if (circuit_pending) {
-        co_await sim::delay(topo_.ocs_reconfigure());
+        co_await sim::delay(topo_->ocs_reconfigure());
         circuit_pending = false;
       }
       sim::WaitGroup out_done{sched};
@@ -189,9 +191,22 @@ SimTime PartitionedRow::run_training(const RowTraining& training) {
     // shapes are rank-symmetric, so rank 0 -> rank 1 prices every pair;
     // on the default ring this is latency + chunk/bandwidth, exactly the
     // pre-machine-model arithmetic.
-    per_transfer_ = topo_.transfer_time(topo_.device(0), topo_.device(1), chunk_);
-    msg_delay_ = topo_.route(topo_.device(0), topo_.device(1)).latency;
-    ocs_first_send_ = topo_.route(topo_.device(0), topo_.device(1)).optical_hops > 0;
+    per_transfer_ = topo_->transfer_time(topo_->device(0), topo_->device(1), chunk_);
+    msg_delay_ = topo_->route(topo_->device(0), topo_->device(1)).latency;
+    ocs_first_send_ = topo_->route(topo_->device(0), topo_->device(1)).optical_hops > 0;
+    if (params_.lookahead_matrix) {
+      // Feed the engine the fabric's distances: the only remote sends are
+      // ring-neighbor chunk posts at msg_delay_ (the routed path latency),
+      // so the lookahead graph is the rank ring with that bound per edge.
+      std::vector<sim::LookaheadEdge> edges;
+      edges.reserve(static_cast<std::size_t>(size()));
+      for (int rank = 0; rank < size(); ++rank) {
+        edges.push_back(sim::LookaheadEdge{
+            static_cast<sim::PartitionId>(rank),
+            static_cast<sim::PartitionId>((rank + 1) % size()), msg_delay_});
+      }
+      engine_.set_lookahead_edges(edges);
+    }
   }
   for (int rank = 0; rank < size(); ++rank) {
     sim::Partition& part = engine_.partition(static_cast<sim::PartitionId>(rank));

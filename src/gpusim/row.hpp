@@ -67,6 +67,17 @@ struct RowParams {
   int sim_threads = 0;
   /// Non-zero: seeded worker-claim jitter (determinism stress testing).
   std::uint64_t jitter_seed = 0;
+  /// Feed the engine a per-partition-pair lookahead matrix derived from
+  /// the fabric (ring-neighbor edges at the routed path latency) instead
+  /// of the single global lookahead. Identical results either way — the
+  /// matrix only lets epoch horizons advance further (asserted across
+  /// fabrics and thread counts by tests/gpusim_row_fabric_test.cpp).
+  bool lookahead_matrix = true;
+  /// Prebuilt fabric topology to share (it must outlive the row and match
+  /// the fabric parameters above); null builds a private one. Sharing
+  /// keeps the dense route tables warm across rows (fabric_compare builds
+  /// each fabric once for all of its sections).
+  const net::Topology* topology = nullptr;
 };
 
 /// One kernel of a rank's per-step sequence.
@@ -95,7 +106,7 @@ class PartitionedRow {
   [[nodiscard]] int size() const { return static_cast<int>(ranks_.size()); }
   [[nodiscard]] Device& device(int rank);
   [[nodiscard]] sim::ParallelEngine& engine() { return engine_; }
-  [[nodiscard]] const net::Topology& topology() const { return topo_; }
+  [[nodiscard]] const net::Topology& topology() const { return *topo_; }
 
   /// Run the training loop to completion on every rank. Returns the row
   /// finish time (max over ranks). Callable once per row.
@@ -116,7 +127,8 @@ class PartitionedRow {
   sim::Task<> rank_loop(int rank, const RowTraining& training);
 
   RowParams params_;
-  net::Topology topo_;
+  net::Topology owned_topo_;          ///< Built here unless params.topology is set.
+  const net::Topology* topo_;         ///< The fabric in use (owned or shared).
   sim::ParallelEngine engine_;
   std::vector<std::unique_ptr<Rank>> ranks_;
   SimDuration per_transfer_ = SimDuration::zero();

@@ -154,6 +154,7 @@ AllreduceReport measure_allreduce(const Topology& topology, Algorithm algorithm,
                                   std::vector<LinkUsageSample>* usage) {
   sim::Scheduler sched;
   AllreduceReport report;
+  const std::uint64_t hits_before = topology.route_table_hits();
   {
     Network network{sched, topology};
     sched.spawn(run_allreduce(network, algorithm, bytes_per_rank, participants));
@@ -163,6 +164,8 @@ AllreduceReport measure_allreduce(const Topology& topology, Algorithm algorithm,
     report.contended_transfers = network.contended_transfers();
     report.reconfigurations = network.reconfigurations();
     report.link_busy_total = network.link_busy_total();
+    report.express_transfers = network.express_transfers();
+    report.route_hits = topology.route_table_hits() - hits_before;
     if (usage != nullptr) *usage = network.link_usage();
   }
   report.duration = sched.now() - SimTime::zero();

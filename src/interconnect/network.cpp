@@ -13,6 +13,7 @@ Network::Network(sim::Scheduler& sched, const Topology& topology)
   for (std::size_t i = 0; i < topo_.link_count(); ++i) {
     links_.push_back(std::make_unique<LinkState>(sched_));
   }
+  flushed_route_hits_ = topo_.route_table_hits();
   quiesce_handle_ = obs::QuiesceRegistry::global().add([this] { flush(); });
 }
 
@@ -27,7 +28,15 @@ void Network::set_usage_bucket(SimDuration width) {
 
 Network::LinkState::Bucket& Network::bucket_at(LinkState& state, SimTime at) {
   const std::int64_t start = (at.ns() / bucket_width_ns_) * bucket_width_ns_;
-  return state.buckets[start];
+  // Simulated time is non-decreasing, so the bucket is either the last one
+  // or a fresh append — no ordered-map node allocation on the hot path.
+  // (A mid-run bucket-width change can map to an older start; book into
+  // the newest bucket rather than break the ordering.)
+  if (!state.buckets.empty() && state.buckets.back().first >= start) {
+    return state.buckets.back().second;
+  }
+  state.buckets.emplace_back(start, LinkState::Bucket{});
+  return state.buckets.back().second;
 }
 
 std::vector<LinkUsageSample> Network::link_usage() const {
@@ -43,7 +52,7 @@ std::vector<LinkUsageSample> Network::link_usage() const {
       out.push_back(sample);
     }
   }
-  return out;  // map iteration is ordered, links ascend: already sorted.
+  return out;  // buckets append in time order, links ascend: already sorted.
 }
 
 void Network::flush() {
@@ -55,6 +64,8 @@ void Network::flush() {
   };
   reg.counter("net.transfers").add(delta(transfers_, flushed_transfers_));
   reg.counter("net.contended_transfers").add(delta(contended_, flushed_contended_));
+  reg.counter("net.express").add(delta(express_, flushed_express_));
+  reg.counter("net.route_hits").add(delta(topo_.route_table_hits(), flushed_route_hits_));
   reg.counter("net.reconfigs").add(delta(reconfigs_, flushed_reconfigs_));
   reg.counter("net.link_busy_ns").add(busy_total_.ns() - flushed_busy_ns_);
   flushed_busy_ns_ = busy_total_.ns();
@@ -81,6 +92,34 @@ void Network::flush() {
 sim::Task<> Network::transfer(NodeId src, NodeId dst, Bytes bytes) {
   const Path& path = topo_.route(src, dst);
   ++transfers_;
+
+  // Express path: single hop onto a free wire — no circuit to retarget, no
+  // queue to join. Book the wire by timestamp and sleep exactly once for
+  // serialisation + propagation: one resumption instead of the
+  // acquire/serialize/release/propagate sequence, identical timing
+  // (tests/net_fastpath_test.cpp pins express-on against express-off).
+  if (express_enabled_ && path.links.size() == 1) {
+    LinkState& state = *links_[static_cast<std::size_t>(path.links[0])];
+    const SimTime now = sched_.now();
+    if (state.server.available() > 0 && state.express_busy_until <= now) {
+      const LinkDesc& desc = topo_.link(path.links[0]);
+      const SimDuration serialize = duration::seconds(
+          static_cast<double>(bytes) / (desc.bandwidth_gib_s * static_cast<double>(kGiB)));
+      {
+        LinkState::Bucket& bucket = bucket_at(state, now);
+        bucket.max_queue_depth = std::max(bucket.max_queue_depth, state.pending + 1);
+        bucket.busy_ns += serialize.ns();
+        ++bucket.transfers;
+      }
+      state.express_busy_until = now + serialize;
+      state.busy = state.busy + serialize;
+      busy_total_ = busy_total_ + serialize;
+      ++express_;
+      co_await sim::delay(serialize + desc.latency);
+      co_return;
+    }
+  }
+
   bool queued = false;
   for (std::size_t hop = 0; hop < path.links.size(); ++hop) {
     const LinkId lid = path.links[hop];
@@ -103,13 +142,24 @@ sim::Task<> Network::transfer(NodeId src, NodeId dst, Bytes bytes) {
       }
     }
 
-    if (state.server.available() == 0) queued = true;
+    if (state.server.available() == 0 || state.express_busy_until > sched_.now()) {
+      queued = true;
+    }
     ++state.pending;
     {
       LinkState::Bucket& bucket = bucket_at(state, sched_.now());
-      bucket.max_queue_depth = std::max(bucket.max_queue_depth, state.pending);
+      bucket.max_queue_depth = std::max(
+          bucket.max_queue_depth,
+          state.pending + (state.express_busy_until > sched_.now() ? 1 : 0));
     }
     co_await state.server.acquire();
+    // An express reservation books the wire by timestamp, not the
+    // semaphore: wait it out while *holding* the permit, so later arrivals
+    // queue FIFO behind this transfer exactly as they would behind a
+    // scheduled holder.
+    if (state.express_busy_until > sched_.now()) {
+      co_await sim::delay(state.express_busy_until - sched_.now());
+    }
     const SimDuration serialize = duration::seconds(
         static_cast<double>(bytes) / (desc.bandwidth_gib_s * static_cast<double>(kGiB)));
     {

@@ -13,6 +13,19 @@
 // analytic models in gpusim/collective.hpp are kept around to cross-check
 // (tests/net_collective_test.cpp).
 //
+// Fast path: that single-hop uncontended case is priced in closed form —
+// the *express path*. Instead of the acquire / serialize-event / release /
+// propagate-event sequence, the transfer books the wire by stamping the
+// link's `express_busy_until` timestamp and sleeps exactly once for
+// serialisation + propagation. A scheduled transfer that meets an express
+// reservation first takes the semaphore, then waits the timestamp out
+// while *holding* the permit, so later arrivals queue FIFO behind it and
+// the service order — and therefore every timestamp — is identical with
+// the express path on or off (tests/net_fastpath_test.cpp pins this per
+// fabric). The whole transfer path is allocation-free in steady state:
+// arena-backed coroutine frames, intrusive semaphore waiters, and
+// append-ordered usage buckets (asserted via rsd_alloc_counter).
+//
 // Optical circuit switches add circuit state: each ingress port drives
 // one egress at a time, and a transfer that needs the port pointed
 // elsewhere first pays the topology's reconfiguration delay. The circuit
@@ -36,8 +49,8 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "core/units.hpp"
@@ -81,6 +94,14 @@ class Network {
   [[nodiscard]] std::uint64_t transfers() const { return transfers_; }
   /// Transfers that found at least one link busy and had to queue.
   [[nodiscard]] std::uint64_t contended_transfers() const { return contended_; }
+  /// Transfers priced in closed form on the express path.
+  [[nodiscard]] std::uint64_t express_transfers() const { return express_; }
+  /// Test hook: disable the express path so every transfer runs the
+  /// scheduled acquire/serialize/release protocol. Timing is identical
+  /// either way (asserted by tests/net_fastpath_test.cpp); the knob only
+  /// exists so that equivalence is checkable.
+  void set_express_enabled(bool enabled) { express_enabled_ = enabled; }
+  [[nodiscard]] bool express_enabled() const { return express_enabled_; }
   [[nodiscard]] std::uint64_t reconfigurations() const { return reconfigs_; }
   [[nodiscard]] SimDuration link_busy_total() const { return busy_total_; }
   [[nodiscard]] SimDuration link_busy(LinkId link) const {
@@ -107,20 +128,28 @@ class Network {
   struct LinkState {
     explicit LinkState(sim::Scheduler& sched) : server(sched, 1) {}
     sim::Semaphore server;            ///< FIFO wire occupation.
+    /// Wire time reserved by an express transfer (which books the wire by
+    /// timestamp, never by the semaphore). A scheduled transfer that finds
+    /// this in the future acquires the permit first, then waits it out.
+    SimTime express_busy_until = SimTime::zero();
     SimDuration busy = SimDuration::zero();
     /// Optical ingress ports: the egress link the circuit currently
     /// drives; kInvalidLink until first configured.
     LinkId circuit = kInvalidLink;
 
-    // Usage sampler. `pending` counts transfers that arrived at this link
-    // and have not released it yet (the one in service plus the queue).
+    // Usage sampler. `pending` counts scheduled transfers that arrived at
+    // this link and have not finished serialising (the one in service plus
+    // the queue); an active express reservation contributes one more.
     struct Bucket {
       std::int64_t busy_ns = 0;
       std::uint64_t transfers = 0;
       int max_queue_depth = 0;
     };
     int pending = 0;
-    std::map<std::int64_t, Bucket> buckets;  ///< Keyed by bucket start ns.
+    /// Buckets in bucket-start order: simulated time never runs backwards,
+    /// so appending keeps them sorted and allocation amortised (a std::map
+    /// here would allocate a node per bucket on the hot path).
+    std::vector<std::pair<std::int64_t, Bucket>> buckets;
     std::int64_t exported_hwm = -1;  ///< Last bucket start already emitted.
   };
 
@@ -131,14 +160,21 @@ class Network {
   std::vector<std::unique_ptr<LinkState>> links_;
   std::uint64_t transfers_ = 0;
   std::uint64_t contended_ = 0;
+  std::uint64_t express_ = 0;
+  bool express_enabled_ = true;
   std::uint64_t reconfigs_ = 0;
   SimDuration busy_total_ = SimDuration::zero();
 
   // Quiesce-flush watermarks: the cumulative value already pushed into the
-  // registry, so flush() only ever adds the delta.
+  // registry, so flush() only ever adds the delta. Route-table hits live
+  // on the (possibly shared) topology; this network reports the hits that
+  // occur during its own lifetime, so the watermark starts at the
+  // topology's count at construction.
   std::uint64_t flushed_transfers_ = 0;
   std::uint64_t flushed_contended_ = 0;
+  std::uint64_t flushed_express_ = 0;
   std::uint64_t flushed_reconfigs_ = 0;
+  std::uint64_t flushed_route_hits_ = 0;
   std::int64_t flushed_busy_ns_ = 0;
 
   std::int64_t bucket_width_ns_ = 100'000;  ///< 100 us default.

@@ -27,11 +27,18 @@ const char* to_string(LinkKind kind) {
   return "?";
 }
 
+void Topology::invalidate_routes() {
+  rows_.clear();
+  source_slot_.assign(nodes_.size(), -1);
+  min_device_latency_ns_ = -1;
+}
+
 NodeId Topology::add_node(NodeDesc desc) {
   const auto id = static_cast<NodeId>(nodes_.size());
   if (desc.kind == NodeKind::kGpu) devices_.push_back(id);
   nodes_.push_back(std::move(desc));
   out_.emplace_back();
+  invalidate_routes();
   return id;
 }
 
@@ -52,7 +59,7 @@ LinkId Topology::add_link(LinkDesc desc) {
   const auto id = static_cast<LinkId>(links_.size());
   out_[static_cast<std::size_t>(desc.src)].push_back(id);
   links_.push_back(desc);
-  route_cache_.clear();
+  invalidate_routes();
   return id;
 }
 
@@ -88,15 +95,92 @@ struct Frontier {
 
 }  // namespace
 
+Topology::SourceRow& Topology::source_row(NodeId src) const {
+  if (source_slot_.size() != nodes_.size()) source_slot_.resize(nodes_.size(), -1);
+  std::int32_t& slot = source_slot_[static_cast<std::size_t>(src)];
+  if (slot >= 0) return rows_[static_cast<std::size_t>(slot)];
+
+  // One full Dijkstra from `src` settles every reachable node, filling the
+  // dense via/distance row in a single sweep. Identical frontier ordering
+  // and relaxation rule as route_dijkstra(), minus the early exit — with
+  // positive link latencies a settled node is never relabeled, so the two
+  // agree on every destination (pinned by the randomized equivalence
+  // test).
+  constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max();
+  SourceRow row;
+  row.via.assign(nodes_.size(), kInvalidLink);
+  row.dist_ns.assign(nodes_.size(), kInf);
+  row.paths.resize(nodes_.size());
+  row.materialized.assign(nodes_.size(), 0);
+  std::vector<int> hops(nodes_.size(), 0);
+  std::priority_queue<Frontier, std::vector<Frontier>, std::greater<>> frontier;
+  row.dist_ns[static_cast<std::size_t>(src)] = 0;
+  frontier.push(Frontier{0, 0, src});
+  while (!frontier.empty()) {
+    const Frontier f = frontier.top();
+    frontier.pop();
+    if (f.latency_ns > row.dist_ns[static_cast<std::size_t>(f.node)]) continue;
+    const std::int64_t forward = f.node == src ? 0 : node(f.node).forward_latency.ns();
+    for (const LinkId lid : out_[static_cast<std::size_t>(f.node)]) {
+      const LinkDesc& l = links_[static_cast<std::size_t>(lid)];
+      const std::int64_t cand = f.latency_ns + forward + l.latency.ns();
+      auto& best = row.dist_ns[static_cast<std::size_t>(l.dst)];
+      auto& best_hops = hops[static_cast<std::size_t>(l.dst)];
+      const int cand_hops = f.hops + 1;
+      if (cand < best || (cand == best && cand_hops < best_hops)) {
+        best = cand;
+        best_hops = cand_hops;
+        row.via[static_cast<std::size_t>(l.dst)] = lid;
+        frontier.push(Frontier{cand, cand_hops, l.dst});
+      }
+    }
+  }
+  ++route_table_builds_;
+  slot = static_cast<std::int32_t>(rows_.size());
+  rows_.push_back(std::move(row));
+  return rows_.back();
+}
+
 const Path& Topology::route(NodeId src, NodeId dst) const {
   const auto n = static_cast<NodeId>(nodes_.size());
   if (src < 0 || src >= n || dst < 0 || dst >= n || src == dst) {
     throw Error{ErrorCode::kInvalidArgument, "net::Topology::route: bad endpoints"};
   }
-  const std::uint64_t key = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
-                            static_cast<std::uint32_t>(dst);
-  if (const auto it = route_cache_.find(key); it != route_cache_.end()) return it->second;
+  SourceRow& row = source_row(src);
+  const auto d = static_cast<std::size_t>(dst);
+  if (row.materialized[d]) {
+    ++route_table_hits_;
+    return row.paths[d];
+  }
+  if (row.dist_ns[d] == std::numeric_limits<std::int64_t>::max()) {
+    throw Error{ErrorCode::kInvalidArgument,
+                "net::Topology::route: no path " + node(src).name + " -> " + node(dst).name};
+  }
+  // First request of this (src, dst): materialise the Path by walking the
+  // via row back from the destination. Rows are pre-sized, so the
+  // reference stays valid for the topology's lifetime.
+  Path path;
+  path.latency = duration::nanoseconds(row.dist_ns[d]);
+  path.bottleneck_gib_s = std::numeric_limits<double>::infinity();
+  for (NodeId at = dst; at != src;) {
+    const LinkId lid = row.via[static_cast<std::size_t>(at)];
+    const LinkDesc& l = links_[static_cast<std::size_t>(lid)];
+    path.links.push_back(lid);
+    path.bottleneck_gib_s = std::min(path.bottleneck_gib_s, l.bandwidth_gib_s);
+    if (l.dst != dst && node(l.dst).optical) ++path.optical_hops;
+    at = l.src;
+  }
+  std::reverse(path.links.begin(), path.links.end());
+  row.paths[d] = std::move(path);
+  row.materialized[d] = 1;
+  return row.paths[d];
+}
 
+Path Topology::route_dijkstra(NodeId src, NodeId dst) const {
+  const auto n = static_cast<NodeId>(nodes_.size());
+  if (src < 0 || src >= n || dst < 0 || dst >= n || src == dst) {
+    throw Error{ErrorCode::kInvalidArgument, "net::Topology::route: bad endpoints"};
+  }
   constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max();
   std::vector<std::int64_t> dist(nodes_.size(), kInf);
   std::vector<int> hops(nodes_.size(), 0);
@@ -146,7 +230,7 @@ const Path& Topology::route(NodeId src, NodeId dst) const {
     at = l.src;
   }
   std::reverse(path.links.begin(), path.links.end());
-  return route_cache_.emplace(key, std::move(path)).first->second;
+  return path;
 }
 
 SimDuration Topology::transfer_time(NodeId src, NodeId dst, Bytes bytes) const {
@@ -160,6 +244,9 @@ SimDuration Topology::min_device_path_latency() const {
     throw Error{ErrorCode::kInvalidState,
                 "net::Topology::min_device_path_latency: fewer than two devices"};
   }
+  // Cached: PartitionedRow and the engine's lookahead matrix both ask, and
+  // the answer only changes when the graph does (invalidate_routes).
+  if (min_device_latency_ns_ >= 0) return duration::nanoseconds(min_device_latency_ns_);
   // One Dijkstra per source device, stopped at the first *other* device
   // settled — Dijkstra settles nodes in latency order, so that device is
   // the source's nearest. All-pairs route() here would be quadratic in
@@ -196,6 +283,7 @@ SimDuration Topology::min_device_path_latency() const {
     throw Error{ErrorCode::kInvalidState,
                 "net::Topology::min_device_path_latency: devices are unreachable"};
   }
+  min_device_latency_ns_ = best;
   return duration::nanoseconds(best);
 }
 

@@ -12,18 +12,24 @@
 // other on uncontended fabrics).
 //
 // Routing is deterministic: min-latency paths (ties broken by hop count,
-// then node id) computed by Dijkstra and cached per (src, dst) pair. Path
-// latency sums link latencies plus the forwarding latency of intermediate
-// nodes (an electrical switch's per-hop cost); path bandwidth is the
-// bottleneck link. `min_device_path_latency()` — the smallest latency any
-// device-to-device message can possibly have — is what `gpu::
-// PartitionedRow` hands the conservative parallel engine as lookahead.
+// then node id). Dijkstra is only the *table builder*: the first route out
+// of a source runs one full Dijkstra and fills that source's dense
+// next-hop/distance row covering every destination; every later lookup is
+// an O(1) flat-array read (`route_table_hits()` counts them), with the
+// `Path` object materialised from the row on first use. `route_dijkstra()`
+// keeps the original per-pair search as the reference implementation the
+// randomized equivalence test (tests/net_fastpath_test.cpp) cross-checks
+// the tables against. Path latency sums link latencies plus the forwarding
+// latency of intermediate nodes (an electrical switch's per-hop cost);
+// path bandwidth is the bottleneck link. `min_device_path_latency()` — the
+// smallest latency any device-to-device message can possibly have — is
+// what `gpu::PartitionedRow` hands the conservative parallel engine as
+// lookahead; it is computed once and cached until the graph changes.
 #pragma once
 
 #include <cstdint>
 #include <limits>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "core/error.hpp"
@@ -121,9 +127,22 @@ class Topology {
   /// Distinct chassis tags across devices (>= 1 when any device is tagged).
   [[nodiscard]] std::vector<int> device_chassis_tags() const;
 
-  /// Min-latency route from src to dst. Throws rsd::Error{kInvalidArgument}
-  /// when no route exists. Cached; the cache is invalidated by add_link.
+  /// Min-latency route from src to dst, served from the dense per-source
+  /// route table (built by one full Dijkstra on the source's first route;
+  /// O(1) thereafter). Throws rsd::Error{kInvalidArgument} when no route
+  /// exists. Tables are invalidated by add_node/add_link.
   [[nodiscard]] const Path& route(NodeId src, NodeId dst) const;
+
+  /// Reference implementation: a fresh per-pair Dijkstra, no tables, no
+  /// caching — byte-for-byte the pre-table algorithm. Exists so tests can
+  /// cross-check `route()` against an independent search on randomized
+  /// topologies; production code wants `route()`.
+  [[nodiscard]] Path route_dijkstra(NodeId src, NodeId dst) const;
+
+  /// Route lookups served from an already-materialised table entry.
+  [[nodiscard]] std::uint64_t route_table_hits() const { return route_table_hits_; }
+  /// Per-source table builds (full Dijkstra runs) so far.
+  [[nodiscard]] std::uint64_t route_table_builds() const { return route_table_builds_; }
 
   /// Analytic single-transfer cost over the routed path: fixed path
   /// latency plus serialisation at the bottleneck link (cut-through; the
@@ -134,6 +153,7 @@ class Topology {
   /// The smallest path latency between any two distinct devices — the
   /// tightest bound on how soon a device-to-device message can arrive,
   /// i.e. the conservative lookahead of a partitioned row simulation.
+  /// Computed once and cached until add_node/add_link changes the graph.
   /// Throws rsd::Error{kInvalidState} with fewer than two devices or when
   /// some device pair is unreachable.
   [[nodiscard]] SimDuration min_device_path_latency() const;
@@ -149,12 +169,32 @@ class Topology {
   }
 
  private:
+  /// Dense routing row of one source: for every node, the last link on the
+  /// min-latency path from the source (kInvalidLink = unreached) plus the
+  /// path latency; `paths` materialises the user-facing Path per
+  /// destination on first request. Rows are built lazily — memory scales
+  /// with *touched* sources, not all-pairs.
+  struct SourceRow {
+    std::vector<LinkId> via;
+    std::vector<std::int64_t> dist_ns;
+    std::vector<Path> paths;
+    std::vector<unsigned char> materialized;
+  };
+
+  [[nodiscard]] SourceRow& source_row(NodeId src) const;
+  void invalidate_routes();
+
   std::vector<NodeDesc> nodes_;
   std::vector<LinkDesc> links_;
   std::vector<std::vector<LinkId>> out_;
   std::vector<NodeId> devices_;
   SimDuration ocs_reconfigure_ = SimDuration::zero();
-  mutable std::unordered_map<std::uint64_t, Path> route_cache_;
+
+  mutable std::vector<std::int32_t> source_slot_;  ///< Node -> rows_ index, -1 unbuilt.
+  mutable std::vector<SourceRow> rows_;
+  mutable std::uint64_t route_table_hits_ = 0;
+  mutable std::uint64_t route_table_builds_ = 0;
+  mutable std::int64_t min_device_latency_ns_ = -1;  ///< Cached; -1 = not computed.
 };
 
 }  // namespace rsd::net

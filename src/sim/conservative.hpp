@@ -4,22 +4,38 @@
 // partition.hpp) and advances them in *epochs* under conservative
 // lookahead:
 //
-//   1. t_min   = earliest pending work anywhere (local events and
-//                undelivered cross-partition messages);
-//   2. horizon = t_min + lookahead. Any message a partition can still
-//                send carries timestamp >= its clock + lookahead >=
-//                t_min + lookahead, so every event strictly below the
-//                horizon is already causally complete;
-//   3. all partitions, in parallel on an `exec::Team`, deliver inbound
-//                messages, then run their local queues up to (not
-//                including) the horizon;
-//   4. barrier; outbox buffers flip; repeat until no work remains.
+//   1. route   — a serial O(messages) pass moves every message sent last
+//                epoch into its destination's inbox (replacing each of P
+//                partitions scanning all P outboxes: the old O(P^2)
+//                per-epoch walk dominated wall time on a 512-GPU row);
+//   2. a_i     = earliest instant partition i can still act (its next
+//                local event or an undelivered inbound message);
+//   3. horizon — per partition. With the default *global* lookahead L,
+//                every horizon is min_i(a_i) + L. With a declared
+//                *lookahead-edge matrix* (set_lookahead_edges: each edge
+//                src -> dst carries the minimum delay of any send on it,
+//                e.g. the fabric's routed path latency), partition j's
+//                horizon is the earliest any message chain could still
+//                reach it: min over paths i -> ... -> j in the edge graph
+//                of a_i + (sum of edge lookaheads) — one multi-source
+//                Dijkstra per epoch, seeded with a_i. Distance-aware
+//                horizons advance much further than min+L when activity
+//                is spread out, so stalls drop; a partition no chain can
+//                reach drains its queue entirely;
+//   4. all partitions, in parallel on an `exec::Team`, deliver their
+//                inbox, then run their local queues up to (not including)
+//                their horizon;
+//   5. barrier; outbox buffers flip; repeat until no work remains.
 //
 // This is the global-epoch-barrier member of the conservative family
 // (null-message-free CMB): slack windows and cross-chassis link/copy
-// latencies give the lookahead, and with lookahead L every epoch retires
-// at least the events in [t_min, t_min + L) — guaranteed progress, no
-// deadlock protocol.
+// latencies give the lookahead, and every epoch retires at least the
+// events in [min a_i, min a_i + L_min) — guaranteed progress, no deadlock
+// protocol. The matrix is sound for the same reason the global bound is:
+// messages deliver only at epoch starts, so anything partition i sends
+// during this epoch leaves no earlier than a_i, and every edge hop adds
+// at least its declared lookahead (send() asserts per-pair minimum
+// delays; sends over undeclared pairs are rejected in matrix mode).
 //
 // Determinism at any thread count — the invariant every tracked CSV
 // depends on — holds by construction:
@@ -39,6 +55,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -53,6 +70,16 @@
 #include "sim/scheduler.hpp"
 
 namespace rsd::sim {
+
+/// One directed edge of the lookahead matrix: any message from partition
+/// `src` to partition `dst` is guaranteed to carry at least `lookahead`
+/// of delay (e.g. the routed path latency between the devices the two
+/// partitions simulate).
+struct LookaheadEdge {
+  PartitionId src = 0;
+  PartitionId dst = 0;
+  SimDuration lookahead = SimDuration::zero();
+};
 
 class ParallelEngine {
  public:
@@ -85,6 +112,8 @@ class ParallelEngine {
     slots_.resize(parts_.size());
     scratch_.resize(parts_.size());
     timelines_.resize(parts_.size());
+    inflight_.resize(parts_.size());
+    avail_.resize(parts_.size());
   }
 
   /// Partition teardown frees coroutine frames into the owning arenas, so
@@ -106,6 +135,50 @@ class ParallelEngine {
     return *parts_.at(static_cast<std::size_t>(id));
   }
 
+  /// Declare the lookahead-edge matrix and switch horizon computation to
+  /// distance-aware mode. Every remote send must then travel a declared
+  /// edge with at least that edge's lookahead of delay (asserted in
+  /// send()); duplicate edges keep the smaller bound. Call before run().
+  void set_lookahead_edges(const std::vector<LookaheadEdge>& edges) {
+    RSD_ASSERT(!edges.empty());
+    const std::size_t n = parts_.size();
+    constexpr std::int64_t kNoEdge = std::numeric_limits<std::int64_t>::max();
+    edge_min_ns_.assign(n * n, kNoEdge);
+    std::int64_t min_edge = kNoEdge;
+    for (const LookaheadEdge& e : edges) {
+      RSD_ASSERT(static_cast<std::size_t>(e.src) < n);
+      RSD_ASSERT(static_cast<std::size_t>(e.dst) < n);
+      RSD_ASSERT(e.src != e.dst);
+      RSD_ASSERT(e.lookahead.ns() > 0);
+      std::int64_t& cell = edge_min_ns_[e.src * n + e.dst];
+      cell = std::min(cell, e.lookahead.ns());
+      min_edge = std::min(min_edge, e.lookahead.ns());
+    }
+    out_edges_.assign(n, {});
+    for (std::size_t src = 0; src < n; ++src) {
+      for (std::size_t dst = 0; dst < n; ++dst) {
+        const std::int64_t ns = edge_min_ns_[src * n + dst];
+        if (ns != kNoEdge) {
+          out_edges_[src].push_back({static_cast<PartitionId>(dst), ns});
+        }
+      }
+    }
+    min_edge_ns_ = min_edge;
+    matrix_mode_ = true;
+  }
+
+  /// True once set_lookahead_edges() switched horizons to matrix mode.
+  [[nodiscard]] bool lookahead_matrix() const { return matrix_mode_; }
+
+  /// The minimum legal delay of a send from `src` to `dst`: the global
+  /// lookahead, or — in matrix mode — the declared edge bound (an
+  /// undeclared pair is unbounded, i.e. the send is rejected).
+  [[nodiscard]] SimDuration min_send_delay(PartitionId src, PartitionId dst) const {
+    if (!matrix_mode_) return lookahead_;
+    return duration::nanoseconds(
+        edge_min_ns_[static_cast<std::size_t>(src) * parts_.size() + dst]);
+  }
+
   /// Run epochs until no partition holds events and no message is in
   /// flight, then drain root-task completions (rethrowing the first
   /// failure by partition index — a deterministic choice). After run(),
@@ -115,24 +188,41 @@ class ParallelEngine {
                    {obs::Arg::n("partitions", static_cast<double>(parts_.size())),
                     obs::Arg::n("threads", static_cast<double>(threads_))}};
     const std::uint64_t epochs_before = epochs_;
+    const std::uint64_t gain_before = horizon_gain_ns_;
     refresh();
     for (;;) {
+      // Serial routing pass: move every message sent last epoch into its
+      // destination's inbox — O(messages), where each partition scanning
+      // every outbox would be O(partitions^2) per epoch. The refs point
+      // into drain-side buffers, which stay untouched until this buffer
+      // parity fills again next epoch.
+      const int drain = fill_parity_;
+      for (std::size_t i = 0; i < parts_.size(); ++i) {
+        scratch_[i].clear();
+        inflight_[i] = SimTime::max();
+      }
+      for (const auto& sp : parts_) {
+        for (const RemoteMsg& m : sp->outbox_[drain]) {
+          scratch_[m.dst].push_back(InRef{m.at, sp->id_, m.seq, &m.call});
+          inflight_[m.dst] = std::min(inflight_[m.dst], m.at);
+        }
+      }
       SimTime t_min = SimTime::max();
       for (std::size_t i = 0; i < parts_.size(); ++i) {
-        t_min = std::min(t_min, slots_[i].next_time);
-        t_min = std::min(t_min, parts_[i]->out_min_);
+        avail_[i] = std::min(slots_[i].next_time, inflight_[i]);
+        t_min = std::min(t_min, avail_[i]);
       }
       if (t_min == SimTime::max()) break;
-      const SimTime horizon = t_min + lookahead_;
+      compute_horizons(t_min);
       ++epochs_;
       fill_parity_ ^= 1;
-      team_.run(parts_.size(), [this, horizon](std::size_t i) { process(i, horizon); });
+      team_.run(parts_.size(), [this](std::size_t i) { process(i); });
     }
     for (auto& p : parts_) {
       ArenaScope scope{p->arena_};
       p->sched_.run();  // queue is empty: completion checks + rethrow only
     }
-    flush_metrics(epochs_ - epochs_before);
+    flush_metrics(epochs_ - epochs_before, horizon_gain_ns_ - gain_before);
   }
 
   /// Prime the per-partition next-event slots from the schedulers. run()
@@ -164,6 +254,10 @@ class ParallelEngine {
     for (const auto& s : slots_) n += s.stalls;
     return n;
   }
+  /// Cumulative extra horizon (ns, summed over partition-epochs) the
+  /// lookahead matrix won over the global-lookahead bound `min a_i +
+  /// min-edge`. Zero in global mode; non-negative by construction.
+  [[nodiscard]] std::uint64_t horizon_gain_ns() const { return horizon_gain_ns_; }
   [[nodiscard]] std::size_t unfinished_count() const {
     std::size_t n = 0;
     for (const auto& p : parts_) n += p->sched_.unfinished_count();
@@ -174,9 +268,11 @@ class ParallelEngine {
   friend class Partition;
 
   /// Per-partition engine-side state, cache-line padded: every worker
-  /// writes only its claimed partitions' slots within an epoch.
+  /// writes only its claimed partitions' slots within an epoch (the
+  /// horizon is written serially between epochs, read by the worker).
   struct alignas(64) Slot {
     SimTime next_time = SimTime::max();
+    SimTime horizon = SimTime::max();
     std::uint64_t delivered = 0;
     std::uint64_t stalls = 0;
   };
@@ -196,27 +292,82 @@ class ParallelEngine {
     }
   };
 
-  void process(std::size_t i, SimTime horizon) {
+  /// Multi-source Dijkstra frontier entry for compute_horizons, ordered
+  /// deterministically by (time, partition id).
+  struct HeapNode {
+    SimTime at;
+    PartitionId part;
+
+    struct Later {  // make_heap comparator: min-heap on (at, part)
+      [[nodiscard]] bool operator()(const HeapNode& a, const HeapNode& b) const {
+        if (a.at != b.at) return a.at > b.at;
+        return a.part > b.part;
+      }
+    };
+  };
+
+  /// Distance-aware per-partition horizons. Global mode: everyone gets
+  /// t_min + lookahead. Matrix mode: one multi-source Dijkstra over the
+  /// lookahead-edge graph, seeded with a_i — the earliest activity e_i of
+  /// each partition — so h_j = min over in-edges (i, j) of e_i + L_ij is
+  /// the earliest instant any message chain could still reach j. Ties
+  /// break on (time, partition id): pure simulation state, thread-safe by
+  /// running serially between epochs.
+  void compute_horizons(SimTime t_min) {
+    if (!matrix_mode_) {
+      const SimTime h = t_min + lookahead_;
+      for (auto& s : slots_) s.horizon = h;
+      return;
+    }
+    const std::size_t n = parts_.size();
+    dist_.assign(n, SimTime::max());
+    arrive_.assign(n, SimTime::max());
+    heap_.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (avail_[i] != SimTime::max()) {
+        dist_[i] = avail_[i];
+        heap_.push_back(HeapNode{avail_[i], static_cast<PartitionId>(i)});
+      }
+    }
+    std::make_heap(heap_.begin(), heap_.end(), HeapNode::Later{});
+    while (!heap_.empty()) {
+      std::pop_heap(heap_.begin(), heap_.end(), HeapNode::Later{});
+      const HeapNode top = heap_.back();
+      heap_.pop_back();
+      if (top.at > dist_[top.part]) continue;
+      for (const auto& [dst, lookahead_ns] : out_edges_[top.part]) {
+        const SimTime cand = top.at + duration::nanoseconds(lookahead_ns);
+        arrive_[dst] = std::min(arrive_[dst], cand);
+        if (cand < dist_[dst]) {
+          dist_[dst] = cand;
+          heap_.push_back(HeapNode{cand, dst});
+          std::push_heap(heap_.begin(), heap_.end(), HeapNode::Later{});
+        }
+      }
+    }
+    const SimTime base = t_min + duration::nanoseconds(min_edge_ns_);
+    for (std::size_t j = 0; j < n; ++j) {
+      slots_[j].horizon = arrive_[j];
+      if (arrive_[j] != SimTime::max()) {
+        horizon_gain_ns_ += static_cast<std::uint64_t>((arrive_[j] - base).ns());
+      }
+    }
+  }
+
+  void process(std::size_t i) {
     Partition& p = *parts_[i];
     ArenaScope scope{p.arena_};
 
-    // The buffer this partition fills now was drained by every reader two
-    // epochs ago (the flip + barrier in between make the clear safe).
+    // The buffer this partition fills now was routed from two epochs ago
+    // (the flip + barrier in between make the clear safe).
     auto& out = p.outbox_[fill_parity_];
     out.clear();
     p.out_cur_ = &out;
-    p.out_min_ = SimTime::max();
 
-    // Gather inbound messages from every source's drain-side buffer
-    // (read-only scan), merge-sort by (at, src, seq), deliver.
+    // The engine's routing pass already moved this partition's inbound
+    // messages into scratch_[i]; merge-sort by (at, src, seq), deliver.
+    const SimTime horizon = slots_[i].horizon;
     auto& in = scratch_[i];
-    in.clear();
-    const int drain = fill_parity_ ^ 1;
-    for (const auto& sp : parts_) {
-      for (const RemoteMsg& m : sp->outbox_[drain]) {
-        if (m.dst == p.id_) in.push_back(InRef{m.at, sp->id_, m.seq, &m.call});
-      }
-    }
     std::sort(in.begin(), in.end());
     for (const InRef& r : in) {
       p.sched_.spawn_at(Partition::deliver(*r.call), r.at);
@@ -250,10 +401,11 @@ class ParallelEngine {
 
   /// Quiesce-point flush into the global registry (obs design: no per-event
   /// atomics on the hot path) plus the per-partition epoch timelines.
-  void flush_metrics(std::uint64_t run_epochs) {
+  void flush_metrics(std::uint64_t run_epochs, std::uint64_t run_gain_ns) {
     auto& reg = obs::Registry::global();
     reg.counter("pardes.runs").add(1);
     reg.counter("pardes.epochs").add(static_cast<std::int64_t>(run_epochs));
+    reg.counter("pardes.horizon_gain").add(static_cast<std::int64_t>(run_gain_ns));
     reg.counter("pardes.messages").add(static_cast<std::int64_t>(messages_delivered()));
     reg.counter("pardes.lookahead_stalls")
         .add(static_cast<std::int64_t>(stalled_partition_epochs()));
@@ -326,9 +478,23 @@ class ParallelEngine {
   std::vector<Slot> slots_;
   std::vector<std::vector<InRef>> scratch_;
   std::vector<EpochRing> timelines_;
+  std::vector<SimTime> inflight_;  ///< Per-dest min undelivered message time.
+  std::vector<SimTime> avail_;     ///< a_i: earliest instant i can still act.
   int fill_parity_ = 0;
   std::uint64_t epochs_ = 0;
   std::int32_t sim_id_ = -1;  ///< Tracer timeline id, acquired at first flush.
+
+  // Lookahead matrix (matrix_mode_): dense per-pair minimum send delays
+  // (kNoEdge-filled; send() asserts against it), adjacency lists for the
+  // per-epoch horizon Dijkstra, and reusable scratch for that search.
+  bool matrix_mode_ = false;
+  std::int64_t min_edge_ns_ = 0;
+  std::vector<std::int64_t> edge_min_ns_;
+  std::vector<std::vector<std::pair<PartitionId, std::int64_t>>> out_edges_;
+  std::vector<SimTime> dist_;
+  std::vector<SimTime> arrive_;
+  std::vector<HeapNode> heap_;
+  std::uint64_t horizon_gain_ns_ = 0;
 };
 
 inline void Partition::send(PartitionId dst, SimDuration delay, CrossCall call) {
@@ -339,10 +505,13 @@ inline void Partition::send(PartitionId dst, SimDuration delay, CrossCall call) 
     sched_.spawn_at(deliver(std::move(call)), at);
     return;
   }
-  RSD_ASSERT(delay >= engine_.lookahead());
+  // Global mode: every remote send obeys the one lookahead. Matrix mode:
+  // it obeys the declared (src, dst) edge bound — and an undeclared pair
+  // is unbounded, so the assert also rejects sends the matrix never
+  // promised the horizon computation.
+  RSD_ASSERT(delay >= engine_.min_send_delay(id_, dst));
   RSD_ASSERT(out_cur_ != nullptr);  // only legal inside an epoch slice
   out_cur_->push_back(RemoteMsg{at, dst, send_seq_++, std::move(call)});
-  out_min_ = std::min(out_min_, at);
 }
 
 }  // namespace rsd::sim

@@ -135,11 +135,10 @@ class Partition {
   // into the arena, so the arena must outlive it (reverse destruction).
   FrameArena arena_;
   Scheduler sched_;
-  /// Double-buffered outboxes: the engine fills one per epoch while every
-  /// destination drains the other (read-only), then flips the parity.
+  /// Double-buffered outboxes: the engine fills one per epoch and routes
+  /// the other to destination inboxes between epochs, then flips parity.
   std::vector<RemoteMsg> outbox_[2];
   std::vector<RemoteMsg>* out_cur_ = nullptr;  ///< Set by the engine per epoch.
-  SimTime out_min_ = SimTime::max();           ///< Earliest undelivered message.
   std::uint64_t send_seq_ = 0;
 };
 

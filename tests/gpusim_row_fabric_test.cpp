@@ -103,5 +103,57 @@ TEST(RowFabric, SingleGpuRowStillRuns) {
   EXPECT_GT(run.finish, SimTime::zero());
 }
 
+TEST(RowFabric, LookaheadMatrixMatchesGlobalLookaheadPerFabric) {
+  // The per-pair lookahead matrix only widens epoch horizons; digests and
+  // finish times must match the single global window on every fabric at
+  // every thread count.
+  for (const net::FabricKind kind : net::all_fabric_kinds()) {
+    RowParams global_params;
+    global_params.gpus = 16;
+    global_params.fabric_kind = kind;
+    global_params.sim_threads = 1;
+    global_params.lookahead_matrix = false;
+    PartitionedRow global_row{global_params};
+    const SimTime global_finish = global_row.run_training(small_training());
+
+    for (const int threads : {1, 2, 8}) {
+      RowParams params;
+      params.gpus = 16;
+      params.fabric_kind = kind;
+      params.sim_threads = threads;
+      params.lookahead_matrix = true;
+      PartitionedRow row{params};
+      const SimTime finish = row.run_training(small_training());
+      EXPECT_EQ(row.digest(), global_row.digest())
+          << net::to_string(kind) << " at " << threads << " threads";
+      EXPECT_EQ(finish, global_finish) << net::to_string(kind);
+    }
+  }
+}
+
+TEST(RowFabric, SharedTopologyMatchesOwned) {
+  // A prebuilt fabric passed through RowParams::topology must behave
+  // exactly like the row's privately built one — including when several
+  // rows share it back to back (warm route tables and all).
+  for (const net::FabricKind kind : net::all_fabric_kinds()) {
+    const RowRun owned = run_row(kind, 16, 2);
+    net::FabricParams fparams;
+    fparams.kind = kind;
+    fparams.gpus = 16;
+    const net::Topology topo = net::build_fabric(fparams);
+    for (int repeat = 0; repeat < 2; ++repeat) {
+      RowParams params;
+      params.gpus = 16;
+      params.fabric_kind = kind;
+      params.sim_threads = 2;
+      params.topology = &topo;
+      PartitionedRow row{params};
+      const SimTime finish = row.run_training(small_training());
+      EXPECT_EQ(row.digest(), owned.digest) << net::to_string(kind);
+      EXPECT_EQ(finish, owned.finish) << net::to_string(kind);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace rsd::gpu

@@ -184,13 +184,34 @@ TEST(ParallelEngine, TaskFailureRethrownAfterDrain) {
 
 // -- Whole-simulation determinism fingerprints ----------------------------
 
+/// Engine-side statistics of one run_ring execution, for the matrix-mode
+/// comparisons below (the fingerprint alone proves timing equality).
+struct RingStats {
+  std::uint64_t epochs = 0;
+  std::uint64_t stalled = 0;
+  std::uint64_t horizon_gain_ns = 0;
+};
+
 /// Ring workload: `n` partitions, each running a local delay loop and
 /// forwarding a token around the ring every 2us. Returns the concatenated
-/// logs as the fingerprint.
+/// logs as the fingerprint. With `matrix` set, the ring's lookahead-edge
+/// graph (successor edges at the true 2us forwarding delay) replaces the
+/// 1us global window.
 std::vector<std::pair<std::int64_t, int>> run_ring(int partitions, int threads,
-                                                   std::uint64_t jitter_seed) {
+                                                   std::uint64_t jitter_seed,
+                                                   bool matrix = false,
+                                                   RingStats* stats = nullptr) {
   ParallelEngine eng{partitions,
                      {.threads = threads, .lookahead = 1_us, .jitter_seed = jitter_seed}};
+  if (matrix) {
+    std::vector<LookaheadEdge> edges;
+    for (int p = 0; p < partitions; ++p) {
+      edges.push_back(LookaheadEdge{static_cast<PartitionId>(p),
+                                    static_cast<PartitionId>((p + 1) % partitions),
+                                    SimDuration{2'000}});
+    }
+    eng.set_lookahead_edges(edges);
+  }
   std::vector<Log> logs(static_cast<std::size_t>(partitions));
 
   struct Token {
@@ -226,6 +247,11 @@ std::vector<std::pair<std::int64_t, int>> run_ring(int partitions, int threads,
                         Token{&eng, logs.data(), partitions, partitions * 8});
   eng.run();
   EXPECT_EQ(eng.unfinished_count(), 0u);
+  if (stats != nullptr) {
+    stats->epochs = eng.epochs();
+    stats->stalled = eng.stalled_partition_epochs();
+    stats->horizon_gain_ns = eng.horizon_gain_ns();
+  }
 
   std::vector<std::pair<std::int64_t, int>> fingerprint;
   for (const Log& log : logs) {
@@ -250,6 +276,47 @@ TEST(ParallelEngine, RingIsIdenticalUnderClaimJitter) {
   for (const std::uint64_t seed : {0x1ULL, 0xdecafULL, 0x9e3779b97f4a7c15ULL}) {
     EXPECT_EQ(run_ring(8, 4, seed), baseline) << "seed=" << seed;
   }
+}
+
+TEST(ParallelEngine, LookaheadMatrixPreservesFingerprint) {
+  // The matrix only widens epoch horizons; it must never change simulated
+  // timing, at any thread count.
+  const auto baseline = run_ring(8, 1, 0, /*matrix=*/false);
+  for (const int threads : {1, 2, 8}) {
+    EXPECT_EQ(run_ring(8, threads, 0, /*matrix=*/true), baseline)
+        << "threads=" << threads;
+  }
+}
+
+TEST(ParallelEngine, LookaheadMatrixReducesEpochsAndReportsGain) {
+  RingStats global;
+  RingStats matrix;
+  const auto base = run_ring(8, 1, 0, /*matrix=*/false, &global);
+  EXPECT_EQ(run_ring(8, 1, 0, /*matrix=*/true, &matrix), base);
+  // Distance-aware horizons only let partitions run further per epoch, so
+  // the barrier count drops and the accumulated horizon gain (widening
+  // over the uniform floor) is strictly positive. Stalled partition-epochs
+  // are NOT compared: a partition that raced ahead under its wide private
+  // horizon books a "stall" while it waits for upstream — a state the
+  // global window never reaches because nobody gets ahead of t_min + L.
+  // The token-ring bench (bench_perf_par_des) covers the stall drop on a
+  // workload where the global window genuinely convoys.
+  EXPECT_LE(matrix.epochs, global.epochs);
+  EXPECT_EQ(global.horizon_gain_ns, 0u);  // global mode reports no gain
+  EXPECT_GT(matrix.horizon_gain_ns, 0u);
+}
+
+TEST(ParallelEngine, MatrixMinSendDelayIsPerEdge) {
+  ParallelEngine eng{3, {.threads = 1, .lookahead = 1_us}};
+  eng.set_lookahead_edges({LookaheadEdge{0, 1, SimDuration{2'000}},
+                           LookaheadEdge{1, 2, SimDuration{5'000}},
+                           LookaheadEdge{0, 1, SimDuration{3'000}}});
+  EXPECT_TRUE(eng.lookahead_matrix());
+  // Duplicate declarations keep the minimum; undeclared pairs are
+  // unreachable and reject sends outright.
+  EXPECT_EQ(eng.min_send_delay(0, 1), SimDuration{2'000});
+  EXPECT_EQ(eng.min_send_delay(1, 2), SimDuration{5'000});
+  EXPECT_GT(eng.min_send_delay(2, 0), SimDuration{1'000'000'000});
 }
 
 }  // namespace

@@ -4,10 +4,14 @@
 Usage: bench_compare.py BASELINE_MANIFEST.json CANDIDATE_MANIFEST.json
 
 Prints a per-experiment table of wall_s (baseline, candidate, speedup),
-then fleet totals. Experiments present in only one manifest are listed
-separately. Exit 0 on a clean comparison; exit 1 on malformed input or
+then fleet totals, then a side-by-side of the network fast-path counters
+(net.express, net.route_hits, pardes.horizon_gain) for every experiment
+that reports them. Experiments present in only one manifest are listed
+separately. Exit 0 on a clean comparison; exit 1 on malformed input,
 when --max-regression is given and any shared experiment slowed down by
-more than that factor (e.g. --max-regression 1.25 fails on >25% slower).
+more than that factor (e.g. --max-regression 1.25 fails on >25% slower),
+or when either manifest reports a negative pardes.horizon_gain (the
+lookahead matrix can only widen horizons).
 
 This is how the BENCH_simcore.json before/after record was produced:
 run the fleet at a fixed commit into one results dir, at the candidate
@@ -25,6 +29,9 @@ def fail(msg):
     sys.exit(1)
 
 
+FASTPATH_COUNTERS = ("net.express", "net.route_hits", "pardes.horizon_gain")
+
+
 def load_walls(path):
     try:
         with open(path, encoding="utf-8") as f:
@@ -34,6 +41,7 @@ def load_walls(path):
     if manifest.get("schema") not in ("rsd-bench-manifest-v2", "rsd-bench-manifest-v3"):
         fail(f"{path}: unexpected schema {manifest.get('schema')!r}")
     walls = {}
+    counters = {}
     for exp in manifest.get("experiments", []):
         name = exp.get("name")
         wall = exp.get("wall_s")
@@ -42,9 +50,23 @@ def load_walls(path):
         if not isinstance(wall, (int, float)) or not math.isfinite(wall):
             fail(f"{path}: experiment {name!r} has no finite wall_s")
         walls[name] = float(wall)
+        metrics = exp.get("metrics", {})
+        if isinstance(metrics, dict):
+            gain = metrics.get("pardes.horizon_gain")
+            if isinstance(gain, (int, float)) and gain < 0:
+                fail(f"{path}: experiment {name!r} reports negative "
+                     f"pardes.horizon_gain ({gain}) — the lookahead matrix "
+                     "can only widen horizons")
+            picked = {
+                key: metrics[key]
+                for key in FASTPATH_COUNTERS
+                if isinstance(metrics.get(key), (int, float))
+            }
+            if picked:
+                counters[name] = picked
     if not walls:
         fail(f"{path}: no successful experiments")
-    return walls
+    return walls, counters
 
 
 def main():
@@ -61,8 +83,8 @@ def main():
     )
     args = parser.parse_args()
 
-    base = load_walls(args.baseline)
-    cand = load_walls(args.candidate)
+    base, base_counters = load_walls(args.baseline)
+    cand, cand_counters = load_walls(args.candidate)
     shared = sorted(set(base) & set(cand))
     removed = sorted(set(base) - set(cand))  # baseline-only
     added = sorted(set(cand) - set(base))  # candidate-only
@@ -98,6 +120,24 @@ def main():
         print("no shared experiments — nothing to compare")
     if removed or added:
         print(f"{len(removed)} removed, {len(added)} added (not compared)")
+
+    # Fast-path counters: absent in older manifests (reported as "-"), so
+    # a before/after across the netpath change still compares cleanly.
+    counter_names = sorted(set(base_counters) | set(cand_counters))
+    if counter_names:
+        name_w = max(name_w, len("fast-path counters"))
+        print()
+        print(f"{'fast-path counters':<{name_w}}  "
+              f"{'counter':<20}  {'base':>12}  {'cand':>12}")
+        for name in counter_names:
+            for key in FASTPATH_COUNTERS:
+                b = base_counters.get(name, {}).get(key)
+                c = cand_counters.get(name, {}).get(key)
+                if b is None and c is None:
+                    continue
+                b_s = f"{b:.0f}" if b is not None else "-"
+                c_s = f"{c:.0f}" if c is not None else "-"
+                print(f"{name:<{name_w}}  {key:<20}  {b_s:>12}  {c_s:>12}")
 
     if regressions:
         fail(

@@ -14,9 +14,13 @@ Checks (exit 0 on success, 1 with a diagnostic on the first violation):
     objects with count/sum/mean/min/max plus interpolated p50/p90/p99
     quantiles satisfying min <= p50 <= p90 <= p99 <= max, all finite;
   * link-network counters (metrics named "net.*") are non-negative, and a
-    successful fabric_compare entry must carry net.transfers and
-    net.reconfigs — the Network flushes them at quiesce boundaries, so
-    their absence means the experiment never drove the modeled links;
+    successful fabric_compare entry must carry net.transfers, net.reconfigs,
+    net.express, and net.route_hits — the Network flushes them at quiesce
+    boundaries, so their absence means the experiment never drove the
+    modeled links (or predates the fast-path counters);
+  * the partitioned engine's pardes.horizon_gain counter is non-negative —
+    the lookahead matrix can only widen epoch horizons, so a negative gain
+    means the horizon computation regressed;
   * attribution blocks (v3) decompose a positive makespan into six
     non-negative components that sum to it exactly, and each banded entry
     carries a finite slack_share plus an ordered [lower, upper] band;
@@ -66,6 +70,9 @@ def check_metrics(metrics, where):
             check_finite_number(value, f"{where}: {name}")
             if name.startswith("net.") and value < 0:
                 fail(f"{where}: link-network counter {name!r} is negative")
+            if name == "pardes.horizon_gain" and value < 0:
+                fail(f"{where}: {name!r} is negative (the lookahead matrix "
+                     "can only widen horizons over the uniform floor)")
 
 
 def check_attribution(entries, where):
@@ -142,7 +149,8 @@ def check_experiment(entry, index):
         fail(f"{where}: missing metrics object (manifest-v3 requires one)")
     check_metrics(entry["metrics"], where)
     if name == "fabric_compare" and status == "ok":
-        for counter in ("net.transfers", "net.reconfigs"):
+        for counter in ("net.transfers", "net.reconfigs", "net.express",
+                        "net.route_hits"):
             if counter not in entry["metrics"]:
                 fail(f"{where}: ok entry is missing {counter!r} (the Network "
                      "flushes link counters at quiesce boundaries)")

@@ -9,6 +9,11 @@ them by default, or just the named ones), the same breakdown `rsd_bench
 attributed to each critical-path component, plus — for slacked entries —
 the observed slack-wake share against its predicted Eq 2-3 band.
 
+Experiments that drove the partitioned engine or the modeled links also
+get an engine line: epochs, the lookahead-stall fraction (stalled
+partition-epochs over partition-epochs), the accumulated horizon gain,
+and the express-path share of network transfers.
+
 Exit status: 0 when every selected experiment carries at least one
 attribution and every banded share lies inside its band; 1 otherwise.
 This is what the `attribution_report` ctest asserts: the manifest's
@@ -54,6 +59,37 @@ def render_entry(experiment, entry):
     return within
 
 
+def render_engine_metrics(experiment, metrics):
+    """Print the partitioned-engine / network fast-path line, if any."""
+    if not isinstance(metrics, dict):
+        return
+    epochs = metrics.get("pardes.epochs")
+    stalls = metrics.get("pardes.lookahead_stalls")
+    gain = metrics.get("pardes.horizon_gain")
+    transfers = metrics.get("net.transfers")
+    express = metrics.get("net.express")
+    parts = []
+    if isinstance(epochs, (int, float)) and epochs > 0:
+        parts.append(f"epochs {epochs:.0f}")
+        # pardes.partition_events observes one value per partition per
+        # engine run, so stalls / (epochs * count) is the exact stall
+        # fraction for a single-engine experiment and a fleet-level
+        # approximation when several engines flushed into one entry.
+        events = metrics.get("pardes.partition_events")
+        if isinstance(stalls, (int, float)) and isinstance(events, dict):
+            partitions = events.get("count", 0)
+            if partitions > 0:
+                parts.append(
+                    f"stall fraction {stalls / (epochs * partitions):.4f}")
+        if isinstance(gain, (int, float)):
+            parts.append(f"horizon gain {gain / 1e6:.2f} ms")
+    if isinstance(transfers, (int, float)) and transfers > 0 \
+            and isinstance(express, (int, float)):
+        parts.append(f"express share {express / transfers:.1%}")
+    if parts:
+        print(f"  {experiment}: engine {'  '.join(parts)}")
+
+
 def main():
     if len(sys.argv) < 2:
         fail("usage: report.py MANIFEST.json [EXPERIMENT ...]")
@@ -89,6 +125,7 @@ def main():
                 fail(f"{name}: malformed attribution entry ({err!r}); run "
                      "check_manifest.py for a precise diagnostic")
             printed += 1
+        render_engine_metrics(name, entry.get("metrics"))
 
     if printed == 0:
         which = " ".join(selected) if selected else "any experiment"
