@@ -19,7 +19,7 @@
 //     a 32-GPU ring allreduce over each fabric, the scheduled collective
 //     fabric_compare prices.
 //
-// Attributions land in the manifest's "attribution" block (schema v3) and
+// Attributions land in the manifest's "attribution" block (schema v4) and
 // print via `rsd_bench --report`; tools/report.py renders the same data
 // from the manifest afterwards. All quantities are simulated, so the CSVs
 // are byte-identical at any --threads / --sim-threads.
@@ -83,7 +83,7 @@ RSD_EXPERIMENT(attribution_fabrics, "attribution_fabrics", "extension",
                "compute/reconfig/fabric/queue/wake/idle (components sum exactly),\n"
                "check the slacked replay's wake growth against its own Eq 2-3 band,\n"
                "and record per-link contention heatmaps from the network's usage\n"
-               "samplers. Attributions land in the v3 manifest; see --report.") {
+               "samplers. Attributions land in the v4 manifest; see --report.") {
   using namespace rsd;
   using namespace rsd::literals;
 
@@ -144,6 +144,7 @@ RSD_EXPERIMENT(attribution_fabrics, "attribution_fabrics", "extension",
     entry.makespan_ns = attr.makespan_ns;
     entry.compute_ns = attr.compute_ns;
     entry.reconfig_ns = attr.reconfig_ns;
+    entry.nic_ns = attr.nic_ns;
     entry.fabric_ns = attr.fabric_ns;
     entry.queue_ns = attr.queue_ns;
     entry.wake_ns = attr.wake_ns;
@@ -155,6 +156,7 @@ RSD_EXPERIMENT(attribution_fabrics, "attribution_fabrics", "extension",
     slacked_entry.makespan_ns = sattr.makespan_ns;
     slacked_entry.compute_ns = sattr.compute_ns;
     slacked_entry.reconfig_ns = sattr.reconfig_ns;
+    slacked_entry.nic_ns = sattr.nic_ns;
     slacked_entry.fabric_ns = sattr.fabric_ns;
     slacked_entry.queue_ns = sattr.queue_ns;
     slacked_entry.wake_ns = sattr.wake_ns;

@@ -52,7 +52,14 @@ Chassis::Chassis(sim::Scheduler& sched, ChassisParams params)
       .link_bandwidth_gib_s = params_.fabric.bandwidth_gib_s,
       .link_latency = params_.fabric.latency,
       .ocs_reconfigure = params_.ocs_reconfigure,
+      .chassis_nics = params_.chassis_nics,
+      .max_chassis = params_.max_chassis,
+      .host_endpoint = params_.host_endpoint,
   });
+  // The event-driven row network exists only when the graph has NIC nodes:
+  // flat chassis must not register quiesce hooks or acquire tracer
+  // timelines, or their manifests and traces would shift.
+  if (topo_.nic_count() > 0) net_ = std::make_unique<net::Network>(sched_, topo_);
   circuit_.assign(static_cast<std::size_t>(params_.gpus), -1);
   devices_.reserve(static_cast<std::size_t>(params_.gpus));
   for (int i = 0; i < params_.gpus; ++i) {
@@ -65,6 +72,63 @@ Chassis::Chassis(sim::Scheduler& sched, ChassisParams params)
 
 void Chassis::set_record_sink(RecordSink* sink) {
   for (auto& d : devices_) d->set_record_sink(sink);
+}
+
+net::NodeId Chassis::nic_of(int device) const {
+  if (topo_.nic_count() == 0) return net::kInvalidNode;
+  return topo_.chassis_nic(topo_.node(topo_.device(device)).chassis);
+}
+
+void Chassis::spawn_transfer(int src, int dst, Bytes bytes, NameRef send_name,
+                             NameRef recv_name, sim::WaitGroup& wg) {
+  if (net_ != nullptr && topo_.node(topo_.device(src)).chassis !=
+                             topo_.node(topo_.device(dst)).chassis) {
+    sched_.spawn(networked_transfer(src, dst, bytes, send_name, recv_name, wg));
+    return;
+  }
+  SimDuration reconfig;
+  const SimDuration per_transfer = transfer_cost(src, dst, bytes, &reconfig);
+  sched_.spawn(fabric_transfer(device(src), device(dst), bytes, per_transfer, reconfig,
+                               send_name, recv_name, wg));
+}
+
+sim::Task<> Chassis::networked_transfer(int src, int dst, Bytes bytes, NameRef send_name,
+                                        NameRef recv_name, sim::WaitGroup& wg) {
+  const net::NodeId src_node = topo_.device(src);
+  const net::NodeId dst_node = topo_.device(dst);
+  const net::NodeId src_nic = topo_.chassis_nic(topo_.node(src_node).chassis);
+  const net::NodeId dst_nic = topo_.chassis_nic(topo_.node(dst_node).chassis);
+  const SimTime started = sched_.now();
+
+  // Stage 1: the sender's D2H engine drains the payload to its chassis NIC.
+  OpRecord send;
+  send.kind = OpKind::kMemcpyD2H;
+  send.name = send_name;
+  send.bytes = bytes;
+  co_await device(src).d2h_engine().execute(send, net_->price(src_node, src_nic, bytes));
+  if (auto* sink = device(src).record_sink(); sink != nullptr) sink->on_op(send);
+
+  // Stage 2: NIC -> NIC over the row fabric — FIFO queueing, circuit
+  // retargets, and the express path all apply; no engine is occupied.
+  const SimTime nic_start = sched_.now();
+  net::TransferStats stats;
+  co_await net_->transfer(src_nic, dst_nic, bytes, &stats);
+  const SimDuration nic_leg = sched_.now() - nic_start;
+
+  // Stage 3: the receiver's H2D engine pulls the payload off its NIC.
+  OpRecord recv;
+  recv.kind = OpKind::kMemcpyH2D;
+  recv.name = recv_name;
+  recv.bytes = bytes;
+  co_await device(dst).h2d_engine().execute(recv, net_->price(dst_nic, dst_node, bytes));
+  if (auto* sink = device(dst).record_sink(); sink != nullptr) sink->on_op(recv);
+
+  if (transfer_log_ != nullptr) {
+    transfer_log_->push_back(FabricTransferRecord{src, dst, bytes, started,
+                                                  sched_.now() - started, stats.reconfig,
+                                                  nic_start, nic_leg});
+  }
+  wg.done();
 }
 
 SimDuration Chassis::transfer_cost(int src, int dst, Bytes bytes, SimDuration* reconfig) {
@@ -104,10 +168,7 @@ sim::Task<> Chassis::ring_over(std::vector<int> members, Bytes bytes_per_gpu, Na
     for (int i = 0; i < k; ++i) {
       const int src = members[static_cast<std::size_t>(i)];
       const int dst = members[static_cast<std::size_t>((i + 1) % k)];
-      SimDuration reconfig;
-      const SimDuration per_transfer = transfer_cost(src, dst, chunk, &reconfig);
-      sched_.spawn(fabric_transfer(device(src), device(dst), chunk, per_transfer, reconfig,
-                                   send_name, recv_name, wg));
+      spawn_transfer(src, dst, chunk, send_name, recv_name, wg);
     }
     co_await wg.wait();
   }
@@ -145,10 +206,7 @@ sim::Task<> Chassis::tree_allreduce(Bytes bytes_per_gpu, int participants, NameR
         const int src = pass == 0 ? i : lo;
         const int dst = pass == 0 ? lo : i;
         wg.add(1);
-        SimDuration reconfig;
-        const SimDuration per_transfer = transfer_cost(src, dst, bytes_per_gpu, &reconfig);
-        sched_.spawn(fabric_transfer(device(src), device(dst), bytes_per_gpu, per_transfer,
-                                     reconfig, send_name, recv_name, wg));
+        spawn_transfer(src, dst, bytes_per_gpu, send_name, recv_name, wg);
       }
       if (wg.count() > 0) co_await wg.wait();
     }
@@ -212,12 +270,7 @@ sim::Task<> Chassis::hierarchical_allreduce(Bytes bytes_per_gpu, int participant
     for (const auto& members : groups) {
       for (std::size_t m = 1; m < members.size(); ++m) {
         wg.add(1);
-        SimDuration reconfig;
-        const SimDuration per_transfer =
-            transfer_cost(members.front(), members[m], bytes_per_gpu, &reconfig);
-        sched_.spawn(fabric_transfer(device(members.front()), device(members[m]),
-                                     bytes_per_gpu, per_transfer, reconfig, send_name,
-                                     recv_name, wg));
+        spawn_transfer(members.front(), members[m], bytes_per_gpu, send_name, recv_name, wg);
       }
     }
     if (wg.count() > 0) co_await wg.wait();

@@ -23,6 +23,7 @@
 #include "gpusim/device.hpp"
 #include "interconnect/fabric.hpp"
 #include "interconnect/link.hpp"
+#include "interconnect/network.hpp"
 #include "interconnect/topology.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/task.hpp"
@@ -39,6 +40,12 @@ struct FabricTransferRecord {
   SimTime priced_at;      ///< When the transfer was priced (phase start).
   SimDuration duration;   ///< Routed cost, reconfiguration included.
   SimDuration reconfig;   ///< OCS retarget share of `duration`.
+  /// Cross-chassis transfers only: the NIC->NIC row-fabric leg executed by
+  /// the net::Network (serialisation + fibre propagation + queueing), which
+  /// no engine occupation covers — obs::critpath attributes this window to
+  /// its NIC/fibre component. Zero-width on chassis-local transfers.
+  SimTime nic_start;
+  SimDuration nic;
 };
 
 struct ChassisParams {
@@ -53,6 +60,18 @@ struct ChassisParams {
   int gpus_per_chassis = 8;
   /// Circuit retarget cost when fabric_kind is kOpticalCircuit.
   SimDuration ocs_reconfigure = duration::microseconds(100.0);
+  /// Multi-chassis machine graph: emit per-chassis NICs and inter-chassis
+  /// fibre (net::FabricParams::chassis_nics). Cross-chassis collective
+  /// chunks then execute over an event-driven net::Network — FIFO link
+  /// contention, OCS circuits, and the express fast path included —
+  /// instead of the analytic routed price. Off by default; flat chassis
+  /// build byte-identical graphs and timings to before.
+  bool chassis_nics = false;
+  /// Also emit the CDI host endpoint behind nic0 (requires chassis_nics);
+  /// what Context transport bindings route host<->GPU traffic through.
+  bool host_endpoint = false;
+  /// Chassis-count cap forwarded to net::build_fabric (0 = unlimited).
+  int max_chassis = 0;
 };
 
 class Chassis {
@@ -63,6 +82,17 @@ class Chassis {
   [[nodiscard]] Device& device(int i) { return *devices_.at(static_cast<std::size_t>(i)); }
   [[nodiscard]] const GpuInterconnect& fabric() const { return params_.fabric; }
   [[nodiscard]] const net::Topology& topology() const { return topo_; }
+
+  /// The event-driven row network; null unless the topology has NIC nodes
+  /// (chassis_nics). Lazy so flat chassis register no quiesce hooks and
+  /// acquire no tracer timelines — their observable output is unchanged.
+  [[nodiscard]] net::Network* network() { return net_.get(); }
+  /// The CDI host endpoint node (host_endpoint), or net::kInvalidNode.
+  [[nodiscard]] net::NodeId host_node() const {
+    return topo_.host_count() > 0 ? topo_.host(0) : net::kInvalidNode;
+  }
+  /// The NIC serving `device`'s chassis; net::kInvalidNode on flat fabrics.
+  [[nodiscard]] net::NodeId nic_of(int device) const;
 
   /// Attach one sink to every device (chassis-wide trace).
   void set_record_sink(RecordSink* sink);
@@ -103,12 +133,27 @@ class Chassis {
   /// `reconfig` when non-null.
   SimDuration transfer_cost(int src, int dst, Bytes bytes, SimDuration* reconfig = nullptr);
 
+  /// Launch one directed transfer and signal `wg` when it completes.
+  /// Chassis-local (or flat-fabric) transfers price analytically and
+  /// occupy both engines for the routed duration; cross-chassis transfers
+  /// run the three-stage store-and-forward path through the Network.
+  void spawn_transfer(int src, int dst, Bytes bytes, NameRef send_name, NameRef recv_name,
+                      sim::WaitGroup& wg);
+
+  /// Cross-chassis store-and-forward: sender D2H engine drains to its
+  /// chassis NIC, the Network carries NIC->NIC over the row fabric, the
+  /// receiver's H2D engine pulls from its NIC. Appends a transfer-log
+  /// record carrying the NIC-leg window.
+  sim::Task<> networked_transfer(int src, int dst, Bytes bytes, NameRef send_name,
+                                 NameRef recv_name, sim::WaitGroup& wg);
+
   /// Phased ring allreduce over an explicit member list (device indices).
   sim::Task<> ring_over(std::vector<int> members, Bytes bytes_per_gpu, NameRef name);
 
   sim::Scheduler& sched_;
   ChassisParams params_;
   net::Topology topo_;
+  std::unique_ptr<net::Network> net_;
   std::vector<std::unique_ptr<Device>> devices_;
   /// Per-device OCS circuit target (device index; -1 = unconfigured).
   std::vector<int> circuit_;

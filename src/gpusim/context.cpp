@@ -63,6 +63,24 @@ sim::Task<> Context::run_op(Device& device, std::shared_ptr<sim::Event> prev,
   done->trigger();
 }
 
+sim::Task<> Context::injected_sleep(SimDuration slack) {
+  if (!binding_.bound()) {
+    co_await sim::delay(slack);
+    co_return;
+  }
+  // The injected sleep stands in for the command/ack round trips of a
+  // row-scale CDI deployment. Route a zero-byte message through the
+  // machine model — so FIFO queues and OCS circuit state see it — then
+  // top up to the nominal slack: uncontended, the crossing costs exactly
+  // the path latency and the call is delayed by `slack` as Equation 1
+  // assumes; under congestion the crossing runs long and the overshoot
+  // *is* the fabric-contention penalty.
+  const SimTime t0 = sched_.now();
+  co_await binding_.transport->transfer(binding_.host, binding_.gpu, 0, nullptr);
+  const SimDuration crossed = sched_.now() - t0;
+  if (crossed < slack) co_await sim::delay(slack - crossed);
+}
+
 sim::Task<> Context::begin_api() {
   if (slack_ != nullptr && slack_position_ == SlackPosition::kBeforeCall) {
     const SimDuration slack = slack_->on_api_call();
@@ -72,7 +90,7 @@ sim::Task<> Context::begin_api() {
                                              slack.ns(), "slack", "slack_before",
                                              {obs::Arg::n("context", id_)});
       }
-      co_await sim::delay(slack);
+      co_await injected_sleep(slack);
     }
   }
 }
@@ -99,14 +117,22 @@ sim::Task<> Context::finish_api(NameRef name, SimTime start) {
                           "slack", {obs::Arg::n("context", id_)});
     }
   }
-  if (slack > SimDuration::zero()) co_await sim::delay(slack);
+  if (slack > SimDuration::zero()) co_await injected_sleep(slack);
 }
 
 sim::Task<> Context::memcpy_h2d(const DeviceBuffer& dst, NameRef name) {
   co_await begin_api();
   const SimTime start = sched_.now();
   co_await sim::delay(kApiSubmitCost);
-  const SimDuration service = device_.link().transfer_time(dst.bytes);
+  SimDuration service;
+  if (binding_.bound()) {
+    // The payload crosses the row network to the chassis edge first (link
+    // contention applies); the NIC->GPU last hop is the engine service.
+    co_await binding_.transport->transfer(binding_.host, binding_.edge, dst.bytes, nullptr);
+    service = binding_.transport->price(binding_.edge, binding_.gpu, dst.bytes);
+  } else {
+    service = device_.link().transfer_time(dst.bytes);
+  }
   const auto done = submit_op(OpKind::kMemcpyH2D, name, dst.bytes, service);
   co_await done->wait();
   if (path_.completion_latency > SimDuration::zero()) {
@@ -119,9 +145,17 @@ sim::Task<> Context::memcpy_d2h(const DeviceBuffer& src, NameRef name) {
   co_await begin_api();
   const SimTime start = sched_.now();
   co_await sim::delay(kApiSubmitCost);
-  const SimDuration service = device_.link().transfer_time(src.bytes);
+  const SimDuration service = binding_.bound()
+                                  ? binding_.transport->price(binding_.gpu, binding_.edge,
+                                                              src.bytes)
+                                  : device_.link().transfer_time(src.bytes);
   const auto done = submit_op(OpKind::kMemcpyD2H, name, src.bytes, service);
   co_await done->wait();
+  if (binding_.bound()) {
+    // Engine done = payload at the chassis edge; it still has to cross the
+    // row network back to the host before the blocking call returns.
+    co_await binding_.transport->transfer(binding_.edge, binding_.host, src.bytes, nullptr);
+  }
   if (path_.completion_latency > SimDuration::zero()) {
     co_await sim::delay(path_.completion_latency);
   }
@@ -141,7 +175,16 @@ sim::Task<std::shared_ptr<sim::Event>> Context::memcpy_h2d_async(const DeviceBuf
   co_await begin_api();
   const SimTime start = sched_.now();
   co_await sim::delay(kApiSubmitCost);
-  const SimDuration service = device_.link().transfer_time(dst.bytes);
+  SimDuration service;
+  if (binding_.bound()) {
+    // Source data is host-side: the submitting thread stages it across the
+    // row network before the device-side copy can be queued (the same
+    // pageable-memory behaviour real async copies exhibit).
+    co_await binding_.transport->transfer(binding_.host, binding_.edge, dst.bytes, nullptr);
+    service = binding_.transport->price(binding_.edge, binding_.gpu, dst.bytes);
+  } else {
+    service = device_.link().transfer_time(dst.bytes);
+  }
   auto done = submit_op(OpKind::kMemcpyH2D, name, dst.bytes, service);
   co_await finish_api(kApiMemcpyAsyncH2D, start);
   co_return done;
@@ -152,8 +195,24 @@ sim::Task<std::shared_ptr<sim::Event>> Context::memcpy_d2h_async(const DeviceBuf
   co_await begin_api();
   const SimTime start = sched_.now();
   co_await sim::delay(kApiSubmitCost);
-  const SimDuration service = device_.link().transfer_time(src.bytes);
+  const SimDuration service = binding_.bound()
+                                  ? binding_.transport->price(binding_.gpu, binding_.edge,
+                                                              src.bytes)
+                                  : device_.link().transfer_time(src.bytes);
   auto done = submit_op(OpKind::kMemcpyD2H, name, src.bytes, service);
+  if (binding_.bound()) {
+    // The returned event fires when the payload reaches the *host*, which
+    // is one row-network crossing after the device engine finishes. The
+    // binding rides by value so the tail task outlives this context.
+    auto arrived = sim::make_event(sched_);
+    sched_.spawn([](TransportBinding binding, std::shared_ptr<sim::Event> dev_done,
+                    Bytes bytes, std::shared_ptr<sim::Event> evt) -> sim::Task<> {
+      co_await dev_done->wait();
+      co_await binding.transport->transfer(binding.edge, binding.host, bytes, nullptr);
+      evt->trigger();
+    }(binding_, done, src.bytes, arrived));
+    done = std::move(arrived);
+  }
   co_await finish_api(kApiMemcpyAsyncD2H, start);
   co_return done;
 }

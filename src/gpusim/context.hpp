@@ -28,6 +28,7 @@
 #include "gpusim/records.hpp"
 #include "interconnect/link.hpp"
 #include "interconnect/slack.hpp"
+#include "interconnect/transport.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
@@ -65,6 +66,23 @@ struct DeviceBuffer {
   Bytes bytes = 0;
 };
 
+/// Routes a context's host-side traffic over the row-scale machine model
+/// instead of the flat per-device link. When bound, memcpy payloads cross
+/// `transport` between the CDI `host` endpoint and the device's chassis
+/// NIC (`edge`) — FIFO link contention, OCS circuits, and the express fast
+/// path all apply — and the engine service time becomes the NIC->GPU last
+/// hop. Injected slack is realised as a zero-byte host->GPU crossing
+/// topped up to the nominal value: an uncontended crossing costs exactly
+/// the path latency, so Equation 1 accounting is unchanged, while fabric
+/// congestion lengthens the crossing and feeds the Eq 2-3 penalty bounds.
+struct TransportBinding {
+  net::Transport* transport = nullptr;
+  net::NodeId host = net::kInvalidNode;  ///< CDI host endpoint node.
+  net::NodeId edge = net::kInvalidNode;  ///< Chassis NIC serving the device.
+  net::NodeId gpu = net::kInvalidNode;   ///< The device's graph node.
+  [[nodiscard]] bool bound() const { return transport != nullptr; }
+};
+
 /// Where injected slack lands relative to the API call. The paper's proxy
 /// sleeps *after* each call (Section III-C); its LD_PRELOAD alternative
 /// would delay *before* calling the target function (Section III-B). Both
@@ -88,6 +106,12 @@ class Context {
   [[nodiscard]] Device& device() { return device_; }
   [[nodiscard]] int id() const { return id_; }
   [[nodiscard]] int process_id() const { return process_id_; }
+
+  /// Attach (or detach, with a default-constructed binding) the machine
+  /// model. Unbound contexts price host<->device traffic off the device's
+  /// own link, exactly as before the transport seam existed.
+  void bind_transport(const TransportBinding& binding) { binding_ = binding; }
+  [[nodiscard]] const TransportBinding& transport_binding() const { return binding_; }
 
   /// Allocate device memory; throws rsd::Error{kOutOfMemory} when full.
   /// Host-side cost only — allocation itself is immediate, like cudaMalloc
@@ -168,6 +192,11 @@ class Context {
   /// Apply injected slack at call entry (kBeforeCall position).
   sim::Task<> begin_api();
 
+  /// Realise one injected sleep. Unbound: a plain delay of `slack`. Bound:
+  /// a zero-byte host->GPU crossing of the row network topped up to the
+  /// nominal value, so contention overshoots and nothing else changes.
+  sim::Task<> injected_sleep(SimDuration slack);
+
   Device& device_;
   sim::Scheduler& sched_;
   int id_;
@@ -175,6 +204,7 @@ class Context {
   interconnect::SlackInjector* slack_;
   CommandPath path_;
   SlackPosition slack_position_;
+  TransportBinding binding_;
   std::shared_ptr<sim::Event> tail_;  ///< Completion of the last submitted op.
   std::shared_ptr<sim::Event> pending_dep_;  ///< From stream_wait().
   std::int64_t api_calls_ = 0;

@@ -20,6 +20,7 @@ net::Topology build_row_topology(const RowParams& params) {
       .link_bandwidth_gib_s = params.fabric.bandwidth_gib_s,
       .link_latency = params.fabric.latency,
       .ocs_reconfigure = params.ocs_reconfigure,
+      .chassis_nics = params.chassis_nics,
   });
 }
 
@@ -137,7 +138,11 @@ sim::Task<> PartitionedRow::rank_loop(int rank, const RowTraining& training) {
   // changes, so the retarget is paid exactly once per rank. (Precomputed
   // in run_training — the topology's route cache is not touched from
   // worker threads.)
-  bool circuit_pending = ocs_first_send_;
+  bool circuit_pending = ranks > 1 && edge_ocs_[static_cast<std::size_t>(rank)];
+  const SimDuration edge_transfer =
+      ranks > 1 ? edge_transfer_[static_cast<std::size_t>(rank)] : SimDuration::zero();
+  const SimDuration edge_delay =
+      ranks > 1 ? edge_delay_[static_cast<std::size_t>(rank)] : SimDuration::zero();
 
   for (int step = 0; step < training.steps; ++step) {
     // Host submission lane + compute: entirely partition-local.
@@ -171,9 +176,9 @@ sim::Task<> PartitionedRow::rank_loop(int rank, const RowTraining& training) {
         co_await rk.dev.d2h_engine().execute(rec, dur);
         if (auto* sink = rk.dev.record_sink(); sink != nullptr) sink->on_op(rec);
         wg.done();
-      }(self, chunk_, per_transfer_, send_name, out_done));
-      part.send(next, msg_delay_,
-                RowArrival{this, static_cast<int>(next), chunk_, per_transfer_, recv_name});
+      }(self, chunk_, edge_transfer, send_name, out_done));
+      part.send(next, edge_delay,
+                RowArrival{this, static_cast<int>(next), chunk_, edge_transfer, recv_name});
       co_await self.inbound.acquire();
       co_await out_done.wait();
     }
@@ -187,23 +192,46 @@ SimTime PartitionedRow::run_training(const RowTraining& training) {
   chunk_ = size() > 1 ? training.gradient_bytes / static_cast<Bytes>(size())
                       : training.gradient_bytes;
   if (size() > 1) {
-    // Ring-neighbor transfer cost from the machine model. All four fabric
-    // shapes are rank-symmetric, so rank 0 -> rank 1 prices every pair;
-    // on the default ring this is latency + chunk/bandwidth, exactly the
-    // pre-machine-model arithmetic.
-    per_transfer_ = topo_->transfer_time(topo_->device(0), topo_->device(1), chunk_);
-    msg_delay_ = topo_->route(topo_->device(0), topo_->device(1)).latency;
-    ocs_first_send_ = topo_->route(topo_->device(0), topo_->device(1)).optical_hops > 0;
+    const auto n = static_cast<std::size_t>(size());
+    edge_transfer_.resize(n);
+    edge_delay_.resize(n);
+    edge_ocs_.resize(n);
+    if (topo_->nic_count() > 0) {
+      // Multi-chassis graphs are not rank-symmetric: a ring edge that
+      // crosses a chassis boundary routes over NIC + fibre while an
+      // intra-chassis edge stays on the NVLink-class links, so every
+      // edge is priced from its own routed path.
+      for (int rank = 0; rank < size(); ++rank) {
+        const net::NodeId src = topo_->device(rank);
+        const net::NodeId dst = topo_->device((rank + 1) % size());
+        edge_transfer_[static_cast<std::size_t>(rank)] =
+            topo_->transfer_time(src, dst, chunk_);
+        edge_delay_[static_cast<std::size_t>(rank)] = topo_->route(src, dst).latency;
+        edge_ocs_[static_cast<std::size_t>(rank)] =
+            topo_->route(src, dst).optical_hops > 0;
+      }
+    } else {
+      // Ring-neighbor transfer cost from the machine model. All four flat
+      // fabric shapes are rank-symmetric, so rank 0 -> rank 1 prices every
+      // pair; on the default ring this is latency + chunk/bandwidth,
+      // exactly the pre-machine-model arithmetic.
+      edge_transfer_.assign(
+          n, topo_->transfer_time(topo_->device(0), topo_->device(1), chunk_));
+      edge_delay_.assign(n, topo_->route(topo_->device(0), topo_->device(1)).latency);
+      edge_ocs_.assign(
+          n, topo_->route(topo_->device(0), topo_->device(1)).optical_hops > 0);
+    }
     if (params_.lookahead_matrix) {
       // Feed the engine the fabric's distances: the only remote sends are
-      // ring-neighbor chunk posts at msg_delay_ (the routed path latency),
-      // so the lookahead graph is the rank ring with that bound per edge.
+      // ring-neighbor chunk posts at that edge's routed path latency, so
+      // the lookahead graph is the rank ring with that bound per edge.
       std::vector<sim::LookaheadEdge> edges;
-      edges.reserve(static_cast<std::size_t>(size()));
+      edges.reserve(n);
       for (int rank = 0; rank < size(); ++rank) {
         edges.push_back(sim::LookaheadEdge{
             static_cast<sim::PartitionId>(rank),
-            static_cast<sim::PartitionId>((rank + 1) % size()), msg_delay_});
+            static_cast<sim::PartitionId>((rank + 1) % size()),
+            edge_delay_[static_cast<std::size_t>(rank)]});
       }
       engine_.set_lookahead_edges(edges);
     }

@@ -61,6 +61,12 @@ struct RowParams {
   /// Chassis grouping recorded in the topology (device i -> chassis
   /// i / gpus_per_chassis); hierarchical collectives reduce per chassis.
   int gpus_per_chassis = 8;
+  /// Build the fabric as a true multi-chassis graph (per-chassis NICs +
+  /// inter-chassis fibre, net::FabricParams::chassis_nics). Ring edges
+  /// that cross a chassis boundary are then priced over their routed
+  /// NIC/fibre path *per edge* — the ring is no longer rank-symmetric.
+  /// False keeps the flat single-graph row, byte-identical to before.
+  bool chassis_nics = false;
   /// Circuit retarget cost when fabric_kind is kOpticalCircuit.
   SimDuration ocs_reconfigure = duration::microseconds(100.0);
   /// Worker threads for the engine; <= 0 resolves RSD_SIM_THREADS, else 1.
@@ -131,10 +137,13 @@ class PartitionedRow {
   const net::Topology* topo_;         ///< The fabric in use (owned or shared).
   sim::ParallelEngine engine_;
   std::vector<std::unique_ptr<Rank>> ranks_;
-  SimDuration per_transfer_ = SimDuration::zero();
-  SimDuration msg_delay_ = SimDuration::zero();
+  /// Ring-edge pricing, indexed by sender rank (edge rank -> rank+1).
+  /// Flat fabrics are rank-symmetric so every entry is equal; multi-
+  /// chassis graphs price chassis-crossing edges over NIC/fibre routes.
+  std::vector<SimDuration> edge_transfer_;
+  std::vector<SimDuration> edge_delay_;
+  std::vector<bool> edge_ocs_;
   Bytes chunk_ = 0;
-  bool ocs_first_send_ = false;
 };
 
 }  // namespace rsd::gpu

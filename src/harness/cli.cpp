@@ -42,6 +42,12 @@ constexpr const char* kUsage =
     "  --fabric NAME      row fabric for fabric-aware experiments: ring,\n"
     "                     fullmesh, eswitch, ocs, or all to sweep every\n"
     "                     shape (default: RSD_FABRIC or all)\n"
+    "  --gpus-per-chassis N\n"
+    "                     chassis width for multi-chassis-aware experiments:\n"
+    "                     build the machine graph with per-chassis NICs and\n"
+    "                     inter-chassis fibre at N devices per chassis\n"
+    "                     (default: RSD_GPUS_PER_CHASSIS, else each\n"
+    "                     experiment's flat single-graph shape)\n"
     "  --runs N           repetitions for seeded protocols (default: 5)\n"
     "  --seed S           base seed for seeded protocols (default: 1)\n"
     "  --results-dir DIR  where CSVs/cache/manifest go (default: the\n"
@@ -98,7 +104,8 @@ void print_report(const RunSummary& summary, std::ostream& out) {
       out << "  " << o.name << "/" << e.label << ": makespan " << std::fixed
           << std::setprecision(3) << makespan / 1e6 << " ms\n"
           << "    compute " << std::setprecision(1) << pct(e.compute_ns)
-          << "%  reconfig " << pct(e.reconfig_ns) << "%  fabric " << pct(e.fabric_ns)
+          << "%  reconfig " << pct(e.reconfig_ns) << "%  nic " << pct(e.nic_ns)
+          << "%  fabric " << pct(e.fabric_ns)
           << "%  queue " << pct(e.queue_ns) << "%  wake " << pct(e.wake_ns)
           << "%  idle " << pct(e.idle_ns) << "%\n";
       if (e.has_band) {
@@ -199,6 +206,10 @@ int run_cli(int argc, const char* const* argv, std::ostream& out, std::ostream& 
         }
       }
       options.fabric = *v;
+    } else if (arg == "--gpus-per-chassis") {
+      const auto v = int_value("--gpus-per-chassis", 1);
+      if (!v) return 2;
+      options.gpus_per_chassis = *v;
     } else if (arg == "--runs") {
       const auto v = int_value("--runs", 1);
       if (!v) return 2;
@@ -265,7 +276,16 @@ int run_cli(int argc, const char* const* argv, std::ostream& out, std::ostream& 
     }
   }
   options.out = &out;
-  ExperimentContext ctx{options};
+  // Context construction resolves env-var knobs (RSD_GPUS_PER_CHASSIS,
+  // ...), which can reject malformed values — a usage error, not a crash.
+  std::optional<ExperimentContext> ctx_storage;
+  try {
+    ctx_storage.emplace(options);
+  } catch (const Error& e) {
+    err << "rsd_bench: " << e.what() << "\n";
+    return 2;
+  }
+  ExperimentContext& ctx = *ctx_storage;
 
   const RunSummary summary = run_experiments(selected, ctx);
 

@@ -1,8 +1,10 @@
 #include "harness/context.hpp"
 
 #include <cstdlib>
+#include <string>
 
 #include "core/csv.hpp"
+#include "core/error.hpp"
 #include "core/paths.hpp"
 #include "exec/team.hpp"
 #include "obs/tracer.hpp"
@@ -23,6 +25,22 @@ std::string resolve_fabric(const ExperimentContext::Options& options) {
   return "all";
 }
 
+int resolve_gpus_per_chassis(const ExperimentContext::Options& options) {
+  if (options.gpus_per_chassis > 0) return options.gpus_per_chassis;
+  if (const char* env = std::getenv("RSD_GPUS_PER_CHASSIS");
+      env != nullptr && env[0] != '\0') {
+    char* end = nullptr;
+    const long n = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0' || n < 1) {
+      throw Error{ErrorCode::kInvalidArgument,
+                  "RSD_GPUS_PER_CHASSIS expects an integer >= 1, got '" +
+                      std::string{env} + "'"};
+    }
+    return static_cast<int>(n);
+  }
+  return 0;
+}
+
 }  // namespace
 
 ExperimentContext::ExperimentContext(Options options)
@@ -32,6 +50,7 @@ ExperimentContext::ExperimentContext(Options options)
       sim_threads_(options.sim_threads >= 1 ? options.sim_threads
                                             : exec::default_sim_thread_count()),
       fabric_(resolve_fabric(options)),
+      gpus_per_chassis_(resolve_gpus_per_chassis(options)),
       seed_(options.seed),
       out_(options.out != nullptr ? options.out : &std::cout),
       pool_(options.threads >= 1 ? options.threads : exec::default_thread_count()),

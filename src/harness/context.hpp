@@ -36,6 +36,13 @@ class ExperimentContext {
     /// "eswitch", "ocs", or "all" to sweep). Empty resolves the RSD_FABRIC
     /// env var, else "all" — mirroring the `--sim-threads` precedence.
     std::string fabric;
+    /// Chassis width for multi-chassis-aware experiments: devices per
+    /// chassis in the machine graph (`--gpus-per-chassis` >
+    /// RSD_GPUS_PER_CHASSIS > 0). 0 keeps each experiment's flat default;
+    /// >= 1 asks fabric builders for per-chassis NICs + inter-chassis
+    /// fibre at that grouping. Values < 1 from the env are rejected with
+    /// rsd::Error{kInvalidArgument}.
+    int gpus_per_chassis = 0;
     int runs = 5;                       ///< The paper's repetition protocol.
     std::uint64_t seed = 1;             ///< Base seed for seeded repetitions.
     std::ostream* out = &std::cout;
@@ -68,6 +75,10 @@ class ExperimentContext {
   /// name or "all".
   [[nodiscard]] const std::string& fabric() const { return fabric_; }
 
+  /// Resolved chassis width (`--gpus-per-chassis` > RSD_GPUS_PER_CHASSIS
+  /// > 0). 0 = experiments keep their flat single-graph defaults.
+  [[nodiscard]] int gpus_per_chassis() const { return gpus_per_chassis_; }
+
   /// Where the timeline export goes; empty when tracing is off.
   [[nodiscard]] const std::filesystem::path& trace_dir() const { return trace_dir_; }
   [[nodiscard]] bool tracing() const { return !trace_dir_.empty(); }
@@ -97,6 +108,7 @@ class ExperimentContext {
   int runs_;
   int sim_threads_;
   std::string fabric_;
+  int gpus_per_chassis_;
   std::uint64_t seed_;
   std::ostream* out_;
   exec::Pool pool_;

@@ -56,7 +56,7 @@ void append_string_array(std::ostringstream& out, const std::vector<std::string>
 std::string manifest_json(const RunSummary& summary) {
   std::ostringstream out;
   out << "{\n";
-  out << "  \"schema\": \"rsd-bench-manifest-v3\",\n";
+  out << "  \"schema\": \"rsd-bench-manifest-v4\",\n";
   out << "  \"threads\": " << summary.threads << ",\n";
   out << "  \"runs\": " << summary.runs << ",\n";
   out << "  \"seed\": " << summary.seed << ",\n";
@@ -84,7 +84,7 @@ std::string manifest_json(const RunSummary& summary) {
         out << (a > 0 ? ", " : "") << "{\"label\": \"" << json_escape(e.label)
             << "\", \"makespan_ns\": " << e.makespan_ns << ", \"components\": {"
             << "\"compute_ns\": " << e.compute_ns
-            << ", \"reconfig_ns\": " << e.reconfig_ns
+            << ", \"reconfig_ns\": " << e.reconfig_ns << ", \"nic_ns\": " << e.nic_ns
             << ", \"fabric_ns\": " << e.fabric_ns << ", \"queue_ns\": " << e.queue_ns
             << ", \"wake_ns\": " << e.wake_ns << ", \"idle_ns\": " << e.idle_ns << '}';
         if (e.has_band && std::isfinite(e.slack_share) && std::isfinite(e.band_lower) &&

@@ -30,6 +30,7 @@ struct AttributionEntry {
   std::int64_t makespan_ns = 0;
   std::int64_t compute_ns = 0;
   std::int64_t reconfig_ns = 0;
+  std::int64_t nic_ns = 0;
   std::int64_t fabric_ns = 0;
   std::int64_t queue_ns = 0;
   std::int64_t wake_ns = 0;

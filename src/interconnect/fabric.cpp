@@ -1,5 +1,6 @@
 #include "interconnect/fabric.hpp"
 
+#include <algorithm>
 #include <string>
 
 #include "core/error.hpp"
@@ -58,6 +59,138 @@ void add_gpus(Topology& topo, const FabricParams& params) {
   }
 }
 
+/// Wire one fabric shape among a chassis' member GPUs using the same link
+/// rules as the flat builders, and return the node the chassis NIC hangs
+/// off: the switch where the shape has one, the first member otherwise.
+/// Attaching the NIC to a single node keeps it off every intra-chassis
+/// route — a 0.35 us NIC port must not shortcut a 2 us NVLink ring.
+NodeId wire_chassis(Topology& topo, const FabricParams& params,
+                    const std::vector<NodeId>& members, int chassis) {
+  const int n = static_cast<int>(members.size());
+  switch (params.kind) {
+    case FabricKind::kRing:
+      for (int i = 0; i < n; ++i) {
+        const int next = (i + 1) % n;
+        if (next == i) break;                 // single GPU: no links
+        if (n == 2 && i == 1) break;          // avoid doubling 0 <-> 1
+        topo.add_duplex(members[static_cast<std::size_t>(i)],
+                        members[static_cast<std::size_t>(next)], LinkKind::kNvlink,
+                        params.link_bandwidth_gib_s, params.link_latency);
+      }
+      return members.front();
+
+    case FabricKind::kFullMesh:
+      for (int i = 0; i < n; ++i) {
+        for (int j = i + 1; j < n; ++j) {
+          topo.add_duplex(members[static_cast<std::size_t>(i)],
+                          members[static_cast<std::size_t>(j)], LinkKind::kNvlink,
+                          params.link_bandwidth_gib_s, params.link_latency);
+        }
+      }
+      return members.front();
+
+    case FabricKind::kElectricalSwitch: {
+      const NodeId sw = topo.add_node(NodeDesc{.name = "eswitch" + std::to_string(chassis),
+                                               .kind = NodeKind::kSwitch,
+                                               .chassis = chassis,
+                                               .forward_latency = params.switch_hop_latency});
+      for (const NodeId gpu : members) {
+        topo.add_duplex(gpu, sw, LinkKind::kSwitch, params.link_bandwidth_gib_s,
+                        params.link_latency);
+      }
+      return sw;
+    }
+
+    case FabricKind::kOpticalCircuit: {
+      const NodeId sw = topo.add_node(NodeDesc{.name = "ocs" + std::to_string(chassis),
+                                               .kind = NodeKind::kSwitch,
+                                               .chassis = chassis,
+                                               .optical = true});
+      for (const NodeId gpu : members) {
+        topo.add_duplex(gpu, sw, LinkKind::kFibre, params.link_bandwidth_gib_s,
+                        params.link_latency);
+      }
+      return sw;
+    }
+  }
+  return members.front();
+}
+
+/// The multi-chassis graph: the fabric shape recurs at two levels — once
+/// over NVLink-class links inside each chassis, once over fibre between
+/// the per-chassis NICs (a ring of NICs, a NIC full mesh, or a row-level
+/// switch). Optionally a kHost endpoint attaches behind a PCIe stub into
+/// nic0 — the CDI host-side entry the transport binding routes through.
+void build_multi_chassis(Topology& topo, const FabricParams& params, int chassis_count) {
+  std::vector<NodeId> nics;
+  nics.reserve(static_cast<std::size_t>(chassis_count));
+  for (int c = 0; c < chassis_count; ++c) {
+    std::vector<NodeId> members;
+    const int lo = c * params.gpus_per_chassis;
+    const int hi = std::min(params.gpus, (c + 1) * params.gpus_per_chassis);
+    members.reserve(static_cast<std::size_t>(hi - lo));
+    for (int i = lo; i < hi; ++i) members.push_back(topo.device(i));
+    const NodeId attach = wire_chassis(topo, params, members, c);
+    const NodeId nic = topo.add_node(
+        NodeDesc{.name = "nic" + std::to_string(c), .kind = NodeKind::kNic, .chassis = c});
+    topo.add_duplex(attach, nic, LinkKind::kNic, params.nic_bandwidth_gib_s,
+                    params.nic_latency);
+    nics.push_back(nic);
+  }
+
+  if (chassis_count > 1) {
+    switch (params.kind) {
+      case FabricKind::kRing:
+        for (int c = 0; c < chassis_count; ++c) {
+          const int next = (c + 1) % chassis_count;
+          if (chassis_count == 2 && c == 1) break;  // avoid doubling 0 <-> 1
+          topo.add_duplex(nics[static_cast<std::size_t>(c)],
+                          nics[static_cast<std::size_t>(next)], LinkKind::kFibre,
+                          params.fibre_bandwidth_gib_s, params.fibre_latency);
+        }
+        break;
+
+      case FabricKind::kFullMesh:
+        for (int c = 0; c < chassis_count; ++c) {
+          for (int d = c + 1; d < chassis_count; ++d) {
+            topo.add_duplex(nics[static_cast<std::size_t>(c)],
+                            nics[static_cast<std::size_t>(d)], LinkKind::kFibre,
+                            params.fibre_bandwidth_gib_s, params.fibre_latency);
+          }
+        }
+        break;
+
+      case FabricKind::kElectricalSwitch: {
+        const NodeId row = topo.add_node(NodeDesc{.name = "row_eswitch",
+                                                  .kind = NodeKind::kSwitch,
+                                                  .forward_latency = params.switch_hop_latency});
+        for (const NodeId nic : nics) {
+          topo.add_duplex(nic, row, LinkKind::kFibre, params.fibre_bandwidth_gib_s,
+                          params.fibre_latency);
+        }
+        break;
+      }
+
+      case FabricKind::kOpticalCircuit: {
+        const NodeId row = topo.add_node(
+            NodeDesc{.name = "row_ocs", .kind = NodeKind::kSwitch, .optical = true});
+        for (const NodeId nic : nics) {
+          topo.add_duplex(nic, row, LinkKind::kFibre, params.fibre_bandwidth_gib_s,
+                          params.fibre_latency);
+        }
+        break;
+      }
+    }
+  }
+
+  if (params.host_endpoint) {
+    const NodeId host =
+        topo.add_node(NodeDesc{.name = "host0", .kind = NodeKind::kHost});
+    topo.add_duplex(host, nics.front(), LinkKind::kPcie, params.host_bandwidth_gib_s,
+                    params.host_latency);
+  }
+}
+
 }  // namespace
 
 Topology build_fabric(const FabricParams& params) {
@@ -68,9 +201,36 @@ Topology build_fabric(const FabricParams& params) {
     throw Error{ErrorCode::kInvalidArgument,
                 "net::build_fabric: gpus_per_chassis must be >= 1"};
   }
+  if (params.max_chassis < 0) {
+    throw Error{ErrorCode::kInvalidArgument, "net::build_fabric: max_chassis must be >= 0"};
+  }
+  const int chassis_count =
+      (params.gpus + params.gpus_per_chassis - 1) / params.gpus_per_chassis;
+  if (params.max_chassis > 0 && chassis_count > params.max_chassis) {
+    throw Error{ErrorCode::kInvalidArgument,
+                "net::build_fabric: " + std::to_string(params.gpus) + " gpus at " +
+                    std::to_string(params.gpus_per_chassis) +
+                    " per chassis needs " + std::to_string(chassis_count) +
+                    " chassis, more than max_chassis = " +
+                    std::to_string(params.max_chassis) +
+                    " (raise max_chassis or gpus_per_chassis)"};
+  }
+  if (params.host_endpoint && !params.chassis_nics) {
+    throw Error{ErrorCode::kInvalidArgument,
+                "net::build_fabric: host_endpoint requires chassis_nics (the host "
+                "attaches behind nic0)"};
+  }
 
   Topology topo;
   add_gpus(topo, params);
+
+  if (params.chassis_nics) {
+    build_multi_chassis(topo, params, chassis_count);
+    if (params.kind == FabricKind::kOpticalCircuit) {
+      topo.set_ocs_reconfigure(params.ocs_reconfigure);
+    }
+    return topo;
+  }
 
   switch (params.kind) {
     case FabricKind::kRing:

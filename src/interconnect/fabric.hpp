@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/units.hpp"
+#include "interconnect/link.hpp"
 #include "interconnect/topology.hpp"
 
 namespace rsd::net {
@@ -56,6 +57,28 @@ struct FabricParams {
   SimDuration switch_hop_latency = duration::microseconds(0.12);
   /// Optical circuit retarget delay (fast MEMS/AWGR-class OCS).
   SimDuration ocs_reconfigure = duration::microseconds(100.0);
+
+  /// True multi-chassis graph emission: each chassis gains a kNic node
+  /// wired to its member GPUs, and the fabric shape recurs at row scale
+  /// over fibre links between the NICs (ring of NICs, NIC full mesh, or a
+  /// row-level switch). Off by default: flat fabrics keep chassis as a
+  /// pure grouping tag and build byte-identical graphs to before.
+  bool chassis_nics = false;
+  /// Upper bound on chassis count (0 = unlimited). With a bound set,
+  /// build_fabric rejects shapes needing more chassis than the row has.
+  int max_chassis = 0;
+  /// Also emit a kHost endpoint behind a PCIe stub into nic0 — the CDI
+  /// host-side attach point replay's transport binding routes through.
+  bool host_endpoint = false;
+  /// NIC/fibre/host-stub link characteristics. Defaults mirror
+  /// interconnect::CdiNetworkParams: 24 GiB/s fabric payload bandwidth,
+  /// 0.35 us per NIC traversal, 50 m of fibre, 8 us PCIe stub.
+  double nic_bandwidth_gib_s = 24.0;
+  SimDuration nic_latency = duration::microseconds(0.35);
+  double fibre_bandwidth_gib_s = 24.0;
+  SimDuration fibre_latency = interconnect::fibre_delay(0.05);
+  double host_bandwidth_gib_s = 24.0;
+  SimDuration host_latency = duration::microseconds(8.0);
 };
 
 /// Build the fabric's link graph. Throws rsd::Error{kInvalidArgument} on

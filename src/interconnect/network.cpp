@@ -67,8 +67,11 @@ void Network::flush() {
   reg.counter("net.express").add(delta(express_, flushed_express_));
   reg.counter("net.route_hits").add(delta(topo_.route_table_hits(), flushed_route_hits_));
   reg.counter("net.reconfigs").add(delta(reconfigs_, flushed_reconfigs_));
+  reg.counter("net.nic_transfers").add(delta(nic_transfers_, flushed_nic_transfers_));
   reg.counter("net.link_busy_ns").add(busy_total_.ns() - flushed_busy_ns_);
   flushed_busy_ns_ = busy_total_.ns();
+  reg.counter("net.fibre_busy_ns").add(fibre_busy_.ns() - flushed_fibre_busy_ns_);
+  flushed_fibre_busy_ns_ = fibre_busy_.ns();
 
   if (!obs::Tracer::enabled()) return;
   auto& tracer = obs::Tracer::instance();
@@ -89,9 +92,19 @@ void Network::flush() {
   }
 }
 
-sim::Task<> Network::transfer(NodeId src, NodeId dst, Bytes bytes) {
+sim::Task<> Network::transfer(NodeId src, NodeId dst, Bytes bytes, TransferStats* stats) {
   const Path& path = topo_.route(src, dst);
   ++transfers_;
+  // A transfer that crosses a NIC port or a fibre run left its chassis (or
+  // touched the chassis edge): count it so experiments can split row-scale
+  // traffic from chassis-local traffic. Flat fabrics have neither kind.
+  for (const LinkId lid : path.links) {
+    const LinkKind kind = topo_.link(lid).kind;
+    if (kind == LinkKind::kNic || kind == LinkKind::kFibre) {
+      ++nic_transfers_;
+      break;
+    }
+  }
 
   // Express path: single hop onto a free wire — no circuit to retarget, no
   // queue to join. Book the wire by timestamp and sleep exactly once for
@@ -114,6 +127,7 @@ sim::Task<> Network::transfer(NodeId src, NodeId dst, Bytes bytes) {
       state.express_busy_until = now + serialize;
       state.busy = state.busy + serialize;
       busy_total_ = busy_total_ + serialize;
+      if (desc.kind == LinkKind::kFibre) fibre_busy_ = fibre_busy_ + serialize;
       ++express_;
       co_await sim::delay(serialize + desc.latency);
       co_return;
@@ -136,6 +150,7 @@ sim::Task<> Network::transfer(NodeId src, NodeId dst, Bytes bytes) {
           // The very first configuration of an untouched port still pays:
           // the circuit has to be set up either way.
           ++reconfigs_;
+          if (stats != nullptr) stats->reconfig = stats->reconfig + topo_.ocs_reconfigure();
           co_await sim::delay(topo_.ocs_reconfigure());
         }
         state.circuit = egress;
@@ -173,6 +188,7 @@ sim::Task<> Network::transfer(NodeId src, NodeId dst, Bytes bytes) {
     co_await sim::delay(serialize);
     state.busy = state.busy + serialize;
     busy_total_ = busy_total_ + serialize;
+    if (desc.kind == LinkKind::kFibre) fibre_busy_ = fibre_busy_ + serialize;
     --state.pending;
     state.server.release();
 
@@ -184,11 +200,10 @@ sim::Task<> Network::transfer(NodeId src, NodeId dst, Bytes bytes) {
     }
     co_await sim::delay(off_link);
   }
-  if (queued) ++contended_;
-}
-
-sim::Task<> Network::transfer_between_devices(int src_device, int dst_device, Bytes bytes) {
-  return transfer(topo_.device(src_device), topo_.device(dst_device), bytes);
+  if (queued) {
+    ++contended_;
+    if (stats != nullptr) stats->queued = true;
+  }
 }
 
 }  // namespace rsd::net

@@ -55,6 +55,7 @@
 
 #include "core/units.hpp"
 #include "interconnect/topology.hpp"
+#include "interconnect/transport.hpp"
 #include "obs/quiesce.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/sync.hpp"
@@ -72,23 +73,28 @@ struct LinkUsageSample {
   int max_queue_depth = 0;           ///< Peak arrivals in flight (incl. served).
 };
 
-class Network {
+class Network : public Transport {
  public:
   /// The topology must outlive the network.
   Network(sim::Scheduler& sched, const Topology& topology);
-  ~Network();
+  ~Network() override;
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
   [[nodiscard]] sim::Scheduler& scheduler() { return sched_; }
-  [[nodiscard]] const Topology& topology() const { return topo_; }
+  [[nodiscard]] const Topology& topology() const override { return topo_; }
 
   /// Move `bytes` from node `src` to node `dst` over the routed path.
-  /// Resumes when the last byte arrives at `dst`.
-  sim::Task<> transfer(NodeId src, NodeId dst, Bytes bytes);
+  /// Resumes when the last byte arrives at `dst`. `stats`, when non-null,
+  /// receives the reconfiguration delay paid and whether the transfer
+  /// queued (the Transport observability contract).
+  sim::Task<> transfer(NodeId src, NodeId dst, Bytes bytes, TransferStats* stats) override;
+  using Transport::transfer;
 
-  /// Device-index convenience (device i = topology().device(i)).
-  sim::Task<> transfer_between_devices(int src_device, int dst_device, Bytes bytes);
+  /// Uncontended closed-form cost (Topology::transfer_time).
+  [[nodiscard]] SimDuration price(NodeId src, NodeId dst, Bytes bytes) const override {
+    return topo_.transfer_time(src, dst, bytes);
+  }
 
   // -- Deterministic statistics ------------------------------------------
   [[nodiscard]] std::uint64_t transfers() const { return transfers_; }
@@ -103,6 +109,11 @@ class Network {
   void set_express_enabled(bool enabled) { express_enabled_ = enabled; }
   [[nodiscard]] bool express_enabled() const { return express_enabled_; }
   [[nodiscard]] std::uint64_t reconfigurations() const { return reconfigs_; }
+  /// Transfers whose routed path crossed a NIC or fibre hop (i.e. left a
+  /// chassis or touched its NIC) — zero on flat single-chassis fabrics.
+  [[nodiscard]] std::uint64_t nic_transfers() const { return nic_transfers_; }
+  /// Serialisation time spent on kFibre links specifically.
+  [[nodiscard]] SimDuration fibre_busy_total() const { return fibre_busy_; }
   [[nodiscard]] SimDuration link_busy_total() const { return busy_total_; }
   [[nodiscard]] SimDuration link_busy(LinkId link) const {
     return links_.at(static_cast<std::size_t>(link))->busy;
@@ -163,6 +174,8 @@ class Network {
   std::uint64_t express_ = 0;
   bool express_enabled_ = true;
   std::uint64_t reconfigs_ = 0;
+  std::uint64_t nic_transfers_ = 0;
+  SimDuration fibre_busy_ = SimDuration::zero();
   SimDuration busy_total_ = SimDuration::zero();
 
   // Quiesce-flush watermarks: the cumulative value already pushed into the
@@ -174,8 +187,10 @@ class Network {
   std::uint64_t flushed_contended_ = 0;
   std::uint64_t flushed_express_ = 0;
   std::uint64_t flushed_reconfigs_ = 0;
+  std::uint64_t flushed_nic_transfers_ = 0;
   std::uint64_t flushed_route_hits_ = 0;
   std::int64_t flushed_busy_ns_ = 0;
+  std::int64_t flushed_fibre_busy_ns_ = 0;
 
   std::int64_t bucket_width_ns_ = 100'000;  ///< 100 us default.
   std::int32_t sim_id_ = -1;  ///< Tracer timeline id, acquired lazily.

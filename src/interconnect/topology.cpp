@@ -36,6 +36,8 @@ void Topology::invalidate_routes() {
 NodeId Topology::add_node(NodeDesc desc) {
   const auto id = static_cast<NodeId>(nodes_.size());
   if (desc.kind == NodeKind::kGpu) devices_.push_back(id);
+  if (desc.kind == NodeKind::kNic) nics_.push_back(id);
+  if (desc.kind == NodeKind::kHost) hosts_.push_back(id);
   nodes_.push_back(std::move(desc));
   out_.emplace_back();
   invalidate_routes();
@@ -67,6 +69,14 @@ void Topology::add_duplex(NodeId a, NodeId b, LinkKind kind, double bandwidth_gi
                           SimDuration latency) {
   add_link(LinkDesc{a, b, kind, bandwidth_gib_s, latency});
   add_link(LinkDesc{b, a, kind, bandwidth_gib_s, latency});
+}
+
+NodeId Topology::chassis_nic(int tag) const {
+  for (const NodeId id : nics_) {
+    if (node(id).chassis == tag) return id;
+  }
+  throw Error{ErrorCode::kInvalidArgument,
+              "net::Topology::chassis_nic: no NIC tagged with chassis " + std::to_string(tag)};
 }
 
 std::vector<int> Topology::device_chassis_tags() const {

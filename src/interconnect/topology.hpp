@@ -127,6 +127,23 @@ class Topology {
   /// Distinct chassis tags across devices (>= 1 when any device is tagged).
   [[nodiscard]] std::vector<int> device_chassis_tags() const;
 
+  /// NICs (kNic nodes) in insertion order: NIC index -> node id. A flat
+  /// single-chassis fabric has none; multi-chassis builders emit one per
+  /// chassis so cross-chassis routes pay the NIC + fibre hops explicitly.
+  [[nodiscard]] int nic_count() const { return static_cast<int>(nics_.size()); }
+  [[nodiscard]] NodeId nic(int index) const {
+    return nics_.at(static_cast<std::size_t>(index));
+  }
+  /// The NIC tagged with chassis `tag`. Throws rsd::Error{kInvalidArgument}
+  /// when no NIC carries that tag.
+  [[nodiscard]] NodeId chassis_nic(int tag) const;
+
+  /// Hosts (kHost nodes) in insertion order: host index -> node id.
+  [[nodiscard]] int host_count() const { return static_cast<int>(hosts_.size()); }
+  [[nodiscard]] NodeId host(int index) const {
+    return hosts_.at(static_cast<std::size_t>(index));
+  }
+
   /// Min-latency route from src to dst, served from the dense per-source
   /// route table (built by one full Dijkstra on the source's first route;
   /// O(1) thereafter). Throws rsd::Error{kInvalidArgument} when no route
@@ -188,6 +205,8 @@ class Topology {
   std::vector<LinkDesc> links_;
   std::vector<std::vector<LinkId>> out_;
   std::vector<NodeId> devices_;
+  std::vector<NodeId> nics_;
+  std::vector<NodeId> hosts_;
   SimDuration ocs_reconfigure_ = SimDuration::zero();
 
   mutable std::vector<std::int32_t> source_slot_;  ///< Node -> rows_ index, -1 unbuilt.

@@ -1,0 +1,11 @@
+#include "interconnect/transport.hpp"
+
+namespace rsd::net {
+
+sim::Task<> Transport::transfer_between_devices(int src_device, int dst_device,
+                                                Bytes bytes) {
+  return transfer(topology().device(src_device), topology().device(dst_device), bytes,
+                  nullptr);
+}
+
+}  // namespace rsd::net

@@ -13,6 +13,7 @@ const char* to_string(PathComponent c) {
   switch (c) {
     case PathComponent::kCompute: return "compute";
     case PathComponent::kReconfig: return "reconfig";
+    case PathComponent::kNic: return "nic";
     case PathComponent::kFabric: return "fabric";
     case PathComponent::kQueue: return "queue";
     case PathComponent::kWake: return "wake";
@@ -25,6 +26,7 @@ std::int64_t Attribution::component_ns(PathComponent c) const {
   switch (c) {
     case PathComponent::kCompute: return compute_ns;
     case PathComponent::kReconfig: return reconfig_ns;
+    case PathComponent::kNic: return nic_ns;
     case PathComponent::kFabric: return fabric_ns;
     case PathComponent::kQueue: return queue_ns;
     case PathComponent::kWake: return wake_ns;
@@ -95,11 +97,21 @@ Attribution attribute_trace(const trace::Trace& trace,
     push_interval(boundaries, op.submit.ns(), start - pre, PathComponent::kQueue,
                   out.makespan_ns);
   }
-  // The transfer log carries no intervals of its own (the per-op reconfig
-  // edge already does); it is accepted here so callers can hand the whole
-  // causal record over and so future fabrics can price path-level effects
-  // that never become engine occupations.
-  (void)transfers;
+  // Chassis-local transfers in the log carry no intervals of their own
+  // (their reconfig edge rides on the memcpy OpRecords). Cross-chassis
+  // transfers do: the NIC->NIC row-network leg is a path-level effect that
+  // never becomes an engine occupation, so its window books to the
+  // NIC/fibre component here — with any circuit retarget paid inside it
+  // booked to reconfiguration, which outranks NIC in the sweep.
+  for (const gpu::FabricTransferRecord& transfer : transfers) {
+    const std::int64_t nic = transfer.nic.ns();
+    if (nic <= 0) continue;
+    const std::int64_t begin = transfer.nic_start.ns();
+    push_interval(boundaries, begin, begin + nic, PathComponent::kNic, out.makespan_ns);
+    const std::int64_t reconfig = std::min(transfer.reconfig.ns(), nic);
+    push_interval(boundaries, begin, begin + reconfig, PathComponent::kReconfig,
+                  out.makespan_ns);
+  }
 
   std::stable_sort(boundaries.begin(), boundaries.end());
 
@@ -130,6 +142,7 @@ Attribution attribute_trace(const trace::Trace& trace,
 
   out.compute_ns = totals[static_cast<std::size_t>(PathComponent::kCompute)];
   out.reconfig_ns = totals[static_cast<std::size_t>(PathComponent::kReconfig)];
+  out.nic_ns = totals[static_cast<std::size_t>(PathComponent::kNic)];
   out.fabric_ns = totals[static_cast<std::size_t>(PathComponent::kFabric)];
   out.queue_ns = totals[static_cast<std::size_t>(PathComponent::kQueue)];
   out.wake_ns = totals[static_cast<std::size_t>(PathComponent::kWake)];

@@ -15,16 +15,23 @@
 //            overhead the op paid before its service began
 //   any op   [submit, start - pre)             -> engine-queue wait
 //
-// A priority-ordered interval sweep (compute > reconfig > fabric > queue >
-// wake > idle) then assigns every simulated nanosecond of [0, makespan) to
-// exactly one component: time where a kernel was running is compute no
-// matter what else overlapped (an overlapped penalty costs nothing — the
-// critical-path reading), a fabric occupation whose first stretch was a
-// circuit retarget books that stretch as reconfiguration, queueing and
-// wake are charged only where they were actually exposed, and whatever
-// remains is engine idle. By construction the six components sum *exactly*
-// to the makespan — the invariant `obs_attribution_test` asserts, together
-// with the slack-wake share landing inside the Eq 2–3 PenaltyBounds.
+// Cross-chassis transfers contribute a fifth interval: the chassis
+// transfer log records the NIC->NIC row-fabric leg each one executed over
+// the event-driven network — serialisation on NIC/fibre links plus
+// queueing there — which no engine occupation covers. That window books to
+// the NIC/fibre component (any OCS retarget inside it to reconfiguration).
+//
+// A priority-ordered interval sweep (compute > reconfig > nic > fabric >
+// queue > wake > idle) then assigns every simulated nanosecond of
+// [0, makespan) to exactly one component: time where a kernel was running
+// is compute no matter what else overlapped (an overlapped penalty costs
+// nothing — the critical-path reading), a fabric occupation whose first
+// stretch was a circuit retarget books that stretch as reconfiguration,
+// queueing and wake are charged only where they were actually exposed, and
+// whatever remains is engine idle. By construction the seven components
+// sum *exactly* to the makespan — the invariant `obs_attribution_test`
+// asserts, together with the slack-wake share landing inside the Eq 2–3
+// PenaltyBounds.
 #pragma once
 
 #include <cstdint>
@@ -42,14 +49,16 @@ namespace rsd::obs {
 enum class PathComponent : std::uint8_t {
   kCompute = 0,   ///< A kernel was executing.
   kReconfig = 1,  ///< An OCS circuit retarget gated a fabric transfer.
-  kFabric = 2,    ///< Fabric/link serialisation (memcpy occupation).
-  kQueue = 3,     ///< Ops waited for a busy engine (FIFO queue delay).
-  kWake = 4,      ///< Exposed starvation overhead: launch setup + power
+  kNic = 2,       ///< NIC/fibre serialisation: the row-network leg of a
+                  ///< cross-chassis transfer (no engine occupation).
+  kFabric = 3,    ///< Fabric/link serialisation (memcpy occupation).
+  kQueue = 4,     ///< Ops waited for a busy engine (FIFO queue delay).
+  kWake = 5,      ///< Exposed starvation overhead: launch setup + power
                   ///< wake + process switch paid before service.
-  kIdle = 5,      ///< Nothing in flight anywhere.
+  kIdle = 6,      ///< Nothing in flight anywhere.
 };
 
-inline constexpr int kPathComponents = 6;
+inline constexpr int kPathComponents = 7;
 
 [[nodiscard]] const char* to_string(PathComponent c);
 
@@ -60,13 +69,14 @@ struct Attribution {
   std::int64_t makespan_ns = 0;
   std::int64_t compute_ns = 0;
   std::int64_t reconfig_ns = 0;
+  std::int64_t nic_ns = 0;
   std::int64_t fabric_ns = 0;
   std::int64_t queue_ns = 0;
   std::int64_t wake_ns = 0;
   std::int64_t idle_ns = 0;
 
   [[nodiscard]] std::int64_t total_ns() const {
-    return compute_ns + reconfig_ns + fabric_ns + queue_ns + wake_ns + idle_ns;
+    return compute_ns + reconfig_ns + nic_ns + fabric_ns + queue_ns + wake_ns + idle_ns;
   }
   [[nodiscard]] std::int64_t component_ns(PathComponent c) const;
   /// Component share of the makespan in [0, 1]; 0 on an empty makespan.
@@ -75,8 +85,10 @@ struct Attribution {
 
 /// Attribute every nanosecond of `makespan` for a replayed trace.
 /// `transfers` is the chassis fabric-transfer log (may be empty for
-/// single-device replays; it is used for consistency checks only — the
-/// per-op reconfiguration edge rides on OpRecord::reconfig_penalty).
+/// single-device replays). Chassis-local transfers in it carry no
+/// intervals of their own — their reconfiguration edge rides on
+/// OpRecord::reconfig_penalty — but cross-chassis records contribute
+/// their NIC->NIC row-network window to the NIC/fibre component.
 /// Intervals outside [0, makespan) are clipped.
 [[nodiscard]] Attribution attribute_trace(const trace::Trace& trace,
                                           std::span<const gpu::FabricTransferRecord> transfers,

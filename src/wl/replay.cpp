@@ -21,6 +21,9 @@ struct RunWiring {
   gpu::SlackPosition slack_position = gpu::SlackPosition::kAfterCall;
   net::Algorithm collective = net::Algorithm::kRing;
   bool gate = false;
+  /// Multi-chassis nodes: bind each lane's Context onto the chassis' row
+  /// network (host endpoint <-> lane device's chassis NIC <-> device).
+  bool bind_transport = false;
 };
 
 /// One lane: allocate buffers, optionally rendezvous at the start gate,
@@ -32,6 +35,12 @@ sim::Task<> run_lane(const Lane& lane, gpu::Device& device, const RunWiring& wir
                      sim::Event& start_gate) {
   gpu::Context ctx{device, lane.context_id, wiring.slack, lane.process_id, wiring.path,
                    wiring.slack_position};
+  if (wiring.bind_transport) {
+    gpu::Chassis& chassis = *wiring.chassis;
+    ctx.bind_transport(gpu::TransportBinding{
+        chassis.network(), chassis.host_node(), chassis.nic_of(lane.device),
+        chassis.topology().device(lane.device)});
+  }
 
   std::vector<gpu::DeviceBuffer> buffers;
   buffers.reserve(lane.buffers.size());
@@ -142,6 +151,11 @@ ReplayResult ReplayEngine::run(const Program& program, const ReplayOptions& opti
     params.fabric = node_.fabric;
     params.device_params = node_.device_params;
     params.fabric_kind = node_.fabric_kind;
+    if (node_.gpus_per_chassis > 0) {
+      params.gpus_per_chassis = node_.gpus_per_chassis;
+      params.chassis_nics = true;
+      params.host_endpoint = true;
+    }
     chassis.emplace(sched, std::move(params));
   } else {
     device.emplace(sched, node_.device_params,
@@ -168,6 +182,8 @@ ReplayResult ReplayEngine::run(const Program& program, const ReplayOptions& opti
   wiring.slack_position = options.slack_position;
   wiring.collective = node_.collective;
   wiring.gate = program.gate;
+  wiring.bind_transport = chassis && chassis->network() != nullptr &&
+                          chassis->host_node() != net::kInvalidNode;
 
   const int lanes = static_cast<int>(program.lanes.size());
   sim::Barrier barrier{sched, lanes > 0 ? lanes : 1};

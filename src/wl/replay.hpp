@@ -47,6 +47,15 @@ struct NodeParams {
   gpu::GpuInterconnect fabric = gpu::make_nvlink();
   net::FabricKind fabric_kind = net::FabricKind::kFullMesh;
   net::Algorithm collective = net::Algorithm::kRing;
+  /// > 0 (with chassis_gpus set): build a true multi-chassis machine graph
+  /// — per-chassis NICs, inter-chassis fibre, a CDI host endpoint — and
+  /// bind every lane's Context onto it, so memcpy payloads, injected
+  /// slack, and cross-chassis collective chunks all route through the
+  /// event-driven `net::Network` (FIFO contention, OCS circuits, express
+  /// path). 0 keeps the flat chassis: the tag groups devices for the
+  /// hierarchical algorithm but emits no extra nodes, and replay timing is
+  /// byte-identical to before the transport seam.
+  int gpus_per_chassis = 0;
 };
 
 struct ReplayOptions {

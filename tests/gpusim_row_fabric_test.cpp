@@ -96,6 +96,37 @@ TEST(RowFabric, ZeroLatencyFabricIsRejected) {
   }
 }
 
+TEST(RowFabric, MultiChassisDigestIsThreadCountInvariantAndSlowerThanFlat) {
+  // With chassis NICs on, ring edges that cross a chassis boundary are
+  // priced over the routed NIC + fibre path. The digest must stay
+  // byte-identical at any worker-thread count, and the fibre serialisation
+  // must strictly lengthen the step relative to the flat row.
+  for (const net::FabricKind kind : net::all_fabric_kinds()) {
+    RowParams params;
+    params.gpus = 16;
+    params.fabric_kind = kind;
+    params.gpus_per_chassis = 4;
+    params.chassis_nics = true;
+    params.sim_threads = 1;
+    PartitionedRow base_row{params};
+    const SimTime base_finish = base_row.run_training(small_training());
+
+    for (const int threads : {2, 8}) {
+      RowParams p = params;
+      p.sim_threads = threads;
+      PartitionedRow row{p};
+      const SimTime finish = row.run_training(small_training());
+      EXPECT_EQ(row.digest(), base_row.digest())
+          << net::to_string(kind) << " at " << threads << " threads";
+      EXPECT_EQ(finish, base_finish) << net::to_string(kind);
+    }
+
+    const RowRun flat = run_row(kind, 16, 1);
+    EXPECT_GT(base_finish, flat.finish) << net::to_string(kind);
+    EXPECT_NE(base_row.digest(), flat.digest) << net::to_string(kind);
+  }
+}
+
 TEST(RowFabric, SingleGpuRowStillRuns) {
   // One rank has no cross-partition traffic; the engine falls back to the
   // link latency as lookahead and the allreduce is a no-op.

@@ -4,10 +4,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <sstream>
+#include <string>
 
+#include "core/error.hpp"
 #include "harness/cli.hpp"
 #include "harness/context.hpp"
 #include "harness/experiment.hpp"
@@ -175,7 +179,7 @@ TEST(Manifest, RecordsOutcomesAndOmitsNonFiniteWallClock) {
 
   EXPECT_FALSE(summary.all_ok());
   const std::string json = manifest_json(summary);
-  EXPECT_NE(json.find("\"schema\": \"rsd-bench-manifest-v3\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\": \"rsd-bench-manifest-v4\""), std::string::npos);
   EXPECT_NE(json.find("\"name\": \"good\""), std::string::npos);
   EXPECT_NE(json.find("\"status\": \"ok\""), std::string::npos);
   EXPECT_NE(json.find("\"wall_s\": 1.25"), std::string::npos);
@@ -192,8 +196,9 @@ TEST(Manifest, RecordsOutcomesAndOmitsNonFiniteWallClock) {
   summary.trace_dir = "/tmp/trace";
   EXPECT_NE(manifest_json(summary).find("\"trace_dir\": \"/tmp/trace\""), std::string::npos);
 
-  // v3 addition: the attribution block appears only when an experiment
-  // recorded one, with the six components and the optional Eq 2-3 band.
+  // v3/v4 additions: the attribution block appears only when an experiment
+  // recorded one, with the seven components (v4 adds nic_ns) and the
+  // optional Eq 2-3 band.
   EXPECT_EQ(json.find("\"attribution\""), std::string::npos);
   AttributionEntry entry;
   entry.label = "ocs/slacked";
@@ -211,6 +216,7 @@ TEST(Manifest, RecordsOutcomesAndOmitsNonFiniteWallClock) {
             std::string::npos);
   EXPECT_NE(with_attr.find("\"makespan_ns\": 100"), std::string::npos);
   EXPECT_NE(with_attr.find("\"compute_ns\": 60"), std::string::npos);
+  EXPECT_NE(with_attr.find("\"nic_ns\": 0"), std::string::npos);
   EXPECT_NE(with_attr.find("\"slack_share\": 0.025"), std::string::npos);
   EXPECT_NE(with_attr.find("\"band\": [0, 0.05]"), std::string::npos);
 
@@ -301,13 +307,85 @@ TEST(Cli, TraceFlagExportsTimelineAndMetrics) {
   EXPECT_NE(header.find("kind"), std::string::npos);
   EXPECT_NE(header.find("submit_us"), std::string::npos);
 
-  // Manifest v3 records the trace dir and per-experiment gpusim metrics.
+  // Manifest v4 records the trace dir and per-experiment gpusim metrics.
   std::ifstream min{dir / "run_manifest.json"};
   std::stringstream manifest;
   manifest << min.rdbuf();
-  EXPECT_NE(manifest.str().find("\"schema\": \"rsd-bench-manifest-v3\""), std::string::npos);
+  EXPECT_NE(manifest.str().find("\"schema\": \"rsd-bench-manifest-v4\""), std::string::npos);
   EXPECT_NE(manifest.str().find("\"trace_dir\""), std::string::npos);
   EXPECT_NE(manifest.str().find("\"gpusim.ops\""), std::string::npos);
+}
+
+// RAII guard: restores RSD_GPUS_PER_CHASSIS (or its absence) on scope exit
+// so the knob tests cannot leak environment into the rest of the binary.
+class ScopedEnv {
+ public:
+  explicit ScopedEnv(const char* name) : name_(name) {
+    if (const char* v = std::getenv(name)) saved_ = v;
+  }
+  ~ScopedEnv() {
+    if (saved_.has_value()) {
+      ::setenv(name_, saved_->c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+  void set(const char* value) { ::setenv(name_, value, 1); }
+  void unset() { ::unsetenv(name_); }
+
+ private:
+  const char* name_;
+  std::optional<std::string> saved_;
+};
+
+ExperimentContext::Options quiet_options(const fs::path& dir, std::ostream* out) {
+  ExperimentContext::Options options;
+  options.results_dir = dir;
+  options.threads = 1;
+  options.out = out;
+  return options;
+}
+
+TEST(Context, GpusPerChassisFlagBeatsEnvBeatsDefault) {
+  const fs::path dir = fresh_temp_dir("rsd_gpc_precedence");
+  std::ostringstream sink;
+  ScopedEnv env{"RSD_GPUS_PER_CHASSIS"};
+
+  env.unset();
+  EXPECT_EQ(ExperimentContext{quiet_options(dir, &sink)}.gpus_per_chassis(), 0);
+
+  env.set("4");
+  EXPECT_EQ(ExperimentContext{quiet_options(dir, &sink)}.gpus_per_chassis(), 4);
+
+  auto options = quiet_options(dir, &sink);
+  options.gpus_per_chassis = 8;  // the flag wins over the environment
+  EXPECT_EQ(ExperimentContext{options}.gpus_per_chassis(), 8);
+}
+
+TEST(Context, GpusPerChassisEnvRejectsNonPositiveAndGarbage) {
+  const fs::path dir = fresh_temp_dir("rsd_gpc_reject");
+  std::ostringstream sink;
+  ScopedEnv env{"RSD_GPUS_PER_CHASSIS"};
+
+  for (const char* bad : {"0", "-3", "abc", "4x"}) {
+    env.set(bad);
+    try {
+      ExperimentContext ctx{quiet_options(dir, &sink)};
+      FAIL() << "expected rsd::Error for RSD_GPUS_PER_CHASSIS=" << bad;
+    } catch (const rsd::Error& e) {
+      EXPECT_EQ(e.code(), rsd::ErrorCode::kInvalidArgument) << bad;
+      EXPECT_NE(std::string{e.what()}.find("RSD_GPUS_PER_CHASSIS"), std::string::npos)
+          << bad;
+    }
+  }
+}
+
+TEST(Cli, GpusPerChassisFlagRejectsNonPositive) {
+  std::string out;
+  std::string err;
+  EXPECT_EQ(cli({"--gpus-per-chassis", "0"}, &out, &err), 2);
+  EXPECT_NE(err.find("--gpus-per-chassis"), std::string::npos);
+  EXPECT_NE(err.find(">= 1"), std::string::npos);
 }
 
 // The tentpole's perf claim: every consumer of the Figure-3 response

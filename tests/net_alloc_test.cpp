@@ -64,5 +64,35 @@ TEST(NetworkAlloc, SteadyStateTransferPathIsAllocationFree) {
   EXPECT_EQ(during, 0) << "steady-state transfers touched the general heap";
 }
 
+TEST(NetworkAlloc, MultiChassisNicHopsStayAllocationFree) {
+  // Same discipline on a multi-chassis graph: the ring-successor chunks
+  // at a chassis boundary and the two-over chunks cross NIC + fibre
+  // links, so the measured window proves the cross-chassis path — NIC
+  // frames, fibre semaphores, per-link busy booking — recycles storage
+  // exactly like the intra-chassis one.
+  FabricParams params;
+  params.gpus = 8;
+  params.gpus_per_chassis = 4;
+  params.chassis_nics = true;
+  const Topology topo = build_fabric(params);
+  sim::Scheduler sched;
+  Network network{sched, topo};
+  network.set_usage_bucket(duration::seconds(10.0));
+
+  std::int64_t during = -1;
+  sched.spawn([](Network& net, std::int64_t* out) -> sim::Task<> {
+    co_await churn(net, 50);
+    const std::int64_t before = alloc::allocation_count();
+    co_await churn(net, 50);
+    *out = alloc::allocation_count() - before;
+  }(network, &during));
+  sched.run();
+
+  ASSERT_EQ(sched.unfinished_count(), 0u);
+  EXPECT_GT(network.nic_transfers(), 0u);
+  EXPECT_GT(network.fibre_busy_total(), SimDuration::zero());
+  EXPECT_EQ(during, 0) << "cross-chassis transfers touched the general heap";
+}
+
 }  // namespace
 }  // namespace rsd::net

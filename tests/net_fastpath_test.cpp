@@ -89,6 +89,75 @@ TEST(RouteTable, MatchesFreshDijkstraOnRandomTopologies) {
   }
 }
 
+TEST(RouteTable, MatchesFreshDijkstraOnMultiChassisFabrics) {
+  // The multi-chassis graphs add NIC and fibre hops (and a host stub);
+  // the dense tables must stay indistinguishable from the per-pair
+  // reference search across every node pair of every fabric shape.
+  for (const FabricKind kind : all_fabric_kinds()) {
+    FabricParams params;
+    params.kind = kind;
+    params.gpus = 16;
+    params.gpus_per_chassis = 4;
+    params.chassis_nics = true;
+    params.host_endpoint = true;
+    const Topology topo = build_fabric(params);
+    ASSERT_EQ(topo.nic_count(), 4) << to_string(kind);
+    const int n = static_cast<int>(topo.node_count());
+    for (int s = 0; s < n; ++s) {
+      for (int d = 0; d < n; ++d) {
+        if (s == d) continue;
+        const auto src = static_cast<NodeId>(s);
+        const auto dst = static_cast<NodeId>(d);
+        Path fresh;
+        bool fresh_reachable = true;
+        try {
+          fresh = topo.route_dijkstra(src, dst);
+        } catch (const Error&) {
+          fresh_reachable = false;
+        }
+        if (!fresh_reachable) {
+          EXPECT_THROW((void)topo.route(src, dst), Error)
+              << to_string(kind) << " " << s << "->" << d;
+          continue;
+        }
+        const Path& table = topo.route(src, dst);
+        EXPECT_EQ(table.latency, fresh.latency)
+            << to_string(kind) << " " << s << "->" << d;
+        EXPECT_EQ(table.links, fresh.links) << to_string(kind) << " " << s << "->" << d;
+        EXPECT_EQ(table.bottleneck_gib_s, fresh.bottleneck_gib_s);
+        EXPECT_EQ(table.optical_hops, fresh.optical_hops);
+      }
+    }
+  }
+}
+
+TEST(RouteTable, NicHopTieBreaksAreDeterministic) {
+  // Cross-chassis routes have genuine ties (e.g. on a NIC full mesh both
+  // directions around a 4-NIC ring cost the same): two independently
+  // built copies of the same fabric must route every device pair over the
+  // same link id sequence, and the table must agree with the reference
+  // search on the tie it picked.
+  FabricParams params;
+  params.gpus = 16;
+  params.gpus_per_chassis = 4;
+  params.chassis_nics = true;
+  for (const FabricKind kind : all_fabric_kinds()) {
+    params.kind = kind;
+    const Topology first = build_fabric(params);
+    const Topology second = build_fabric(params);
+    for (int s = 0; s < first.device_count(); ++s) {
+      for (int d = 0; d < first.device_count(); ++d) {
+        if (s == d) continue;
+        const Path& a = first.route(first.device(s), first.device(d));
+        const Path& b = second.route(second.device(s), second.device(d));
+        EXPECT_EQ(a.links, b.links) << to_string(kind) << " " << s << "->" << d;
+        EXPECT_EQ(a.links, first.route_dijkstra(first.device(s), first.device(d)).links)
+            << to_string(kind) << " " << s << "->" << d;
+      }
+    }
+  }
+}
+
 TEST(RouteTable, TransferTimeIsIntegerNsIdenticalToFreshDijkstra) {
   const Topology topo = random_topology(0x5eedULL);
   const int n = static_cast<int>(topo.node_count());

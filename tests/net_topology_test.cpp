@@ -171,5 +171,84 @@ TEST(Fabric, ChassisTagsFollowGpusPerChassis) {
   EXPECT_EQ(topo.node(topo.device(15)).chassis, 3);
 }
 
+TEST(Fabric, MultiChassisEmitsNicsAndFibre) {
+  FabricParams params;
+  params.gpus = 16;
+  params.gpus_per_chassis = 4;
+  params.chassis_nics = true;
+  for (const FabricKind kind : all_fabric_kinds()) {
+    params.kind = kind;
+    const Topology topo = build_fabric(params);
+    ASSERT_EQ(topo.nic_count(), 4) << to_string(kind);
+    ASSERT_EQ(topo.device_chassis_tags().size(), 4u) << to_string(kind);
+    for (int c = 0; c < 4; ++c) {
+      const NodeId nic = topo.chassis_nic(c);
+      EXPECT_EQ(topo.node(nic).kind, NodeKind::kNic) << to_string(kind);
+      EXPECT_EQ(topo.node(nic).chassis, c) << to_string(kind);
+    }
+    EXPECT_THROW((void)topo.chassis_nic(4), Error) << to_string(kind);
+
+    // A chassis-crossing route must pay the NIC and fibre hops explicitly;
+    // an intra-chassis route must not touch either.
+    const Path& cross = topo.route(topo.device(0), topo.device(15));
+    bool saw_nic = false;
+    bool saw_fibre = false;
+    for (const LinkId id : cross.links) {
+      saw_nic = saw_nic || topo.link(id).kind == LinkKind::kNic;
+      saw_fibre = saw_fibre || topo.link(id).kind == LinkKind::kFibre;
+    }
+    EXPECT_TRUE(saw_nic) << to_string(kind);
+    EXPECT_TRUE(saw_fibre) << to_string(kind);
+    // A 0.35us NIC port must never shortcut an intra-chassis route (the
+    // OCS chassis legitimately uses fibre-class ports internally).
+    const Path& intra = topo.route(topo.device(0), topo.device(3));
+    for (const LinkId id : intra.links) {
+      EXPECT_NE(topo.link(id).kind, LinkKind::kNic) << to_string(kind);
+    }
+  }
+}
+
+TEST(Fabric, FlatFabricHasNoNicsAndRejectsChassisNicLookup) {
+  FabricParams params;
+  params.gpus = 8;
+  const Topology topo = build_fabric(params);
+  EXPECT_EQ(topo.nic_count(), 0);
+  EXPECT_THROW((void)topo.chassis_nic(0), Error);
+}
+
+TEST(Fabric, RejectsRowsExceedingMaxChassis) {
+  FabricParams params;
+  params.gpus = 16;
+  params.gpus_per_chassis = 4;
+  params.chassis_nics = true;
+  params.max_chassis = 2;  // 16 GPUs at 4/chassis need 4 chassis
+  try {
+    (void)build_fabric(params);
+    FAIL() << "expected rsd::Error for a row exceeding max_chassis";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInvalidArgument);
+    EXPECT_NE(std::string{e.what()}.find("max_chassis"), std::string::npos);
+  }
+  params.max_chassis = 4;
+  EXPECT_EQ(build_fabric(params).nic_count(), 4);  // exactly at the bound is fine
+}
+
+TEST(Fabric, HostEndpointRequiresChassisNics) {
+  FabricParams params;
+  params.gpus = 8;
+  params.gpus_per_chassis = 4;
+  params.host_endpoint = true;
+  EXPECT_THROW((void)build_fabric(params), Error);
+
+  params.chassis_nics = true;
+  const Topology topo = build_fabric(params);
+  ASSERT_EQ(topo.host_count(), 1);
+  // The host attaches behind a PCIe stub into nic0, so a host->GPU route
+  // starts on PCIe.
+  const Path& path = topo.route(topo.host(0), topo.device(0));
+  ASSERT_FALSE(path.links.empty());
+  EXPECT_EQ(topo.link(path.links.front()).kind, LinkKind::kPcie);
+}
+
 }  // namespace
 }  // namespace rsd::net

@@ -1,6 +1,6 @@
 // Acceptance tests for the critical-path attribution (obs::critpath):
 //
-//   * exactness — the six components are a disjoint interval cover of
+//   * exactness — the seven components are a disjoint interval cover of
 //     [0, makespan), so they sum to the makespan *exactly* (integer
 //     nanoseconds, not within a tolerance), for chassis replays on every
 //     row-fabric shape and for trace-derived replays;
@@ -63,6 +63,7 @@ void expect_exact_cover(const obs::Attribution& a) {
   EXPECT_EQ(a.total_ns(), a.makespan_ns);
   EXPECT_GE(a.compute_ns, 0);
   EXPECT_GE(a.reconfig_ns, 0);
+  EXPECT_GE(a.nic_ns, 0);
   EXPECT_GE(a.fabric_ns, 0);
   EXPECT_GE(a.queue_ns, 0);
   EXPECT_GE(a.wake_ns, 0);
@@ -104,6 +105,41 @@ TEST(ObsAttribution, ComponentsSumExactlyOnEveryFabric) {
     const obs::Attribution sattr =
         obs::attribute_trace(slacked.trace, slacked.transfers, slacked.runtime);
     expect_exact_cover(sattr);
+    EXPECT_GE(obs::slack_wake_share(attr, sattr), 0.0);
+  }
+}
+
+TEST(ObsAttribution, MultiChassisReplayBooksNicTimeAndStillSumsExactly) {
+  using namespace rsd::literals;
+  const wl::Program program = training_program(8);
+  for (const net::FabricKind kind : net::all_fabric_kinds()) {
+    wl::NodeParams node;
+    node.chassis_gpus = 8;
+    node.fabric_kind = kind;
+    node.gpus_per_chassis = 4;  // two chassis: every allreduce crosses fibre
+    const wl::ReplayEngine engine{node};
+
+    wl::ReplayOptions options;
+    options.capture_trace = true;
+    const wl::ReplayResult base = engine.run(program, options);
+    ASSERT_GT(base.runtime, SimDuration::zero());
+    const obs::Attribution attr =
+        obs::attribute_trace(base.trace, base.transfers, base.runtime);
+    SCOPED_TRACE(net::to_string(kind));
+    expect_exact_cover(attr);
+    EXPECT_EQ(attr.makespan_ns, base.runtime.ns());
+    // Cross-chassis gradients serialise on NIC + fibre windows no engine
+    // occupation covers — the seventh component must be live, and the
+    // sum must still be exact with it in play.
+    EXPECT_GT(attr.nic_ns, 0);
+    EXPECT_GT(attr.compute_ns, 0);
+
+    options.slack = 100_us;
+    const wl::ReplayResult slacked = engine.run(program, options);
+    const obs::Attribution sattr =
+        obs::attribute_trace(slacked.trace, slacked.transfers, slacked.runtime);
+    expect_exact_cover(sattr);
+    EXPECT_GT(sattr.nic_ns, 0);
     EXPECT_GE(obs::slack_wake_share(attr, sattr), 0.0);
   }
 }

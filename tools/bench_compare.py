@@ -5,8 +5,8 @@ Usage: bench_compare.py BASELINE_MANIFEST.json CANDIDATE_MANIFEST.json
 
 Prints a per-experiment table of wall_s (baseline, candidate, speedup),
 then fleet totals, then a side-by-side of the network fast-path counters
-(net.express, net.route_hits, pardes.horizon_gain) for every experiment
-that reports them. Experiments present in only one manifest are listed
+(net.express, net.route_hits, net.nic_transfers, net.fibre_busy_ns,
+pardes.horizon_gain) for every experiment that reports them. Experiments present in only one manifest are listed
 separately. Exit 0 on a clean comparison; exit 1 on malformed input,
 when --max-regression is given and any shared experiment slowed down by
 more than that factor (e.g. --max-regression 1.25 fails on >25% slower),
@@ -29,7 +29,8 @@ def fail(msg):
     sys.exit(1)
 
 
-FASTPATH_COUNTERS = ("net.express", "net.route_hits", "pardes.horizon_gain")
+FASTPATH_COUNTERS = ("net.express", "net.route_hits", "net.nic_transfers",
+                     "net.fibre_busy_ns", "pardes.horizon_gain")
 
 
 def load_walls(path):
@@ -38,7 +39,8 @@ def load_walls(path):
             manifest = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         fail(f"{path}: {e}")
-    if manifest.get("schema") not in ("rsd-bench-manifest-v2", "rsd-bench-manifest-v3"):
+    if manifest.get("schema") not in ("rsd-bench-manifest-v2", "rsd-bench-manifest-v3",
+                                      "rsd-bench-manifest-v4"):
         fail(f"{path}: unexpected schema {manifest.get('schema')!r}")
     walls = {}
     counters = {}

@@ -1,10 +1,10 @@
 #!/usr/bin/env python3
-"""Validate a rsd_bench run manifest against the rsd-bench-manifest-v3 schema.
+"""Validate a rsd_bench run manifest against the rsd-bench-manifest-v4 schema.
 
 Usage: check_manifest.py MANIFEST.json
 
 Checks (exit 0 on success, 1 with a diagnostic on the first violation):
-  * the file is valid JSON with schema "rsd-bench-manifest-v3";
+  * the file is valid JSON with schema "rsd-bench-manifest-v4";
   * top-level run parameters (threads/runs/seed/results_dir) are present
     and well-typed; trace_dir, when present, is a non-empty string;
   * every experiment entry has a name, a tag list, an "ok"/"failed"
@@ -21,11 +21,16 @@ Checks (exit 0 on success, 1 with a diagnostic on the first violation):
   * the partitioned engine's pardes.horizon_gain counter is non-negative —
     the lookahead matrix can only widen epoch horizons, so a negative gain
     means the horizon computation regressed;
-  * attribution blocks (v3) decompose a positive makespan into six
-    non-negative components that sum to it exactly, and each banded entry
-    carries a finite slack_share plus an ordered [lower, upper] band;
+  * attribution blocks (v4) decompose a positive makespan into seven
+    non-negative components (v4 adds nic_ns, the NIC/fibre serialisation
+    of cross-chassis transfers) that sum to it exactly, and each banded
+    entry carries a finite slack_share plus an ordered [lower, upper] band;
   * a successful attribution_fabrics entry must record at least one
-    attribution with a band (the slacked replays).
+    attribution with a band (the slacked replays);
+  * a successful multichassis_contention entry must carry non-negative
+    net.nic_transfers and net.fibre_busy_ns counters — it drives traffic
+    across chassis NICs by construction, so their absence means the
+    multi-chassis graph was never built.
 """
 
 import json
@@ -33,7 +38,8 @@ import math
 import sys
 
 ATTRIBUTION_COMPONENTS = (
-    "compute_ns", "reconfig_ns", "fabric_ns", "queue_ns", "wake_ns", "idle_ns",
+    "compute_ns", "reconfig_ns", "nic_ns", "fabric_ns", "queue_ns", "wake_ns",
+    "idle_ns",
 )
 
 
@@ -146,7 +152,7 @@ def check_experiment(entry, index):
     if not isinstance(csv, list) or not all(isinstance(p, str) for p in csv):
         fail(f"{where}: csv must be a list of path strings")
     if "metrics" not in entry:
-        fail(f"{where}: missing metrics object (manifest-v3 requires one)")
+        fail(f"{where}: missing metrics object (manifest-v4 requires one)")
     check_metrics(entry["metrics"], where)
     if name == "fabric_compare" and status == "ok":
         for counter in ("net.transfers", "net.reconfigs", "net.express",
@@ -154,6 +160,14 @@ def check_experiment(entry, index):
             if counter not in entry["metrics"]:
                 fail(f"{where}: ok entry is missing {counter!r} (the Network "
                      "flushes link counters at quiesce boundaries)")
+    if name == "multichassis_contention" and status == "ok":
+        for counter in ("net.nic_transfers", "net.fibre_busy_ns"):
+            value = entry["metrics"].get(counter)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                fail(f"{where}: ok entry is missing {counter!r} (cross-chassis "
+                     "traffic must traverse the NIC/fibre links)")
+            if value < 0:
+                fail(f"{where}: {counter!r} is negative")
     banded = 0
     if "attribution" in entry:
         banded = check_attribution(entry["attribution"], where)
@@ -179,8 +193,8 @@ def main():
     if not isinstance(manifest, dict):
         fail("top level must be an object")
     schema = manifest.get("schema")
-    if schema != "rsd-bench-manifest-v3":
-        fail(f"unexpected schema {schema!r} (want rsd-bench-manifest-v3)")
+    if schema != "rsd-bench-manifest-v4":
+        fail(f"unexpected schema {schema!r} (want rsd-bench-manifest-v4)")
     for key in ("threads", "runs"):
         value = manifest.get(key)
         if not isinstance(value, int) or isinstance(value, bool) or value < 0:

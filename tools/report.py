@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Render critical-path attribution reports from a rsd_bench v3 manifest.
+"""Render critical-path attribution reports from a rsd_bench v4 manifest.
 
 Usage: report.py MANIFEST.json [EXPERIMENT ...]
 
@@ -26,6 +26,7 @@ import sys
 COMPONENTS = (
     ("compute_ns", "compute"),
     ("reconfig_ns", "reconfig"),
+    ("nic_ns", "nic"),
     ("fabric_ns", "fabric"),
     ("queue_ns", "queue"),
     ("wake_ns", "wake"),
@@ -101,9 +102,9 @@ def main():
         fail(f"cannot read {path}: {err}")
     except json.JSONDecodeError as err:
         fail(f"{path} is not valid JSON: {err}")
-    if manifest.get("schema") != "rsd-bench-manifest-v3":
+    if manifest.get("schema") != "rsd-bench-manifest-v4":
         fail(f"unexpected schema {manifest.get('schema')!r} "
-             "(want rsd-bench-manifest-v3)")
+             "(want rsd-bench-manifest-v4)")
 
     experiments = manifest.get("experiments", [])
     names = {e.get("name") for e in experiments}
